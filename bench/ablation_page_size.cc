@@ -1,0 +1,57 @@
+// Ablation: disk page size. The paper runs on 8 KB pages and notes its
+// Figure 15 Simple-hash crossover "support[s] those reported in
+// [DEWI88] for Gamma using 4 kbyte disk pages" — the qualitative
+// results should be page-size independent. This bench re-runs the key
+// comparisons at 4 KB and 16 KB pages.
+#include <cstdio>
+
+#include "common/harness.h"
+
+using gammadb::bench::RemoteConfig;
+using gammadb::bench::Workload;
+using gammadb::join::Algorithm;
+
+int main() {
+  for (uint32_t page_bytes : {4096u, 8192u, 16384u}) {
+    auto config = RemoteConfig();
+    config.cost.page_bytes = page_bytes;
+    gammadb::bench::WorkloadOptions options;
+    options.hpja = true;
+    Workload workload(config, options);
+
+    const auto seconds = [&](Algorithm a, double ratio, bool remote) {
+      auto out = workload.Run(a, ratio, false, remote);
+      gammadb::bench::CheckResultCount(out, 10000);
+      return out.response_seconds();
+    };
+
+    std::printf("\n=== %u-byte pages ===\n", page_bytes);
+    std::printf("  Hybrid @1.0 %7.2fs | @0.5 %7.2fs | @0.1 %7.2fs\n",
+                seconds(Algorithm::kHybridHash, 1.0, false),
+                seconds(Algorithm::kHybridHash, 0.5, false),
+                seconds(Algorithm::kHybridHash, 0.1, false));
+    const double sm = seconds(Algorithm::kSortMerge, 0.5, false);
+    const double grace = seconds(Algorithm::kGraceHash, 0.5, false);
+    std::printf("  ordering @0.5: Hybrid %.1f < Grace %.1f < SortMerge %.1f "
+                "-> %s\n",
+                seconds(Algorithm::kHybridHash, 0.5, false), grace, sm,
+                grace < sm ? "preserved" : "BROKEN");
+    // The Figure 15 Simple crossover (local wins at 1.0, remote below).
+    const double local_full = seconds(Algorithm::kSimpleHash, 1.0, false);
+    const double remote_full = seconds(Algorithm::kSimpleHash, 1.0, true);
+    const double local_low = seconds(Algorithm::kSimpleHash, 0.2, false);
+    const double remote_low = seconds(Algorithm::kSimpleHash, 0.2, true);
+    std::printf("  Simple local/remote @1.0: %.1f/%.1f (%s), @0.2: %.1f/%.1f "
+                "(%s) -> crossover %s\n",
+                local_full, remote_full,
+                local_full < remote_full ? "local wins" : "remote wins",
+                local_low, remote_low,
+                local_low < remote_low ? "local wins" : "remote wins",
+                local_full < remote_full && remote_low < local_low
+                    ? "preserved"
+                    : "BROKEN");
+  }
+  std::printf("\n(as in DEWI88, the qualitative results are page-size "
+              "independent)\n");
+  return 0;
+}

@@ -1,0 +1,198 @@
+#include "common/harness.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace gammadb::bench {
+
+sim::MachineConfig LocalConfig() {
+  sim::MachineConfig config;
+  config.num_disk_nodes = 8;
+  config.num_diskless_nodes = 0;
+  config.num_threads = 1;
+  return config;
+}
+
+sim::MachineConfig RemoteConfig() {
+  sim::MachineConfig config = LocalConfig();
+  config.num_diskless_nodes = 8;
+  return config;
+}
+
+std::vector<double> IntegralBucketRatios() {
+  return {1.0,       1.0 / 2.0, 1.0 / 3.0, 1.0 / 4.0, 1.0 / 5.0,
+          1.0 / 6.0, 1.0 / 7.0, 1.0 / 8.0, 1.0 / 10.0};
+}
+
+Workload::Workload(sim::MachineConfig machine_config,
+                   const WorkloadOptions& options)
+    : options_(options), machine_(std::make_unique<sim::Machine>(machine_config)) {
+  wisconsin::DatasetOptions dataset;
+  dataset.outer_cardinality = options.outer_cardinality;
+  dataset.inner_cardinality = options.inner_cardinality;
+  dataset.seed = options.seed;
+  dataset.with_normal_attr = options.with_normal;
+  dataset.strategy = options.strategy;
+  dataset.partition_field = options.partition_field;
+  auto loaded = wisconsin::LoadJoinABprime(*machine_, catalog_, dataset);
+  GAMMA_CHECK(loaded.ok()) << loaded.status().ToString();
+}
+
+join::JoinOutput Workload::RunCustom(
+    join::Algorithm algorithm, double memory_ratio, bool bit_filters,
+    bool remote_join_nodes,
+    const std::function<void(join::JoinSpec&)>& mutate) {
+  join::JoinSpec spec;
+  spec.inner_relation = "Bprime";
+  spec.outer_relation = "A";
+  const int default_field = options_.hpja ? wisconsin::fields::kUnique1
+                                          : wisconsin::fields::kUnique2;
+  spec.inner_field = default_field;
+  spec.outer_field = default_field;
+  spec.algorithm = algorithm;
+  spec.memory_ratio = memory_ratio;
+  spec.use_bit_filters = bit_filters;
+  if (remote_join_nodes) {
+    spec.join_nodes = machine_->DisklessNodeIds();
+    GAMMA_CHECK(!spec.join_nodes.empty())
+        << "remote join requested on a machine without diskless nodes";
+  }
+  spec.result_name = "bench_result_" + std::to_string(run_counter_++);
+  if (mutate) mutate(spec);
+  auto output = join::ExecuteJoin(*machine_, catalog_, spec);
+  GAMMA_CHECK(output.ok()) << output.status().ToString();
+  GAMMA_CHECK_OK(catalog_.Drop(spec.result_name));
+  return std::move(output).value();
+}
+
+join::JoinOutput Workload::Run(join::Algorithm algorithm, double memory_ratio,
+                               bool bit_filters, bool remote_join_nodes,
+                               int inner_field, int outer_field) {
+  // HPJA joins use the declustering attribute (unique1); non-HPJA joins
+  // use unique2, whose value distribution is identical.
+  return RunCustom(algorithm, memory_ratio, bit_filters, remote_join_nodes,
+                   [&](join::JoinSpec& spec) {
+                     if (inner_field >= 0) spec.inner_field = inner_field;
+                     if (outer_field >= 0) spec.outer_field = outer_field;
+                   });
+}
+
+void PrintFigure(const std::string& title,
+                 const std::vector<std::string>& series_names,
+                 const std::vector<double>& ratios,
+                 const std::vector<std::vector<double>>& seconds_by_series) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-8s", "ratio");
+  for (const auto& name : series_names) std::printf("%14s", name.c_str());
+  std::printf("\n");
+  for (size_t row = 0; row < ratios.size(); ++row) {
+    std::printf("%-8.3f", ratios[row]);
+    for (const auto& series : seconds_by_series) {
+      std::printf("%14.2f", series[row]);
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+void RunFilterComparisonFigure(const std::string& title,
+                               join::Algorithm algorithm) {
+  WorkloadOptions options;
+  options.hpja = true;
+  Workload workload(LocalConfig(), options);
+
+  const std::vector<double> ratios = IntegralBucketRatios();
+  std::vector<double> without, with, drops;
+  for (double ratio : ratios) {
+    auto plain = workload.Run(algorithm, ratio, /*bit_filters=*/false,
+                              /*remote_join_nodes=*/false);
+    auto filtered = workload.Run(algorithm, ratio, /*bit_filters=*/true,
+                                 /*remote_join_nodes=*/false);
+    CheckResultCount(plain, 10000);
+    CheckResultCount(filtered, 10000);
+    without.push_back(plain.response_seconds());
+    with.push_back(filtered.response_seconds());
+    drops.push_back(static_cast<double>(filtered.stats.filter_drops));
+  }
+  PrintFigure(title, {"NoFilter", "BitFilter", "TuplesDropped"}, ratios,
+              {without, with, drops});
+}
+
+void CheckResultCount(const join::JoinOutput& output, size_t expected) {
+  GAMMA_CHECK_EQ(output.stats.result_tuples, expected)
+      << "benchmark join produced the wrong result cardinality";
+}
+
+const char* SkewBench::JoinTypeName(JoinType type) {
+  switch (type) {
+    case JoinType::kUU:
+      return "UU";
+    case JoinType::kNU:
+      return "NU";
+    case JoinType::kUN:
+      return "UN";
+    case JoinType::kNN:
+      return "NN";
+  }
+  return "?";
+}
+
+SkewBench::SkewBench() : machine_(std::make_unique<sim::Machine>(LocalConfig())) {
+  wisconsin::GenOptions gen;
+  gen.cardinality = 100000;
+  gen.seed = 42;
+  gen.with_normal_attr = true;
+  const auto outer_tuples = wisconsin::Generate(gen);
+  const auto inner_tuples =
+      wisconsin::SampleWithoutReplacement(outer_tuples, 10000, 43);
+
+  const auto load = [&](const std::string& name,
+                        const std::vector<storage::Tuple>& tuples,
+                        int partition_field) {
+    auto rel = catalog_.Create(*machine_, name, wisconsin::WisconsinSchema());
+    GAMMA_CHECK(rel.ok()) << rel.status().ToString();
+    db::LoadOptions options;
+    options.strategy = db::PartitionStrategy::kRangeUniform;
+    options.partition_field = partition_field;
+    GAMMA_CHECK_OK(db::LoadRelation(*rel, tuples, options));
+  };
+  load("A_u", outer_tuples, wisconsin::fields::kUnique1);
+  load("A_n", outer_tuples, wisconsin::fields::kNormal);
+  load("B_u", inner_tuples, wisconsin::fields::kUnique1);
+  load("B_n", inner_tuples, wisconsin::fields::kNormal);
+}
+
+join::JoinOutput SkewBench::Run(join::Algorithm algorithm, JoinType type,
+                                double memory_ratio, bool bit_filters) {
+  join::JoinSpec spec;
+  const bool inner_normal = type == JoinType::kNU || type == JoinType::kNN;
+  const bool outer_normal = type == JoinType::kUN || type == JoinType::kNN;
+  spec.inner_relation = inner_normal ? "B_n" : "B_u";
+  spec.outer_relation = outer_normal ? "A_n" : "A_u";
+  spec.inner_field = inner_normal ? wisconsin::fields::kNormal
+                                  : wisconsin::fields::kUnique1;
+  spec.outer_field = outer_normal ? wisconsin::fields::kNormal
+                                  : wisconsin::fields::kUnique1;
+  spec.algorithm = algorithm;
+  spec.memory_ratio = memory_ratio;
+  spec.use_bit_filters = bit_filters;
+  if (algorithm == join::Algorithm::kGraceHash && inner_normal) {
+    // Paper Section 4.4: Grace runs skewed-inner joins with one extra
+    // bucket so no memory overflow occurs.
+    auto inner = catalog_.Get(spec.inner_relation);
+    GAMMA_CHECK(inner.ok());
+    const auto memory_bytes = static_cast<uint64_t>(
+        memory_ratio * static_cast<double>((*inner)->total_bytes()));
+    spec.num_buckets =
+        join::OptimizerBucketCount((*inner)->total_bytes(), memory_bytes) + 1;
+  }
+  spec.result_name = "skew_result_" + std::to_string(run_counter_++);
+  auto output = join::ExecuteJoin(*machine_, catalog_, spec);
+  GAMMA_CHECK(output.ok()) << output.status().ToString();
+  GAMMA_CHECK_OK(catalog_.Drop(spec.result_name));
+  return std::move(output).value();
+}
+
+}  // namespace gammadb::bench

@@ -1,0 +1,116 @@
+// Shared harness for the paper-reproduction benchmarks: standard Gamma
+// configurations, the joinABprime dataset at full benchmark scale, and
+// table printing in the shape of the paper's figures.
+#ifndef GAMMA_BENCH_COMMON_HARNESS_H_
+#define GAMMA_BENCH_COMMON_HARNESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gamma/catalog.h"
+#include "join/driver.h"
+#include "sim/machine.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb::bench {
+
+/// The paper's "local" configuration: 8 processors with disks. (The
+/// scheduling/deadlock processor is not modeled as a node; its cost
+/// appears via the scheduler charges.)
+sim::MachineConfig LocalConfig();
+
+/// The paper's "remote" configuration: 8 disk + 8 diskless processors.
+sim::MachineConfig RemoteConfig();
+
+/// Memory ratios corresponding to an integral number of Grace/Hybrid
+/// buckets: 1, 1/2, ..., 1/8, 1/10 (the plotted points of Figures 5-16).
+std::vector<double> IntegralBucketRatios();
+
+struct WorkloadOptions {
+  bool hpja = true;        // join attribute == declustering attribute
+  bool with_normal = false;
+  db::PartitionStrategy strategy = db::PartitionStrategy::kHashed;
+  int partition_field = wisconsin::fields::kUnique1;
+  uint32_t outer_cardinality = 100000;
+  uint32_t inner_cardinality = 10000;
+  uint64_t seed = 42;
+};
+
+/// A machine + catalog + loaded joinABprime dataset.
+class Workload {
+ public:
+  Workload(sim::MachineConfig machine_config, const WorkloadOptions& options);
+
+  sim::Machine& machine() { return *machine_; }
+  db::Catalog& catalog() { return catalog_; }
+
+  /// Runs joinABprime with the given algorithm/parameters and drops the
+  /// result relation afterwards. Aborts on error (benchmark context).
+  join::JoinOutput Run(join::Algorithm algorithm, double memory_ratio,
+                       bool bit_filters, bool remote_join_nodes,
+                       int inner_field = -1, int outer_field = -1);
+
+  /// Like Run(), but lets the caller adjust the final JoinSpec (bucket
+  /// overrides, slack, predicates, ...) before execution.
+  join::JoinOutput RunCustom(
+      join::Algorithm algorithm, double memory_ratio, bool bit_filters,
+      bool remote_join_nodes,
+      const std::function<void(join::JoinSpec&)>& mutate);
+
+  const WorkloadOptions& options() const { return options_; }
+
+ private:
+  WorkloadOptions options_;
+  std::unique_ptr<sim::Machine> machine_;
+  db::Catalog catalog_;
+  int run_counter_ = 0;
+};
+
+/// Prints a response-time table: one row per ratio, one column per
+/// series, in seconds — the data behind one paper figure.
+void PrintFigure(const std::string& title,
+                 const std::vector<std::string>& series_names,
+                 const std::vector<double>& ratios,
+                 const std::vector<std::vector<double>>& seconds_by_series);
+
+/// Convenience: asserts the result cardinality every benchmark expects.
+void CheckResultCount(const join::JoinOutput& output, size_t expected);
+
+/// Shared driver for Figures 10-13: one algorithm, HPJA local
+/// configuration, with and without bit filters, plus the measured
+/// number of probing tuples eliminated by the filters.
+void RunFilterComparisonFigure(const std::string& title,
+                               join::Algorithm algorithm);
+
+/// The Section 4.4 skew setup: a 100k outer relation with a
+/// N(50000, 750) `normal` attribute, a 10k inner relation sampled from
+/// it, each stored once range-declustered on unique1 and once on the
+/// normal attribute (the paper ranges on the join attribute so every
+/// disk holds an equal share).
+class SkewBench {
+ public:
+  enum class JoinType { kUU, kNU, kUN, kNN };
+  static const char* JoinTypeName(JoinType type);
+
+  SkewBench();
+
+  sim::Machine& machine() { return *machine_; }
+
+  /// Runs the joinABprime skew variant. For Grace on NU/NN inputs one
+  /// extra bucket is added, following the paper ("we executed this
+  /// algorithm using one additional bucket so that no memory overflow
+  /// would occur").
+  join::JoinOutput Run(join::Algorithm algorithm, JoinType type,
+                       double memory_ratio, bool bit_filters);
+
+ private:
+  std::unique_ptr<sim::Machine> machine_;
+  db::Catalog catalog_;
+  int run_counter_ = 0;
+};
+
+}  // namespace gammadb::bench
+
+#endif  // GAMMA_BENCH_COMMON_HARNESS_H_

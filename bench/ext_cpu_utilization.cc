@@ -1,0 +1,73 @@
+// Extension experiment: CPU utilization and multiuser throughput.
+//
+// Paper Section 5: "when Gamma processes joins 'locally', the
+// processors are at 100% CPU utilization. However, when the 'remote'
+// configuration is used, CPU utilization at the processors with disks
+// drops to approximately 60%. Thus, in a multiuser environment,
+// offloading joins to remote processors may permit higher throughput."
+//
+// This bench measures per-node utilization for both configurations and
+// derives the throughput bound the paper conjectures: with queries
+// pipelined back-to-back, sustainable throughput is limited by the
+// busiest processor's CPU seconds per query.
+#include <algorithm>
+#include <cstdio>
+
+#include "common/harness.h"
+
+using gammadb::bench::RemoteConfig;
+using gammadb::bench::Workload;
+using gammadb::join::Algorithm;
+
+namespace {
+
+struct UtilReport {
+  double response;
+  double disk_util;     // mean over disk nodes
+  double joiner_util;   // mean over the join nodes actually used
+  double busiest_cpu;   // CPU-seconds on the busiest node
+};
+
+UtilReport Measure(Workload& workload, bool remote) {
+  auto output =
+      workload.Run(Algorithm::kHybridHash, 1.0, false, remote);
+  gammadb::bench::CheckResultCount(output, 10000);
+  const auto util = output.metrics.NodeCpuUtilization();
+  const auto busy = output.metrics.NodeCpuSeconds();
+  UtilReport report{};
+  report.response = output.response_seconds();
+  for (int i = 0; i < 8; ++i) report.disk_util += util[static_cast<size_t>(i)] / 8;
+  if (remote) {
+    for (size_t i = 8; i < 16; ++i) report.joiner_util += util[i] / 8;
+  } else {
+    report.joiner_util = report.disk_util;
+  }
+  report.busiest_cpu = *std::max_element(busy.begin(), busy.end());
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  gammadb::bench::WorkloadOptions options;
+  options.hpja = false;  // non-HPJA: the case where offloading pays
+  Workload workload(RemoteConfig(), options);
+
+  const UtilReport local = Measure(workload, /*remote=*/false);
+  const UtilReport remote = Measure(workload, /*remote=*/true);
+
+  std::printf("\nCPU utilization, Hybrid non-HPJA joinABprime @ 100%% "
+              "memory\n");
+  std::printf("%-10s%12s%16s%16s%22s\n", "config", "response", "disk-node "
+              "util", "joiner util", "throughput bound q/h");
+  std::printf("%-10s%11.2fs%15.0f%%%15.0f%%%22.1f\n", "local",
+              local.response, 100 * local.disk_util, 100 * local.joiner_util,
+              3600.0 / local.busiest_cpu);
+  std::printf("%-10s%11.2fs%15.0f%%%15.0f%%%22.1f\n", "remote",
+              remote.response, 100 * remote.disk_util,
+              100 * remote.joiner_util, 3600.0 / remote.busiest_cpu);
+  std::printf(
+      "\n(paper: local = 100%% CPU, remote disk nodes ~60%%; the freed "
+      "disk-node\ncycles are the multiuser-throughput headroom)\n");
+  return 0;
+}

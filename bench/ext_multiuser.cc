@@ -1,0 +1,55 @@
+// Extension experiment: multiuser throughput (the study the paper
+// defers to future work in Section 5).
+//
+// Using asymptotic bound analysis over measured single-query profiles
+// (sim/throughput.h), this bench sweeps the multiprogramming level for
+// local vs remote Hybrid joins. Expected shape: local wins single-query
+// response for HPJA workloads, but the remote configuration's lower
+// per-node demand sustains higher saturation throughput — the paper's
+// closing argument for offloading joins to diskless processors.
+#include <cstdio>
+
+#include "common/harness.h"
+#include "sim/throughput.h"
+
+using gammadb::bench::RemoteConfig;
+using gammadb::bench::Workload;
+using gammadb::join::Algorithm;
+using gammadb::sim::EstimateThroughput;
+using gammadb::sim::ThroughputEstimate;
+
+int main() {
+  gammadb::bench::WorkloadOptions options;
+  options.hpja = false;  // the configuration-sensitive case
+  Workload workload(RemoteConfig(), options);
+
+  auto local_run = workload.Run(Algorithm::kHybridHash, 0.5, false, false);
+  auto remote_run = workload.Run(Algorithm::kHybridHash, 0.5, false, true);
+  gammadb::bench::CheckResultCount(local_run, 10000);
+  gammadb::bench::CheckResultCount(remote_run, 10000);
+  const ThroughputEstimate local = EstimateThroughput(local_run.metrics);
+  const ThroughputEstimate remote = EstimateThroughput(remote_run.metrics);
+
+  std::printf("\nMultiuser model, Hybrid non-HPJA joinABprime @ 0.5 memory\n");
+  std::printf("%-10s%16s%22s%20s\n", "config", "R0 (1 query)",
+              "bottleneck s/query", "saturation MPL");
+  std::printf("%-10s%15.2fs%21.2fs%20d\n", "local",
+              local.single_query_seconds, local.BottleneckSeconds(),
+              local.SaturationMpl());
+  std::printf("%-10s%15.2fs%21.2fs%20d\n", "remote",
+              remote.single_query_seconds, remote.BottleneckSeconds(),
+              remote.SaturationMpl());
+
+  std::printf("\n%-6s%18s%18s%20s%20s\n", "MPL", "local q/h", "remote q/h",
+              "local resp (s)", "remote resp (s)");
+  for (int mpl : {1, 2, 3, 4, 6, 8, 12}) {
+    std::printf("%-6d%18.1f%18.1f%20.1f%20.1f\n", mpl,
+                3600 * local.ThroughputAtMpl(mpl),
+                3600 * remote.ThroughputAtMpl(mpl),
+                local.ResponseAtMpl(mpl), remote.ResponseAtMpl(mpl));
+  }
+  std::printf("\n(remote trades single-query response for saturation "
+              "throughput — the\npaper's multiuser conjecture, "
+              "quantified)\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Extension experiment: hardware scaling. The Gamma project's companion
+// papers (DEWI88) measured speedup and scaleup curves; this bench adds
+// them for the four join algorithms.
+//
+//  * Speedup: fixed joinABprime (100k x 10k), 2 -> 16 disk nodes.
+//    Expect near-linear gains flattening as per-node work shrinks
+//    toward the fixed scheduling/partitioning overheads.
+//  * Scaleup: data grows with the machine (12.5k outer tuples per
+//    node); a flat curve means linear scaleup.
+#include <cstdio>
+
+#include "common/harness.h"
+
+using gammadb::bench::Workload;
+using gammadb::join::Algorithm;
+
+namespace {
+
+gammadb::sim::MachineConfig ConfigWithDisks(int disks) {
+  gammadb::sim::MachineConfig config;
+  config.num_disk_nodes = disks;
+  config.num_threads = 1;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  const Algorithm algorithms[] = {Algorithm::kHybridHash,
+                                  Algorithm::kGraceHash,
+                                  Algorithm::kSimpleHash,
+                                  Algorithm::kSortMerge};
+  const char* names[] = {"Hybrid", "Grace", "Simple", "SortMerge"};
+
+  std::printf("\nSpeedup: joinABprime 100k x 10k @ 0.5 memory (seconds)\n");
+  std::printf("%-8s%14s%14s%14s%14s\n", "disks", names[0], names[1], names[2],
+              names[3]);
+  double base[4] = {0, 0, 0, 0};
+  for (int disks : {2, 4, 8, 16}) {
+    gammadb::bench::WorkloadOptions options;
+    options.hpja = true;
+    Workload workload(ConfigWithDisks(disks), options);
+    std::printf("%-8d", disks);
+    for (int a = 0; a < 4; ++a) {
+      auto out = workload.Run(algorithms[a], 0.5, false, false);
+      gammadb::bench::CheckResultCount(out, 10000);
+      if (disks == 2) base[a] = out.response_seconds();
+      std::printf("%9.2f(%3.1fx)", out.response_seconds(),
+                  base[a] / out.response_seconds());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nScaleup: 12,500 outer tuples per disk node @ 0.5 memory "
+              "(seconds; flat = linear)\n");
+  std::printf("%-8s%14s%14s%14s%14s\n", "disks", names[0], names[1], names[2],
+              names[3]);
+  for (int disks : {2, 4, 8, 16}) {
+    gammadb::bench::WorkloadOptions options;
+    options.hpja = true;
+    options.outer_cardinality = static_cast<uint32_t>(12500 * disks);
+    options.inner_cardinality = options.outer_cardinality / 10;
+    Workload workload(ConfigWithDisks(disks), options);
+    std::printf("%-8d", disks);
+    for (int a = 0; a < 4; ++a) {
+      auto out = workload.Run(algorithms[a], 0.5, false, false);
+      gammadb::bench::CheckResultCount(out, options.inner_cardinality);
+      std::printf("%14.2f", out.response_seconds());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 5: joinABprime response time vs available-memory ratio, local
+// configuration (8 disk nodes), join attribute == partitioning
+// attribute (HPJA), no bit filters.
+//
+// Expected shape (paper Section 4.1): Hybrid dominates everywhere;
+// Simple equals Hybrid at ratio 1.0 and degrades rapidly below 0.5;
+// Grace is nearly flat with a slight rise as buckets are added;
+// sort-merge is slowest with steps from extra merge passes.
+#include "common/harness.h"
+
+using gammadb::bench::IntegralBucketRatios;
+using gammadb::bench::LocalConfig;
+using gammadb::bench::PrintFigure;
+using gammadb::bench::Workload;
+using gammadb::join::Algorithm;
+
+int main() {
+  gammadb::bench::WorkloadOptions options;
+  options.hpja = true;
+  Workload workload(LocalConfig(), options);
+
+  const std::vector<double> ratios = IntegralBucketRatios();
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kHybridHash, Algorithm::kGraceHash, Algorithm::kSimpleHash,
+      Algorithm::kSortMerge};
+  const std::vector<std::string> names = {"Hybrid", "Grace", "Simple",
+                                          "SortMerge"};
+
+  std::vector<std::vector<double>> series(algorithms.size());
+  for (size_t a = 0; a < algorithms.size(); ++a) {
+    for (double ratio : ratios) {
+      auto output = workload.Run(algorithms[a], ratio, /*bit_filters=*/false,
+                                 /*remote_join_nodes=*/false);
+      gammadb::bench::CheckResultCount(output, 10000);
+      series[a].push_back(output.response_seconds());
+    }
+  }
+  PrintFigure("Figure 5: HPJA joins, local configuration (seconds)", names,
+              ratios, series);
+  return 0;
+}

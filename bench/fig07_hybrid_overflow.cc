@@ -1,0 +1,69 @@
+// Figure 7: Hybrid hash-join between memory ratios 0.5 and 1.0 — the
+// pessimistic/optimistic trade-off (paper Section 4.1).
+//
+// Three series:
+//  * optimal:     the straight line between the measured optima at 0.5
+//                 (two perfectly-sized buckets) and 1.0 (pure in-memory),
+//                 i.e. performance under perfect partitioning;
+//  * two-bucket:  the pessimistic choice — always run with one extra
+//                 bucket (flat, since bucket sizes don't change);
+//  * overflow:    the optimistic choice — one bucket with exactly
+//                 ratio * |R| of hash-table space (no slack), relying on
+//                 the Simple-hash overflow mechanism.
+//
+// Expected shape: the overflow curve starts at the optimal point at 1.0
+// and deteriorates below the two-bucket line as memory shrinks (the
+// repeated table searches, >10%-forced evictions and extra I/O the
+// paper describes).
+#include "common/harness.h"
+
+using gammadb::bench::LocalConfig;
+using gammadb::bench::PrintFigure;
+using gammadb::bench::Workload;
+using gammadb::join::Algorithm;
+
+int main() {
+  gammadb::bench::WorkloadOptions options;
+  options.hpja = true;
+  Workload workload(LocalConfig(), options);
+
+  std::vector<double> ratios;
+  for (double r = 1.0; r >= 0.4999; r -= 0.05) ratios.push_back(r);
+
+  // Endpoints for the optimal line (default engine settings).
+  const double at_full =
+      workload.Run(Algorithm::kHybridHash, 1.0, false, false)
+          .response_seconds();
+  const double at_half =
+      workload.Run(Algorithm::kHybridHash, 0.5, false, false)
+          .response_seconds();
+
+  std::vector<double> optimal, two_bucket, overflow;
+  for (double ratio : ratios) {
+    optimal.push_back(at_full + (1.0 - ratio) / 0.5 * (at_half - at_full));
+
+    auto pessimistic = workload.RunCustom(
+        Algorithm::kHybridHash, ratio, false, false,
+        [](gammadb::join::JoinSpec& spec) { spec.num_buckets = 2; });
+    gammadb::bench::CheckResultCount(pessimistic, 10000);
+    two_bucket.push_back(pessimistic.response_seconds());
+
+    auto optimistic = workload.RunCustom(
+        Algorithm::kHybridHash, ratio, false, false,
+        [](gammadb::join::JoinSpec& spec) {
+          spec.num_buckets = 1;
+          // A small page-granularity headroom (instead of the default
+          // variance-absorbing slack) so that no eviction happens at
+          // ratio 1.0, as in the paper, while overflow sets in just
+          // below it.
+          spec.memory_slack = 0.08;
+        });
+    gammadb::bench::CheckResultCount(optimistic, 10000);
+    overflow.push_back(optimistic.response_seconds());
+  }
+
+  PrintFigure("Figure 7: Hybrid between 0.5 and 1.0 memory (seconds)",
+              {"Optimal", "TwoBuckets", "Overflow"}, ratios,
+              {optimal, two_bucket, overflow});
+  return 0;
+}

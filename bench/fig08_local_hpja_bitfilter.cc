@@ -1,0 +1,36 @@
+// Figure 8: HPJA joins, local configuration, WITH 2 KB bit-vector
+// filters. Relative algorithm order is unchanged from Figure 5; all
+// curves drop (paper Section 4.2).
+#include "common/harness.h"
+
+using gammadb::bench::IntegralBucketRatios;
+using gammadb::bench::LocalConfig;
+using gammadb::bench::PrintFigure;
+using gammadb::bench::Workload;
+using gammadb::join::Algorithm;
+
+int main() {
+  gammadb::bench::WorkloadOptions options;
+  options.hpja = true;
+  Workload workload(LocalConfig(), options);
+
+  const std::vector<double> ratios = IntegralBucketRatios();
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kHybridHash, Algorithm::kGraceHash, Algorithm::kSimpleHash,
+      Algorithm::kSortMerge};
+  const std::vector<std::string> names = {"Hybrid", "Grace", "Simple",
+                                          "SortMerge"};
+
+  std::vector<std::vector<double>> series(algorithms.size());
+  for (size_t a = 0; a < algorithms.size(); ++a) {
+    for (double ratio : ratios) {
+      auto output = workload.Run(algorithms[a], ratio, /*bit_filters=*/true,
+                                 /*remote_join_nodes=*/false);
+      gammadb::bench::CheckResultCount(output, 10000);
+      series[a].push_back(output.response_seconds());
+    }
+  }
+  PrintFigure("Figure 8: HPJA joins with bit filters, local (seconds)",
+              names, ratios, series);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 10: Hybrid with vs without bit filters (seconds)
+// (paper Section 4.2; see Figures 10-13.)
+#include "common/harness.h"
+
+int main() {
+  gammadb::bench::RunFilterComparisonFigure(
+      "Figure 10: Hybrid with vs without bit filters (seconds)",
+      gammadb::join::Algorithm::kHybridHash);
+  return 0;
+}

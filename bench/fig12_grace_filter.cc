@@ -1,0 +1,10 @@
+// Figure 12: Grace with vs without bit filters (seconds)
+// (paper Section 4.2; see Figures 10-13.)
+#include "common/harness.h"
+
+int main() {
+  gammadb::bench::RunFilterComparisonFigure(
+      "Figure 12: Grace with vs without bit filters (seconds)",
+      gammadb::join::Algorithm::kGraceHash);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 13: Sort-merge with vs without bit filters (seconds)
+// (paper Section 4.2; see Figures 10-13.)
+#include "common/harness.h"
+
+int main() {
+  gammadb::bench::RunFilterComparisonFigure(
+      "Figure 13: Sort-merge with vs without bit filters (seconds)",
+      gammadb::join::Algorithm::kSortMerge);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 14: remote configuration (8 disk nodes + 8 diskless join
+// nodes): HPJA vs non-HPJA for the three hash algorithms.
+//
+// Expected shape (paper Section 4.3): Grace shows a constant HPJA
+// advantage (bucket-forming short-circuits); Hybrid's advantage widens
+// as memory shrinks (a growing fraction of tuples is written locally
+// during bucket-forming, per the paper's Table 2); Simple shows no
+// HPJA advantage at all (the changed hash function after overflow
+// turns every overflow join into a non-HPJA join).
+#include "common/harness.h"
+
+using gammadb::bench::IntegralBucketRatios;
+using gammadb::bench::PrintFigure;
+using gammadb::bench::RemoteConfig;
+using gammadb::bench::Workload;
+using gammadb::join::Algorithm;
+
+int main() {
+  gammadb::bench::WorkloadOptions hpja_options;
+  hpja_options.hpja = true;
+  Workload hpja(RemoteConfig(), hpja_options);
+
+  gammadb::bench::WorkloadOptions nonhpja_options;
+  nonhpja_options.hpja = false;
+  Workload nonhpja(RemoteConfig(), nonhpja_options);
+
+  const std::vector<double> ratios = IntegralBucketRatios();
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kHybridHash, Algorithm::kGraceHash, Algorithm::kSimpleHash};
+  const std::vector<std::string> names = {
+      "Hybrid/HPJA",  "Hybrid/non",  "Grace/HPJA",
+      "Grace/non",    "Simple/HPJA", "Simple/non"};
+
+  std::vector<std::vector<double>> series(6);
+  for (size_t a = 0; a < algorithms.size(); ++a) {
+    for (double ratio : ratios) {
+      auto h = hpja.Run(algorithms[a], ratio, false, /*remote=*/true);
+      auto n = nonhpja.Run(algorithms[a], ratio, false, /*remote=*/true);
+      gammadb::bench::CheckResultCount(h, 10000);
+      gammadb::bench::CheckResultCount(n, 10000);
+      series[2 * a].push_back(h.response_seconds());
+      series[2 * a + 1].push_back(n.response_seconds());
+    }
+  }
+  PrintFigure("Figure 14: remote joins, HPJA vs non-HPJA (seconds)", names,
+              ratios, series);
+  return 0;
+}

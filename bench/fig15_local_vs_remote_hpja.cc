@@ -1,0 +1,43 @@
+// Figure 15: local vs remote join execution, HPJA joins.
+//
+// Expected shape (paper Section 4.3): local wins for Grace and Hybrid
+// at all ratios (bucket-joining short-circuits locally); Simple starts
+// local-favoured at ratio 1.0 and crosses over as overflow turns it
+// into a non-HPJA join.
+#include "common/harness.h"
+
+using gammadb::bench::IntegralBucketRatios;
+using gammadb::bench::PrintFigure;
+using gammadb::bench::RemoteConfig;
+using gammadb::bench::Workload;
+using gammadb::join::Algorithm;
+
+int main() {
+  gammadb::bench::WorkloadOptions options;
+  options.hpja = true;
+  // One 16-node machine; "local" runs join on the disk nodes, "remote"
+  // on the diskless nodes.
+  Workload workload(RemoteConfig(), options);
+
+  const std::vector<double> ratios = IntegralBucketRatios();
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kHybridHash, Algorithm::kGraceHash, Algorithm::kSimpleHash};
+  const std::vector<std::string> names = {
+      "Hybrid/local",  "Hybrid/remote", "Grace/local",
+      "Grace/remote",  "Simple/local",  "Simple/remote"};
+
+  std::vector<std::vector<double>> series(6);
+  for (size_t a = 0; a < algorithms.size(); ++a) {
+    for (double ratio : ratios) {
+      auto local = workload.Run(algorithms[a], ratio, false, /*remote=*/false);
+      auto remote = workload.Run(algorithms[a], ratio, false, /*remote=*/true);
+      gammadb::bench::CheckResultCount(local, 10000);
+      gammadb::bench::CheckResultCount(remote, 10000);
+      series[2 * a].push_back(local.response_seconds());
+      series[2 * a + 1].push_back(remote.response_seconds());
+    }
+  }
+  PrintFigure("Figure 15: local vs remote joins, HPJA (seconds)", names,
+              ratios, series);
+  return 0;
+}

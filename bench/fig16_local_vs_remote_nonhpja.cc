@@ -1,0 +1,44 @@
+// Figure 16: local vs remote join execution, non-HPJA joins.
+//
+// Expected shape (paper Section 4.3): at ratio 1.0 remote WINS for
+// Hybrid and Simple (the tuples must cross the network anyway, so the
+// build/probe CPU is successfully offloaded); as memory shrinks, a
+// growing fraction of a Hybrid join behaves like an HPJA join and the
+// curves cross in favour of local. Grace stays local-favoured by a
+// constant margin; Simple stays remote-favoured (the changed hash
+// function prevents it from ever regaining HPJA behaviour).
+#include "common/harness.h"
+
+using gammadb::bench::IntegralBucketRatios;
+using gammadb::bench::PrintFigure;
+using gammadb::bench::RemoteConfig;
+using gammadb::bench::Workload;
+using gammadb::join::Algorithm;
+
+int main() {
+  gammadb::bench::WorkloadOptions options;
+  options.hpja = false;
+  Workload workload(RemoteConfig(), options);
+
+  const std::vector<double> ratios = IntegralBucketRatios();
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kHybridHash, Algorithm::kGraceHash, Algorithm::kSimpleHash};
+  const std::vector<std::string> names = {
+      "Hybrid/local",  "Hybrid/remote", "Grace/local",
+      "Grace/remote",  "Simple/local",  "Simple/remote"};
+
+  std::vector<std::vector<double>> series(6);
+  for (size_t a = 0; a < algorithms.size(); ++a) {
+    for (double ratio : ratios) {
+      auto local = workload.Run(algorithms[a], ratio, false, /*remote=*/false);
+      auto remote = workload.Run(algorithms[a], ratio, false, /*remote=*/true);
+      gammadb::bench::CheckResultCount(local, 10000);
+      gammadb::bench::CheckResultCount(remote, 10000);
+      series[2 * a].push_back(local.response_seconds());
+      series[2 * a + 1].push_back(remote.response_seconds());
+    }
+  }
+  PrintFigure("Figure 16: local vs remote joins, non-HPJA (seconds)", names,
+              ratios, series);
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 2 (Section 4.3): percentage of bucket-forming writes that stay
+// local for HPJA vs non-HPJA Hybrid joins on the remote configuration.
+//
+// HPJA: every stored-bucket tuple maps back to its own disk via the
+// split-table mod structure, so the fraction of ALL tuples written
+// locally is (N-1)/N. Non-HPJA: stored-bucket tuples land on a random
+// disk, so only 1/numDiskNodes of the stored fraction stays local.
+#include <cstdio>
+
+#include "common/harness.h"
+
+using gammadb::bench::RemoteConfig;
+using gammadb::bench::Workload;
+using gammadb::join::Algorithm;
+
+namespace {
+
+double LocalWritePercent(const gammadb::join::JoinOutput& output) {
+  const auto& c = output.metrics.counters;
+  const double routed = static_cast<double>(c.tuples_sent_local +
+                                            c.tuples_sent_remote);
+  return routed == 0 ? 0.0
+                     : 100.0 * static_cast<double>(c.tuples_sent_local) /
+                           routed;
+}
+
+}  // namespace
+
+int main() {
+  gammadb::bench::WorkloadOptions hpja_options;
+  hpja_options.hpja = true;
+  Workload hpja(RemoteConfig(), hpja_options);
+
+  gammadb::bench::WorkloadOptions nonhpja_options;
+  nonhpja_options.hpja = false;
+  Workload nonhpja(RemoteConfig(), nonhpja_options);
+
+  std::printf(
+      "\nTable 2: %% of routed tuples delivered locally, Hybrid remote\n");
+  std::printf("%8s%12s%16s%20s\n", "buckets", "ratio", "HPJA local %",
+              "non-HPJA local %");
+  for (int buckets = 1; buckets <= 10; ++buckets) {
+    const double ratio = 1.0 / buckets;
+    auto h = hpja.Run(Algorithm::kHybridHash, ratio, false, /*remote=*/true);
+    auto n =
+        nonhpja.Run(Algorithm::kHybridHash, ratio, false, /*remote=*/true);
+    gammadb::bench::CheckResultCount(h, 10000);
+    gammadb::bench::CheckResultCount(n, 10000);
+    std::printf("%8d%12.3f%16.1f%20.1f\n", buckets, ratio,
+                LocalWritePercent(h), LocalWritePercent(n));
+  }
+  return 0;
+}

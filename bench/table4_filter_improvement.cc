@@ -1,0 +1,52 @@
+// Table 4 (Section 4.4): percentage improvement from bit-vector
+// filters, on the Table 3 grid.
+//
+// Expected shape: sort-merge and Simple improve most (filters eliminate
+// disk I/O); Grace improves least (filters apply only during
+// bucket-joining, after the I/O is already spent); within each
+// algorithm the NU joins improve most (duplicate normal values collide
+// in the filter, leaving more bits clear).
+#include <cstdio>
+
+#include "common/harness.h"
+
+using gammadb::bench::SkewBench;
+using gammadb::join::Algorithm;
+
+int main() {
+  SkewBench bench;
+
+  const Algorithm algorithms[] = {Algorithm::kHybridHash,
+                                  Algorithm::kGraceHash,
+                                  Algorithm::kSortMerge,
+                                  Algorithm::kSimpleHash};
+  const char* names[] = {"Hybrid", "Grace", "Sort-Merge", "Simple"};
+  const SkewBench::JoinType types[] = {SkewBench::JoinType::kUU,
+                                       SkewBench::JoinType::kNU,
+                                       SkewBench::JoinType::kUN};
+
+  std::printf("\nTable 4: %% improvement from bit filters\n");
+  std::printf("%-12s", "Algorithm");
+  for (double mem : {1.0, 0.17}) {
+    for (auto type : types) {
+      std::printf("%9s@%-3.0f%%", SkewBench::JoinTypeName(type), mem * 100);
+    }
+  }
+  std::printf("\n");
+  for (size_t a = 0; a < 4; ++a) {
+    std::printf("%-12s", names[a]);
+    for (double mem : {1.0, 0.17}) {
+      for (auto type : types) {
+        auto plain = bench.Run(algorithms[a], type, mem, false);
+        auto filtered = bench.Run(algorithms[a], type, mem, true);
+        const double improvement =
+            100.0 * (plain.response_seconds() - filtered.response_seconds()) /
+            plain.response_seconds();
+        std::printf("%13.1f%%", improvement);
+        std::fflush(stdout);
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Skew study: what happens to each algorithm when the inner relation's
+// join-attribute values follow N(50000, 750) instead of a uniform
+// distribution (the paper's Section 4.4 NU case) — including the
+// counter-intuitive result that skew HELPS sort-merge.
+//
+//   $ ./build/examples/skew_study
+#include <cstdio>
+
+#include "gamma/catalog.h"
+#include "gamma/loader.h"
+#include "join/driver.h"
+#include "sim/machine.h"
+#include "wisconsin/wisconsin.h"
+
+using namespace gammadb;
+
+namespace {
+
+db::StoredRelation* MustCreate(sim::Machine& machine, db::Catalog& catalog,
+                               const std::string& name,
+                               const std::vector<storage::Tuple>& tuples,
+                               int partition_field) {
+  auto rel = catalog.Create(machine, name, wisconsin::WisconsinSchema());
+  if (!rel.ok()) return nullptr;
+  db::LoadOptions load;
+  load.strategy = db::PartitionStrategy::kRangeUniform;
+  load.partition_field = partition_field;
+  if (!db::LoadRelation(*rel, tuples, load).ok()) return nullptr;
+  return *rel;
+}
+
+}  // namespace
+
+int main() {
+  sim::MachineConfig config;
+  config.num_disk_nodes = 8;
+  sim::Machine machine(config);
+  db::Catalog catalog;
+
+  // 20k-tuple outer relation with a normal attribute; 2k inner sample.
+  wisconsin::GenOptions gen;
+  gen.cardinality = 20000;
+  gen.seed = 11;
+  gen.with_normal_attr = true;
+  gen.normal_mean = 10000;  // centered in the 0..19999 unique1 domain
+  gen.normal_stddev = 300;
+  gen.normal_max = 19999;
+  const auto outer_tuples = wisconsin::Generate(gen);
+  const auto inner_tuples =
+      wisconsin::SampleWithoutReplacement(outer_tuples, 2000, 12);
+
+  if (MustCreate(machine, catalog, "A_u", outer_tuples,
+                 wisconsin::fields::kUnique1) == nullptr ||
+      MustCreate(machine, catalog, "B_u", inner_tuples,
+                 wisconsin::fields::kUnique1) == nullptr ||
+      MustCreate(machine, catalog, "B_n", inner_tuples,
+                 wisconsin::fields::kNormal) == nullptr) {
+    std::fprintf(stderr, "setup failed\n");
+    return 1;
+  }
+
+  std::printf("%-12s%18s%18s%12s%12s\n", "algorithm", "uniform inner (s)",
+              "skewed inner (s)", "overflows", "max chain");
+  const join::Algorithm algorithms[] = {
+      join::Algorithm::kHybridHash, join::Algorithm::kGraceHash,
+      join::Algorithm::kSimpleHash, join::Algorithm::kSortMerge};
+  for (join::Algorithm algorithm : algorithms) {
+    double seconds[2];
+    join::JoinStats skewed_stats;
+    for (int skewed = 0; skewed < 2; ++skewed) {
+      join::JoinSpec spec;
+      spec.inner_relation = skewed ? "B_n" : "B_u";
+      spec.outer_relation = "A_u";
+      spec.inner_field = skewed ? wisconsin::fields::kNormal
+                                : wisconsin::fields::kUnique1;
+      spec.outer_field = wisconsin::fields::kUnique1;
+      spec.algorithm = algorithm;
+      spec.memory_ratio = 0.25;  // tight memory: overflow territory
+      spec.result_name = "skew_result";
+      auto output = join::ExecuteJoin(machine, catalog, spec);
+      if (!output.ok()) {
+        std::fprintf(stderr, "%s\n", output.status().ToString().c_str());
+        return 1;
+      }
+      seconds[skewed] = output->response_seconds();
+      if (skewed) skewed_stats = output->stats;
+      if (!catalog.Drop("skew_result").ok()) return 1;
+    }
+    std::printf("%-12s%17.2f%18.2f%12lld%12d\n",
+                join::AlgorithmName(algorithm), seconds[0], seconds[1],
+                (long long)skewed_stats.overflow_events,
+                skewed_stats.max_chain_length);
+  }
+  std::printf(
+      "\nSkew penalizes the hash joins (uneven partitioning + duplicate\n"
+      "chains force overflow resolution) but can HELP sort-merge: the\n"
+      "skewed inner exhausts early, so the merge never reads the tail\n"
+      "of the outer relation (paper Section 4.4).\n");
+  return 0;
+}

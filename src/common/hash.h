@@ -1,0 +1,49 @@
+// The "randomizing function" of the paper: a seeded 64-bit integer hash.
+//
+// Every partitioning decision in the system (declustering at load time,
+// split-table routing, hash-table slot choice, bit-filter bits, overflow
+// histograms) is derived from HashJoinAttribute() so that the modular
+// structure the paper's Appendix A relies on (tuples stored at disk d have
+// hash values congruent to d modulo the number of disks) holds exactly.
+//
+// The Simple hash-join changes its hash function after every overflow
+// (Section 4.1 of the paper); that is expressed by bumping `seed`.
+#ifndef GAMMA_COMMON_HASH_H_
+#define GAMMA_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace gammadb {
+
+/// Default seed used by loaders and join operators before any rehash.
+inline constexpr uint64_t kDefaultHashSeed = 0x9E3779B97F4A7C15ULL;
+
+/// Finalizer from SplitMix64 / MurmurHash3: full-avalanche 64-bit mix.
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Seeded hash of a join-attribute value.
+inline uint64_t HashJoinAttribute(int64_t value, uint64_t seed = kDefaultHashSeed) {
+  return Mix64(static_cast<uint64_t>(value) + seed);
+}
+
+/// Seeded hash of a string attribute (FNV-1a folded through Mix64).
+inline uint64_t HashBytes(std::string_view bytes, uint64_t seed = kDefaultHashSeed) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace gammadb
+
+#endif  // GAMMA_COMMON_HASH_H_

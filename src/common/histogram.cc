@@ -1,0 +1,61 @@
+#include "common/histogram.h"
+
+#include <bit>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace gammadb {
+
+HashHistogram::HashHistogram(uint32_t num_bins) : bins_(num_bins, 0) {
+  GAMMA_CHECK(num_bins >= 2 && std::has_single_bit(num_bins))
+      << "num_bins must be a power of two >= 2, got " << num_bins;
+  shift_ = 64 - std::countr_zero(static_cast<uint64_t>(num_bins));
+}
+
+void HashHistogram::Add(uint64_t hash) {
+  ++bins_[BinOf(hash)];
+  ++total_;
+}
+
+void HashHistogram::Remove(uint64_t hash) {
+  const uint32_t bin = BinOf(hash);
+  GAMMA_DCHECK(bins_[bin] > 0);
+  --bins_[bin];
+  --total_;
+}
+
+void HashHistogram::Clear() {
+  for (auto& b : bins_) b = 0;
+  total_ = 0;
+}
+
+uint64_t HashHistogram::CutoffForFraction(double fraction) const {
+  if (total_ == 0) return std::numeric_limits<uint64_t>::max();
+  const uint64_t target =
+      static_cast<uint64_t>(fraction * static_cast<double>(total_));
+  uint64_t above = 0;
+  // Walk bins from the top of the hash space downwards until enough
+  // population lies above the candidate boundary.
+  for (uint32_t bin = num_bins(); bin-- > 0;) {
+    above += bins_[bin];
+    if (above >= target && above > 0) {
+      return BinLowerBound(bin);
+    }
+  }
+  // Everything must go.
+  return 0;
+}
+
+uint64_t HashHistogram::CountAtOrAbove(uint64_t cutoff) const {
+  uint64_t count = 0;
+  for (uint32_t bin = BinOf(cutoff); bin < num_bins(); ++bin) {
+    count += bins_[bin];
+  }
+  // BinOf(cutoff) may include hashes below the cutoff when the cutoff is
+  // not a bin boundary; callers in this codebase always pass boundaries
+  // produced by CutoffForFraction, where the count is exact.
+  return count;
+}
+
+}  // namespace gammadb

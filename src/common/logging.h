@@ -1,0 +1,85 @@
+// Minimal leveled logging plus CHECK/DCHECK invariant macros.
+//
+// CHECK-failure aborts the process: it is reserved for programming errors
+// (broken invariants), never for data-dependent conditions, which are
+// reported through Status (see common/status.h).
+#ifndef GAMMA_COMMON_LOGGING_H_
+#define GAMMA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gammadb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal {
+
+/// Collects one log line via operator<< and emits it on destruction.
+/// Fatal messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Discards everything; used to compile out disabled DCHECKs cheaply.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+/// Messages below this level are suppressed. Default: kWarning (quiet for
+/// tests and benches); set to kDebug/kInfo when tracing a run.
+void SetLogThreshold(LogLevel level);
+LogLevel GetLogThreshold();
+
+}  // namespace gammadb
+
+#define GAMMA_LOG(level)                                              \
+  ::gammadb::internal::LogMessage(::gammadb::LogLevel::k##level, __FILE__, __LINE__)
+
+#define GAMMA_CHECK(cond)                                             \
+  if (cond) {                                                         \
+  } else                                                              \
+    GAMMA_LOG(Fatal) << "Check failed: " #cond " "
+
+#define GAMMA_CHECK_OK(expr)                                          \
+  do {                                                                \
+    ::gammadb::Status _st = (expr);                                     \
+    GAMMA_CHECK(_st.ok()) << _st.ToString();                          \
+  } while (0)
+
+#define GAMMA_CHECK_EQ(a, b) GAMMA_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GAMMA_CHECK_NE(a, b) GAMMA_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GAMMA_CHECK_LT(a, b) GAMMA_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GAMMA_CHECK_LE(a, b) GAMMA_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GAMMA_CHECK_GT(a, b) GAMMA_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GAMMA_CHECK_GE(a, b) GAMMA_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifdef NDEBUG
+#define GAMMA_DCHECK(cond) \
+  while (false) ::gammadb::internal::NullStream()
+#else
+#define GAMMA_DCHECK(cond) GAMMA_CHECK(cond)
+#endif
+
+#endif  // GAMMA_COMMON_LOGGING_H_

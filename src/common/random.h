@@ -1,0 +1,119 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All experiment inputs (Wisconsin relations, skewed attributes, sampling)
+// are derived from Rng seeded explicitly, so every benchmark and test run
+// is reproducible bit-for-bit.
+#ifndef GAMMA_COMMON_RANDOM_H_
+#define GAMMA_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gammadb {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    GAMMA_DCHECK(bound > 0);
+    // Lemire's multiply-shift rejection method: unbiased.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    GAMMA_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Standard normal via Box-Muller (no cached second value: simpler and
+  /// deterministic across call patterns).
+  double NextGaussian() {
+    double u1 = NextDouble();
+    while (u1 <= 1e-300) u1 = NextDouble();
+    const double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = Uniform(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct indices drawn uniformly from [0, n), in random order
+  /// (partial Fisher-Yates).
+  std::vector<uint32_t> SampleWithoutReplacement(uint32_t n, uint32_t k) {
+    GAMMA_CHECK_LE(k, n);
+    std::vector<uint32_t> pool(n);
+    for (uint32_t i = 0; i < n; ++i) pool[i] = i;
+    for (uint32_t i = 0; i < k; ++i) {
+      const uint32_t j = i + static_cast<uint32_t>(Uniform(n - i));
+      std::swap(pool[i], pool[j]);
+    }
+    pool.resize(k);
+    return pool;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace gammadb
+
+#endif  // GAMMA_COMMON_RANDOM_H_

@@ -1,0 +1,18 @@
+// Small string helpers (libstdc++ 12 lacks <format>, so printf-style
+// formatting is wrapped here once).
+#ifndef GAMMA_COMMON_STRINGS_H_
+#define GAMMA_COMMON_STRINGS_H_
+
+#include <string>
+
+namespace gammadb {
+
+/// snprintf into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "1234567" -> "1,234,567" (for human-readable benchmark tables).
+std::string WithThousandsSeparators(int64_t value);
+
+}  // namespace gammadb
+
+#endif  // GAMMA_COMMON_STRINGS_H_

@@ -1,0 +1,58 @@
+// Parallel aggregation: the third operator class Gamma's diskless
+// processors execute ("The remaining diskless processors execute join,
+// projection, and aggregate operations", paper Section 2.1).
+//
+// Two-phase split-based execution: every disk node folds its fragment
+// into local partial aggregates, then routes the partials by a hash of
+// the grouping attribute to the aggregation processes (which may be
+// diskless), which merge them and store the result relation.
+#ifndef GAMMA_GAMMA_AGGREGATE_H_
+#define GAMMA_GAMMA_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "gamma/catalog.h"
+#include "gamma/predicate.h"
+#include "sim/machine.h"
+
+namespace gammadb::db {
+
+enum class AggFunction { kCount, kSum, kMin, kMax };
+
+const char* AggFunctionName(AggFunction f);
+
+struct AggregateSpec {
+  std::string input_relation;
+  std::string output_relation;
+  /// Grouping attribute (int32), or -1 for a scalar aggregate.
+  int group_by_field = -1;
+  /// Aggregated attribute (int32; ignored for kCount).
+  int value_field = 0;
+  AggFunction function = AggFunction::kCount;
+  /// Optional pre-aggregation selection.
+  PredicateList predicate;
+  /// Processes executing the merge phase. Empty = the disk nodes.
+  std::vector<int> agg_nodes;
+  uint64_t hash_seed = kDefaultHashSeed;
+};
+
+struct AggregateOutput {
+  std::string output_relation;  // schema: [group?, value] int32 fields
+  size_t groups = 0;
+  sim::RunMetrics metrics;
+};
+
+/// Runs the aggregate; the result is stored as a new relation with
+/// fields ("group_key", "value") — or just ("value",) for a scalar
+/// aggregate. Accumulation is 64-bit internally; a result outside the
+/// int32 range fails with OutOfRange.
+Result<AggregateOutput> ExecuteAggregate(sim::Machine& machine,
+                                         Catalog& catalog,
+                                         const AggregateSpec& spec);
+
+}  // namespace gammadb::db
+
+#endif  // GAMMA_GAMMA_AGGREGATE_H_

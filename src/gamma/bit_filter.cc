@@ -1,0 +1,46 @@
+#include "gamma/bit_filter.h"
+
+namespace gammadb::db {
+
+BitFilterSet::BitFilterSet(int num_sites, uint32_t packet_bytes,
+                           uint32_t overhead_bits)
+    : packet_bytes_(packet_bytes) {
+  GAMMA_CHECK_GE(num_sites, 1);
+  const uint32_t total_bits = packet_bytes * 8;
+  GAMMA_CHECK_GT(total_bits, overhead_bits);
+  bits_per_site_ =
+      (total_bits - overhead_bits) / static_cast<uint32_t>(num_sites);
+  GAMMA_CHECK_GE(bits_per_site_, 8u) << "filter packet too small for "
+                                     << num_sites << " sites";
+  slices_.assign(static_cast<size_t>(num_sites),
+                 std::vector<uint8_t>((bits_per_site_ + 7) / 8, 0));
+}
+
+void BitFilterSet::Set(int site, uint64_t hash) {
+  const uint32_t bit = BitIndex(hash, bits_per_site_);
+  slices_[static_cast<size_t>(site)][bit >> 3] |=
+      static_cast<uint8_t>(1u << (bit & 7));
+}
+
+bool BitFilterSet::MayContain(int site, uint64_t hash) const {
+  const uint32_t bit = BitIndex(hash, bits_per_site_);
+  return (slices_[static_cast<size_t>(site)][bit >> 3] &
+          (1u << (bit & 7))) != 0;
+}
+
+double BitFilterSet::FillFraction(int site) const {
+  const auto& slice = slices_[static_cast<size_t>(site)];
+  uint32_t set_bits = 0;
+  for (uint32_t bit = 0; bit < bits_per_site_; ++bit) {
+    if ((slice[bit >> 3] & (1u << (bit & 7))) != 0) ++set_bits;
+  }
+  return static_cast<double>(set_bits) / static_cast<double>(bits_per_site_);
+}
+
+void BitFilterSet::ClearAll() {
+  for (auto& slice : slices_) {
+    std::fill(slice.begin(), slice.end(), static_cast<uint8_t>(0));
+  }
+}
+
+}  // namespace gammadb::db

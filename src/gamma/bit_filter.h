@@ -1,0 +1,63 @@
+// Bit-vector filters (Babb filters), paper Section 4.2.
+//
+// One join (or one bucket-join, or one overflow sub-join) uses a single
+// 2 KB filter packet shared across all join sites: after protocol
+// overhead, each of J sites owns a slice of (16384 - 600) / J bits
+// (1,973 bits per site for 8 sites — the figure the paper quotes).
+// Join sites set bits for the inner tuples resident in their hash
+// tables; the assembled packet is broadcast to the producing sites,
+// which test outer tuples against the slice of the site the tuple would
+// be routed to and drop non-matches before they are transmitted, stored
+// or probed.
+//
+// The bit position is a deterministic function of the join-attribute
+// hash, so duplicate attribute values collide in the filter — the
+// effect behind the stronger filtering on skewed (NU) data in Table 4.
+#ifndef GAMMA_GAMMA_BIT_FILTER_H_
+#define GAMMA_GAMMA_BIT_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace gammadb::db {
+
+class BitFilterSet {
+ public:
+  /// `num_sites` join sites share one packet of `packet_bytes`;
+  /// `overhead_bits` models packet/protocol framing.
+  explicit BitFilterSet(int num_sites, uint32_t packet_bytes = 2048,
+                        uint32_t overhead_bits = 600);
+
+  uint32_t bits_per_site() const { return bits_per_site_; }
+  int num_sites() const { return static_cast<int>(slices_.size()); }
+  uint32_t packet_bytes() const { return packet_bytes_; }
+
+  /// Sets the bit for `hash` in `site`'s slice.
+  void Set(int site, uint64_t hash);
+
+  /// Tests the bit for `hash` in `site`'s slice.
+  bool MayContain(int site, uint64_t hash) const;
+
+  /// Fraction of bits set in `site`'s slice (filter effectiveness
+  /// decays as this approaches 1 — the Grace Figure 12 effect).
+  double FillFraction(int site) const;
+
+  void ClearAll();
+
+ private:
+  static uint32_t BitIndex(uint64_t hash, uint32_t bits) {
+    // Re-mix so the filter position is independent of the routing mod.
+    return static_cast<uint32_t>(Mix64(hash ^ 0xB17F117E2B17F117ULL) % bits);
+  }
+
+  uint32_t packet_bytes_;
+  uint32_t bits_per_site_;
+  std::vector<std::vector<uint8_t>> slices_;
+};
+
+}  // namespace gammadb::db
+
+#endif  // GAMMA_GAMMA_BIT_FILTER_H_

@@ -1,0 +1,38 @@
+#include "gamma/bucket_analyzer.h"
+
+#include "common/logging.h"
+
+namespace gammadb::db {
+
+int AnalyzeBucketCount(BucketAlgorithm algorithm, int num_buckets,
+                       int num_disks, int join_nodes) {
+  GAMMA_CHECK_GE(num_buckets, 1);
+  GAMMA_CHECK_GE(num_disks, 1);
+  GAMMA_CHECK_GE(join_nodes, 1);
+  for (;;) {
+    // Compute the total number of partitioning split table entries.
+    long total_split_entries;
+    if (algorithm == BucketAlgorithm::kGrace) {
+      total_split_entries = static_cast<long>(num_buckets) * num_disks;
+    } else {  // Hybrid join
+      total_split_entries =
+          join_nodes + static_cast<long>(num_buckets - 1) * num_disks;
+    }
+
+    // No problem will occur with one bucket and no more disks than
+    // joining nodes.
+    if (num_buckets == 1 && num_disks <= join_nodes) return num_buckets;
+
+    // Loop through the entries applying the mod function with the number
+    // of joining nodes until a cycle is detected.
+    long i = 1;
+    for (; i <= total_split_entries; ++i) {
+      if ((total_split_entries * i) % join_nodes == 0) break;
+    }
+
+    if (i * num_disks >= join_nodes) return num_buckets;
+    ++num_buckets;
+  }
+}
+
+}  // namespace gammadb::db

@@ -1,0 +1,26 @@
+// Optimizer Bucket Analyzer — a faithful port of the algorithm printed
+// in Appendix A of the paper.
+//
+// The mod-based interaction between the partitioning and joining split
+// tables can starve some join processes of tuples entirely (Appendix A,
+// Table 4: with 2 disk nodes, 4 join processes and 3 Hybrid buckets,
+// every stored-bucket tuple re-maps to join nodes 1 and 2 only). The
+// analyzer increases the bucket count until the cyclic structure lets
+// every join node theoretically receive tuples.
+#ifndef GAMMA_GAMMA_BUCKET_ANALYZER_H_
+#define GAMMA_GAMMA_BUCKET_ANALYZER_H_
+
+namespace gammadb::db {
+
+enum class BucketAlgorithm { kGrace, kHybrid };
+
+/// Returns the smallest bucket count >= `num_buckets` for which the
+/// partitioning-split-table cycle reaches all `join_nodes` join
+/// processes. Ports the paper's pseudocode verbatim (including the
+/// single-bucket early-out).
+int AnalyzeBucketCount(BucketAlgorithm algorithm, int num_buckets,
+                       int num_disks, int join_nodes);
+
+}  // namespace gammadb::db
+
+#endif  // GAMMA_GAMMA_BUCKET_ANALYZER_H_

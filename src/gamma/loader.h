@@ -1,0 +1,51 @@
+// Bulk loader: declusters a batch of tuples across a relation's disk
+// sites using one of Gamma's four tuple-distribution policies (paper
+// Section 2.2).
+//
+// HPJA experiments depend on the exact arithmetic here: hashed
+// declustering applies the same randomizing function used by join split
+// tables, with the site chosen as hash mod numDiskNodes, so that at
+// join time the split-table mod structure short-circuits local tuples.
+#ifndef GAMMA_GAMMA_LOADER_H_
+#define GAMMA_GAMMA_LOADER_H_
+
+#include <vector>
+
+#include "common/hash.h"
+#include "common/status.h"
+#include "gamma/catalog.h"
+#include "sim/machine.h"
+#include "storage/tuple.h"
+
+namespace gammadb::db {
+
+struct LoadOptions {
+  PartitionStrategy strategy = PartitionStrategy::kHashed;
+  /// Partitioning ("key") attribute; must be an int32 field for hashed /
+  /// range strategies. Ignored for round-robin.
+  int partition_field = 0;
+  /// Ascending upper bounds for kRangeUser: site i receives values
+  /// <= boundaries[i]; the last site receives the rest. Must have
+  /// num_sites - 1 entries.
+  std::vector<int32_t> range_boundaries;
+  /// Seed of the randomizing function for kHashed declustering.
+  uint64_t hash_seed = kDefaultHashSeed;
+};
+
+/// Loads `tuples` into `relation`. The relation must be empty. Range-
+/// uniform declustering derives boundaries from the data itself so each
+/// site receives an equal share (the policy the paper uses for the skew
+/// experiments so "each processor did the same amount of work during
+/// the initial scan").
+Status LoadRelation(StoredRelation* relation,
+                    const std::vector<storage::Tuple>& tuples,
+                    const LoadOptions& options);
+
+/// The boundaries range-uniform declustering would use for `values`
+/// split over `num_sites` sites (exposed for tests).
+std::vector<int32_t> UniformRangeBoundaries(std::vector<int32_t> values,
+                                            size_t num_sites);
+
+}  // namespace gammadb::db
+
+#endif  // GAMMA_GAMMA_LOADER_H_

@@ -1,0 +1,65 @@
+// Parallel relational operators besides join: selection with
+// projection, executed on the processors with disks ("Selection and
+// update operations execute only on the processors with attached disk
+// drives", paper Section 2.1), and a parallel store that declusters the
+// output like any other Gamma relation.
+//
+// These are the operators the paper's joinAselB / joinCselAselB queries
+// compose with the join algorithms.
+#ifndef GAMMA_GAMMA_OPERATORS_H_
+#define GAMMA_GAMMA_OPERATORS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gamma/catalog.h"
+#include "gamma/loader.h"
+#include "gamma/predicate.h"
+#include "sim/machine.h"
+
+namespace gammadb::db {
+
+struct SelectSpec {
+  std::string input_relation;
+  std::string output_relation;
+  /// Conjunctive selection predicate (empty = all tuples).
+  PredicateList predicate;
+  /// Field indices to keep, in output order (empty = all fields).
+  std::vector<int> projection;
+  /// Declustering of the output relation.
+  PartitionStrategy output_strategy = PartitionStrategy::kRoundRobin;
+  /// Partitioning attribute for hashed/range output declustering,
+  /// as an index into the OUTPUT schema.
+  int output_partition_field = 0;
+  uint64_t hash_seed = kDefaultHashSeed;
+  /// Use the relation's B+ index (if one covers a predicate field) for
+  /// the scan: key-range lookup + per-rid fetches (random I/O) instead
+  /// of a sequential scan. Cheaper for selective predicates, far more
+  /// expensive for broad ones — the classic unclustered-index tradeoff.
+  bool use_index = true;
+};
+
+struct SelectOutput {
+  std::string output_relation;
+  size_t input_tuples = 0;   // tuples examined (fetched or scanned)
+  size_t output_tuples = 0;
+  bool used_index = false;
+  sim::RunMetrics metrics;
+};
+
+/// Runs a parallel selection: every disk node scans its fragment,
+/// applies the predicate and projection, and routes surviving tuples
+/// through a split table to the store operators. Resets machine metrics
+/// at the start; the returned metrics cover exactly this operation.
+Result<SelectOutput> ExecuteSelect(sim::Machine& machine, Catalog& catalog,
+                                   const SelectSpec& spec);
+
+/// The output schema a SelectSpec produces for a given input schema.
+Result<storage::Schema> ProjectedSchema(const storage::Schema& input,
+                                        const std::vector<int>& projection);
+
+}  // namespace gammadb::db
+
+#endif  // GAMMA_GAMMA_OPERATORS_H_

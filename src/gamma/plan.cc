@@ -1,0 +1,232 @@
+#include "gamma/plan.h"
+
+#include "common/logging.h"
+#include "gamma/operators.h"
+#include "gamma/planner.h"
+#include "join/driver.h"
+
+namespace gammadb::db {
+
+struct Plan::Node {
+  enum class Kind { kScan, kJoin, kAggregate };
+  Kind kind;
+
+  // kScan
+  std::string relation;
+  PredicateList predicate;
+  std::vector<int> projection;
+
+  // kJoin
+  std::shared_ptr<const Node> inner;
+  std::shared_ptr<const Node> outer;
+  int inner_field = 0;
+  int outer_field = 0;
+  JoinOptions join_options;
+
+  // kAggregate
+  std::shared_ptr<const Node> input;
+  int group_by_field = -1;
+  AggFunction function = AggFunction::kCount;
+  int value_field = 0;
+};
+
+Plan Plan::Scan(std::string relation, PredicateList predicate,
+                std::vector<int> projection) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kScan;
+  node->relation = std::move(relation);
+  node->predicate = std::move(predicate);
+  node->projection = std::move(projection);
+  return Plan(std::move(node));
+}
+
+Plan Plan::Join(Plan inner, Plan outer, int inner_field, int outer_field,
+                JoinOptions options) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kJoin;
+  node->inner = std::move(inner.root_);
+  node->outer = std::move(outer.root_);
+  node->inner_field = inner_field;
+  node->outer_field = outer_field;
+  node->join_options = std::move(options);
+  return Plan(std::move(node));
+}
+
+Plan Plan::Aggregate(Plan input, int group_by_field, AggFunction function,
+                     int value_field) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kAggregate;
+  node->input = std::move(input.root_);
+  node->group_by_field = group_by_field;
+  node->function = function;
+  node->value_field = value_field;
+  return Plan(std::move(node));
+}
+
+struct PlanExecutor {
+  sim::Machine& machine;
+  Catalog& catalog;
+  std::vector<PlanStep>* steps;
+  std::vector<std::string> temporaries;
+  int next_temp = 0;
+
+  std::string TempName() {
+    return "__plan_tmp_" + std::to_string(next_temp++);
+  }
+
+  void RecordStep(std::string description, double seconds,
+                  const sim::Counters& counters) {
+    steps->push_back(PlanStep{std::move(description), seconds, counters});
+  }
+
+  void DropIfTemporary(const std::string& name) {
+    for (auto it = temporaries.begin(); it != temporaries.end(); ++it) {
+      if (*it == name) {
+        GAMMA_CHECK_OK(catalog.Drop(name));
+        temporaries.erase(it);
+        return;
+      }
+    }
+  }
+
+  void CleanupAll() {
+    for (const std::string& name : temporaries) {
+      GAMMA_CHECK_OK(catalog.Drop(name));
+    }
+    temporaries.clear();
+  }
+
+  /// Executes a node; returns the name of the relation holding its
+  /// output. `sink_name` non-empty = store the output under that name.
+  Result<std::string> Execute(const Plan::Node& node,
+                              const std::string& sink_name) {
+    switch (node.kind) {
+      case Plan::Node::Kind::kScan: {
+        if (node.predicate.empty() && node.projection.empty() &&
+            sink_name.empty()) {
+          // Pass-through: consumers scan the base relation directly
+          // (the select executes inside their scan operators).
+          GAMMA_RETURN_NOT_OK(catalog.Get(node.relation).status());
+          return node.relation;
+        }
+        SelectSpec spec;
+        spec.input_relation = node.relation;
+        spec.output_relation = sink_name.empty() ? TempName() : sink_name;
+        spec.predicate = node.predicate;
+        spec.projection = node.projection;
+        GAMMA_ASSIGN_OR_RETURN(SelectOutput out,
+                               ExecuteSelect(machine, catalog, spec));
+        if (sink_name.empty()) temporaries.push_back(spec.output_relation);
+        RecordStep("select " + node.relation,
+                   out.metrics.response_seconds, out.metrics.counters);
+        return spec.output_relation;
+      }
+      case Plan::Node::Kind::kJoin: {
+        join::JoinSpec spec;
+        // Predicate pushdown: a selection directly under a join runs
+        // inline in the join's scan operators (as the paper's joinAselB
+        // does), instead of materializing a temporary.
+        const auto resolve_input =
+            [&](const Plan::Node& child,
+                PredicateList* pushed) -> Result<std::string> {
+          if (child.kind == Plan::Node::Kind::kScan &&
+              child.projection.empty()) {
+            GAMMA_RETURN_NOT_OK(catalog.Get(child.relation).status());
+            *pushed = child.predicate;
+            return child.relation;
+          }
+          return Execute(child, "");
+        };
+        GAMMA_ASSIGN_OR_RETURN(std::string inner_name,
+                               resolve_input(*node.inner,
+                                             &spec.inner_predicate));
+        GAMMA_ASSIGN_OR_RETURN(std::string outer_name,
+                               resolve_input(*node.outer,
+                                             &spec.outer_predicate));
+        spec.inner_relation = inner_name;
+        spec.outer_relation = outer_name;
+        spec.inner_field = node.inner_field;
+        spec.outer_field = node.outer_field;
+        spec.memory_ratio = node.join_options.memory_ratio;
+        spec.use_bit_filters = node.join_options.bit_filters;
+        spec.join_nodes = node.join_options.join_nodes;
+        GAMMA_ASSIGN_OR_RETURN(StoredRelation * inner_rel,
+                               catalog.Get(inner_name));
+        if (!spec.inner_predicate.empty()) {
+          // Exact selectivity (standing in for catalog statistics):
+          // base memory and bucket count on the post-selection size.
+          uint64_t selected = 0;
+          for (const storage::Tuple& t : inner_rel->PeekAllTuples()) {
+            if (EvalAll(spec.inner_predicate, inner_rel->schema(), t)) {
+              ++selected;
+            }
+          }
+          spec.estimated_inner_tuples = std::max<uint64_t>(1, selected);
+        }
+        if (node.join_options.algorithm.has_value()) {
+          spec.algorithm = *node.join_options.algorithm;
+        } else {
+          // Section 5 rule, driven by real column statistics.
+          GAMMA_ASSIGN_OR_RETURN(ColumnStats stats,
+                                 AnalyzeColumn(*inner_rel, node.inner_field));
+          spec.algorithm =
+              ChooseJoinAlgorithm(stats, node.join_options.memory_ratio);
+        }
+        spec.result_name = sink_name.empty() ? TempName() : sink_name;
+        GAMMA_ASSIGN_OR_RETURN(join::JoinOutput out,
+                               join::ExecuteJoin(machine, catalog, spec));
+        if (sink_name.empty()) temporaries.push_back(spec.result_name);
+        RecordStep("join " + inner_name + " x " + outer_name + " (" +
+                       join::AlgorithmName(spec.algorithm) + ")",
+                   out.metrics.response_seconds, out.metrics.counters);
+        DropIfTemporary(inner_name);
+        DropIfTemporary(outer_name);
+        return spec.result_name;
+      }
+      case Plan::Node::Kind::kAggregate: {
+        GAMMA_ASSIGN_OR_RETURN(std::string input_name,
+                               Execute(*node.input, ""));
+        AggregateSpec spec;
+        spec.input_relation = input_name;
+        spec.output_relation = sink_name.empty() ? TempName() : sink_name;
+        spec.group_by_field = node.group_by_field;
+        spec.function = node.function;
+        spec.value_field = node.value_field;
+        GAMMA_ASSIGN_OR_RETURN(AggregateOutput out,
+                               ExecuteAggregate(machine, catalog, spec));
+        if (sink_name.empty()) temporaries.push_back(spec.output_relation);
+        RecordStep(std::string("aggregate ") + AggFunctionName(node.function) +
+                       " over " + input_name,
+                   out.metrics.response_seconds, out.metrics.counters);
+        DropIfTemporary(input_name);
+        return spec.output_relation;
+      }
+    }
+    return Status::Internal("unhandled plan node");
+  }
+};
+
+Result<PlanResult> ExecutePlan(sim::Machine& machine, Catalog& catalog,
+                               const Plan& plan, std::string result_name) {
+  if (result_name.empty()) {
+    return Status::InvalidArgument("result_name must not be empty");
+  }
+  PlanResult result;
+  PlanExecutor executor{machine, catalog, &result.steps, {}, 0};
+  auto final_name = executor.Execute(plan.Root(), result_name);
+  if (!final_name.ok()) {
+    executor.CleanupAll();
+    return final_name.status();
+  }
+  GAMMA_CHECK(executor.temporaries.empty())
+      << "plan executor leaked a temporary relation";
+  result.result_relation = *final_name;
+  GAMMA_ASSIGN_OR_RETURN(StoredRelation * rel, catalog.Get(*final_name));
+  result.result_tuples = rel->total_tuples();
+  for (const PlanStep& step : result.steps) {
+    result.total_seconds += step.seconds;
+  }
+  return result;
+}
+
+}  // namespace gammadb::db

@@ -1,0 +1,99 @@
+// Relational query plans: the "tree of operators" Gamma compiles
+// queries into (paper Section 2.2), built from the operators this
+// library implements — parallel scan/select/project, the four parallel
+// join algorithms, and parallel aggregation — with the Section 5
+// optimizer rule choosing the join algorithm when the caller does not.
+//
+//   Plan plan = Plan::Aggregate(
+//       Plan::Join(Plan::Scan("Bprime"),
+//                  Plan::Scan("A", {{ten, Op::kEq, 3}}),
+//                  u1, u1, {}),
+//       /*group_by=*/four, AggFunction::kCount, /*value=*/0);
+//   auto result = ExecutePlan(machine, catalog, plan, "answer");
+//
+// Intermediate results materialize as temporary relations (Gamma
+// pipelines within operators via split tables; between operators of the
+// paper's queries results are stored relations), and are dropped as
+// soon as their consumer has run.
+#ifndef GAMMA_GAMMA_PLAN_H_
+#define GAMMA_GAMMA_PLAN_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gamma/aggregate.h"
+#include "gamma/catalog.h"
+#include "gamma/predicate.h"
+#include "join/spec.h"
+#include "sim/machine.h"
+
+namespace gammadb::db {
+
+class Plan {
+ public:
+  struct JoinOptions {
+    /// Unset = the optimizer chooses (ChooseJoinAlgorithm).
+    std::optional<join::Algorithm> algorithm;
+    double memory_ratio = 1.0;
+    bool bit_filters = false;
+    /// Empty = join at the disk nodes.
+    std::vector<int> join_nodes;
+  };
+
+  /// Leaf: scan a stored relation, optionally selecting and projecting.
+  static Plan Scan(std::string relation, PredicateList predicate = {},
+                   std::vector<int> projection = {});
+
+  /// Equi-join of two sub-plans; `inner` is the building relation.
+  static Plan Join(Plan inner, Plan outer, int inner_field, int outer_field,
+                   JoinOptions options);
+  static Plan Join(Plan inner, Plan outer, int inner_field, int outer_field) {
+    return Join(std::move(inner), std::move(outer), inner_field, outer_field,
+                JoinOptions());
+  }
+
+  /// Aggregate a sub-plan. group_by_field == -1 for a scalar aggregate.
+  static Plan Aggregate(Plan input, int group_by_field, AggFunction function,
+                        int value_field);
+
+ private:
+  friend struct PlanExecutor;
+  struct Node;
+  explicit Plan(std::shared_ptr<const Node> root) : root_(std::move(root)) {}
+
+ public:
+  /// Implementation detail (plan executor access).
+  const Node& Root() const { return *root_; }
+
+ private:
+  std::shared_ptr<const Node> root_;
+};
+
+/// One executed operator of the plan.
+struct PlanStep {
+  std::string description;  // e.g. "join Bprime x A (hybrid-hash)"
+  double seconds = 0;
+  sim::Counters counters;
+};
+
+struct PlanResult {
+  /// The stored result relation (caller drops it when done).
+  std::string result_relation;
+  size_t result_tuples = 0;
+  /// Sum of the operator response times (operators run serially).
+  double total_seconds = 0;
+  std::vector<PlanStep> steps;
+};
+
+/// Executes the plan bottom-up, storing the final result under
+/// `result_name`. Temporary intermediates are dropped automatically;
+/// on failure, everything this execution created is cleaned up.
+Result<PlanResult> ExecutePlan(sim::Machine& machine, Catalog& catalog,
+                               const Plan& plan, std::string result_name);
+
+}  // namespace gammadb::db
+
+#endif  // GAMMA_GAMMA_PLAN_H_

@@ -1,0 +1,52 @@
+#include "gamma/planner.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace gammadb::db {
+
+Result<ColumnStats> AnalyzeColumn(const StoredRelation& relation, int field) {
+  const storage::Schema& schema = relation.schema();
+  if (field < 0 || static_cast<size_t>(field) >= schema.num_fields()) {
+    return Status::InvalidArgument("column out of range");
+  }
+  if (schema.field(static_cast<size_t>(field)).type !=
+      storage::FieldType::kInt32) {
+    return Status::InvalidArgument("column must be int32");
+  }
+  ColumnStats stats;
+  stats.min_value = INT32_MAX;
+  stats.max_value = INT32_MIN;
+  std::unordered_map<int32_t, size_t> frequencies;
+  for (const storage::Tuple& t : relation.PeekAllTuples()) {
+    const int32_t v = t.GetInt32(schema, static_cast<size_t>(field));
+    ++stats.cardinality;
+    stats.min_value = std::min(stats.min_value, v);
+    stats.max_value = std::max(stats.max_value, v);
+    ++frequencies[v];
+  }
+  stats.distinct = frequencies.size();
+  for (const auto& [value, count] : frequencies) {
+    stats.max_duplicates = std::max(stats.max_duplicates, count);
+  }
+  if (stats.cardinality == 0) {
+    stats.min_value = 0;
+    stats.max_value = 0;
+  }
+  return stats;
+}
+
+join::Algorithm ChooseJoinAlgorithm(const ColumnStats& inner_join_column,
+                                    double memory_ratio) {
+  const bool memory_limited = memory_ratio < 1.0 / 3.0;
+  if (inner_join_column.HighlySkewed() && memory_limited) {
+    // Hash joins would overflow repeatedly on the duplicate chains; be
+    // conservative (paper Section 5).
+    return join::Algorithm::kSortMerge;
+  }
+  return join::Algorithm::kHybridHash;
+}
+
+}  // namespace gammadb::db

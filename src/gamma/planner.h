@@ -1,0 +1,55 @@
+// The slice of Gamma's query optimizer the paper's conclusions define:
+// column statistics and the join-algorithm choice rule of Section 5 —
+// "for uniformly distributed join attribute values the parallel Hybrid
+// algorithm appears to be the algorithm of choice ... In the case where
+// the join attribute values of the inner relation are highly skewed and
+// memory is limited, the optimizer should choose a non-hash-based
+// algorithm such as sort-merge."
+#ifndef GAMMA_GAMMA_PLANNER_H_
+#define GAMMA_GAMMA_PLANNER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "gamma/catalog.h"
+#include "join/spec.h"
+
+namespace gammadb::db {
+
+/// Catalog statistics for one int32 column (computed at plan time; like
+/// real catalog statistics this costs no simulated time).
+struct ColumnStats {
+  size_t cardinality = 0;      // rows
+  size_t distinct = 0;         // distinct values
+  size_t max_duplicates = 0;   // frequency of the most common value
+  int32_t min_value = 0;
+  int32_t max_value = 0;
+
+  double AverageDuplicates() const {
+    return distinct == 0 ? 0.0
+                         : static_cast<double>(cardinality) /
+                               static_cast<double>(distinct);
+  }
+
+  /// "Highly skewed": the heaviest value is well above the average
+  /// duplicate frequency AND heavy in absolute terms. Calibrated on the
+  /// paper's NU inner column (3.3 average, 16 max — flagged) vs uniform
+  /// low-cardinality columns like `ten` (max == average — not flagged).
+  bool HighlySkewed() const {
+    return max_duplicates >= 8 &&
+           static_cast<double>(max_duplicates) > 2.5 * AverageDuplicates();
+  }
+};
+
+/// Exact single-pass analysis of an int32 column.
+Result<ColumnStats> AnalyzeColumn(const StoredRelation& relation, int field);
+
+/// The Section 5 rule. `memory_ratio` is aggregate join memory over the
+/// inner relation's size; "memory is limited" = less than ~1/3 (below
+/// the Figure 5 regime where Hybrid's advantage has mostly eroded).
+join::Algorithm ChooseJoinAlgorithm(const ColumnStats& inner_join_column,
+                                    double memory_ratio);
+
+}  // namespace gammadb::db
+
+#endif  // GAMMA_GAMMA_PLANNER_H_

@@ -1,0 +1,55 @@
+// Selection predicates for scan operators (the paper's joinAselB /
+// joinCselAselB queries apply selections before joining). A predicate
+// list is a conjunction; evaluation cost is charged by the scan
+// operator, not here.
+#ifndef GAMMA_GAMMA_PREDICATE_H_
+#define GAMMA_GAMMA_PREDICATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace gammadb::db {
+
+struct Predicate {
+  enum class Op { kLt, kLe, kEq, kNe, kGe, kGt };
+
+  int field;  // int32 field index
+  Op op;
+  int32_t value;
+
+  bool Eval(const storage::Schema& schema, const storage::Tuple& t) const {
+    const int32_t v = t.GetInt32(schema, static_cast<size_t>(field));
+    switch (op) {
+      case Op::kLt:
+        return v < value;
+      case Op::kLe:
+        return v <= value;
+      case Op::kEq:
+        return v == value;
+      case Op::kNe:
+        return v != value;
+      case Op::kGe:
+        return v >= value;
+      case Op::kGt:
+        return v > value;
+    }
+    return false;
+  }
+};
+
+using PredicateList = std::vector<Predicate>;
+
+inline bool EvalAll(const PredicateList& preds, const storage::Schema& schema,
+                    const storage::Tuple& t) {
+  for (const Predicate& p : preds) {
+    if (!p.Eval(schema, t)) return false;
+  }
+  return true;
+}
+
+}  // namespace gammadb::db
+
+#endif  // GAMMA_GAMMA_PREDICATE_H_

@@ -1,0 +1,30 @@
+#include "gamma/scheduler.h"
+
+namespace gammadb::db {
+
+void ChargeOperatorPhase(sim::Machine& machine, int num_producers,
+                         int num_consumers, uint64_t split_table_bytes) {
+  const sim::CostModel& cost = machine.cost();
+  const int st_packets = cost.SplitTablePackets(split_table_bytes);
+  // Two control messages (start, done) per operator process, plus one
+  // extra scheduler packet per additional split-table piece per producer.
+  const int64_t messages =
+      2LL * (num_producers + num_consumers) +
+      static_cast<int64_t>(num_producers) * std::max(0, st_packets - 1);
+  machine.ChargeScheduler(
+      static_cast<double>(messages) * cost.sched_control_message_seconds,
+      messages);
+}
+
+void ChargeFilterDistribution(sim::Machine& machine, int num_join_sites,
+                              int num_producers) {
+  const sim::CostModel& cost = machine.cost();
+  // Gather one slice packet from each join site, broadcast the assembled
+  // packet to each producing site.
+  const int64_t messages = num_join_sites + num_producers;
+  machine.ChargeScheduler(
+      static_cast<double>(messages) * cost.sched_control_message_seconds,
+      messages);
+}
+
+}  // namespace gammadb::db

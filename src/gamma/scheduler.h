@@ -1,0 +1,35 @@
+// Scheduler-side costs of launching operator phases.
+//
+// Gamma's scheduler process starts the operator processes of each phase
+// with control messages and ships them their split tables; operators
+// answer with a completion message (paper Section 2.2: "With the
+// exception of these three control messages, execution of an operator
+// is completely self-scheduling"). These exchanges serialize at the
+// scheduler, which is what makes extra Grace/Hybrid buckets cost "a
+// small scheduling overhead" and what produces the extra rise at the
+// scarce-memory end of the curves when a partitioning split table
+// exceeds one 2 KB packet and "must be sent in pieces" (Section 4.1).
+#ifndef GAMMA_GAMMA_SCHEDULER_H_
+#define GAMMA_GAMMA_SCHEDULER_H_
+
+#include <cstdint>
+
+#include "sim/machine.h"
+
+namespace gammadb::db {
+
+/// Charges the serialized scheduler work for one operator phase:
+/// start + done control messages for every producer and consumer
+/// process, plus extra packets when the producers' split table does not
+/// fit in one packet. Must be called inside an open machine phase.
+void ChargeOperatorPhase(sim::Machine& machine, int num_producers,
+                         int num_consumers, uint64_t split_table_bytes);
+
+/// Charges the collection of per-site bit-filter slices and the
+/// broadcast of the assembled filter packet to the producing sites.
+void ChargeFilterDistribution(sim::Machine& machine, int num_join_sites,
+                              int num_producers);
+
+}  // namespace gammadb::db
+
+#endif  // GAMMA_GAMMA_SCHEDULER_H_

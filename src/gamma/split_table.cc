@@ -1,0 +1,72 @@
+#include "gamma/split_table.h"
+
+#include <algorithm>
+
+namespace gammadb::db {
+
+SplitTable SplitTable::Loading(const std::vector<int>& disk_ids) {
+  GAMMA_CHECK(!disk_ids.empty());
+  std::vector<SplitEntry> entries;
+  entries.reserve(disk_ids.size());
+  for (int id : disk_ids) entries.push_back(SplitEntry{id, 0});
+  return SplitTable(std::move(entries));
+}
+
+SplitTable SplitTable::Joining(const std::vector<int>& join_ids) {
+  GAMMA_CHECK(!join_ids.empty());
+  std::vector<SplitEntry> entries;
+  entries.reserve(join_ids.size());
+  for (int id : join_ids) entries.push_back(SplitEntry{id, 0});
+  return SplitTable(std::move(entries));
+}
+
+SplitTable SplitTable::GracePartitioning(const std::vector<int>& disk_ids,
+                                         int num_buckets) {
+  GAMMA_CHECK(!disk_ids.empty());
+  GAMMA_CHECK_GE(num_buckets, 1);
+  const size_t d = disk_ids.size();
+  std::vector<SplitEntry> entries;
+  entries.reserve(d * static_cast<size_t>(num_buckets));
+  // Bucket-major: numDiskNodes entries for bucket 1, then bucket 2, ...
+  for (int b = 1; b <= num_buckets; ++b) {
+    for (size_t i = 0; i < d; ++i) {
+      entries.push_back(SplitEntry{disk_ids[i], b});
+    }
+  }
+  return SplitTable(std::move(entries));
+}
+
+SplitTable SplitTable::HybridPartitioning(const std::vector<int>& join_ids,
+                                          const std::vector<int>& disk_ids,
+                                          int num_buckets) {
+  GAMMA_CHECK(!join_ids.empty());
+  GAMMA_CHECK(!disk_ids.empty());
+  GAMMA_CHECK_GE(num_buckets, 1);
+  std::vector<SplitEntry> entries;
+  entries.reserve(join_ids.size() +
+                  disk_ids.size() * static_cast<size_t>(num_buckets - 1));
+  // joinnodes entries map the first bucket to the joining processes...
+  for (int id : join_ids) entries.push_back(SplitEntry{id, 0});
+  // ...then numDiskNodes * (N-1) entries exactly as for Grace joins.
+  for (int b = 1; b < num_buckets; ++b) {
+    for (size_t i = 0; i < disk_ids.size(); ++i) {
+      entries.push_back(SplitEntry{disk_ids[i], b});
+    }
+  }
+  return SplitTable(std::move(entries));
+}
+
+int SplitTable::MaxBucket() const {
+  int max_bucket = 0;
+  for (const SplitEntry& e : entries_) max_bucket = std::max(max_bucket, e.bucket);
+  return max_bucket;
+}
+
+bool SplitTable::HasImmediateBucket() const {
+  for (const SplitEntry& e : entries_) {
+    if (e.bucket == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace gammadb::db

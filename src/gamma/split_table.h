@@ -1,0 +1,95 @@
+// Split tables: Gamma's tuple-routing mechanism (paper Section 2.2 and
+// Appendix A).
+//
+// A split table is an array of entries, indexed by (hash mod table
+// size). Four layouts are used:
+//
+//  * Loading: one entry per disk node — declustering at load time.
+//  * Joining: one entry per join process — routes tuples to joiners.
+//  * Grace partitioning: numDiskNodes * N entries, laid out
+//    bucket-major (N disk-node groups), so entry e maps to disk node
+//    diskIds[e mod D] and bucket e / D (Appendix A, Table 1).
+//  * Hybrid partitioning: J + D*(N-1) entries; the first J entries map
+//    bucket 0 straight to the join processes; the remainder is laid out
+//    like a Grace table for buckets 1..N-1 (Appendix A, Table 2).
+//
+// These layouts plus mod indexing are what make HPJA joins short-circuit
+// the network and what create the skewed bucket distributions the
+// bucket analyzer exists to fix; the unit tests reproduce the worked
+// examples from the paper's appendix against this code.
+#ifndef GAMMA_GAMMA_SPLIT_TABLE_H_
+#define GAMMA_GAMMA_SPLIT_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gammadb::db {
+
+/// Serialized size of one split-table entry (machine id, port number,
+/// bucket tag, flow-control state). Sized so that the paper's observed
+/// threshold holds: a 6-bucket table for 8 disk nodes (48 entries) fits
+/// in one 2 KB packet while a 7-bucket table (56 entries) does not.
+inline constexpr uint32_t kSplitEntryBytes = 40;
+
+struct SplitEntry {
+  int node;    // destination node id
+  int bucket;  // 0 = immediate join; >= 1 = stored bucket
+};
+
+class SplitTable {
+ public:
+  /// Declustering at load time: entry i -> disk node diskIds[i], bucket 0.
+  static SplitTable Loading(const std::vector<int>& disk_ids);
+
+  /// One entry per join process: entry i -> joinIds[i], bucket 0.
+  static SplitTable Joining(const std::vector<int>& join_ids);
+
+  /// Grace partitioning table for `num_buckets` buckets over the given
+  /// disk nodes. Buckets are numbered 1..N (all stored).
+  static SplitTable GracePartitioning(const std::vector<int>& disk_ids,
+                                      int num_buckets);
+
+  /// Hybrid partitioning table: bucket 0 (immediate) on the join nodes,
+  /// buckets 1..N-1 stored on the disk nodes. `num_buckets` >= 1; with
+  /// num_buckets == 1 this degenerates to a joining table.
+  static SplitTable HybridPartitioning(const std::vector<int>& join_ids,
+                                       const std::vector<int>& disk_ids,
+                                       int num_buckets);
+
+  size_t size() const { return entries_.size(); }
+
+  const SplitEntry& entry(size_t i) const { return entries_[i]; }
+
+  /// Routes a hash value: entries_[hash mod size].
+  const SplitEntry& Route(uint64_t hash) const {
+    return entries_[hash % entries_.size()];
+  }
+
+  /// Index a hash value would route through (for tests/analysis).
+  size_t IndexOf(uint64_t hash) const { return hash % entries_.size(); }
+
+  /// Bytes needed to ship this table to an operator process.
+  uint64_t SerializedBytes() const {
+    return static_cast<uint64_t>(entries_.size()) * kSplitEntryBytes;
+  }
+
+  /// Largest bucket number in the table (0 for loading/joining tables).
+  int MaxBucket() const;
+
+  /// True if any entry routes to the immediate join (bucket 0).
+  bool HasImmediateBucket() const;
+
+ private:
+  explicit SplitTable(std::vector<SplitEntry> entries)
+      : entries_(std::move(entries)) {
+    GAMMA_CHECK(!entries_.empty());
+  }
+
+  std::vector<SplitEntry> entries_;
+};
+
+}  // namespace gammadb::db
+
+#endif  // GAMMA_GAMMA_SPLIT_TABLE_H_

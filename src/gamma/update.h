@@ -1,0 +1,52 @@
+// Parallel update and delete operators. Like selection, "update
+// operations execute only on the processors with attached disk drives"
+// (paper Section 2.1): every disk node rewrites its own fragment in
+// place — tuples never move between sites (an update that changed the
+// partitioning attribute would need a delete + re-insert through the
+// loading split table, which callers can compose).
+#ifndef GAMMA_GAMMA_UPDATE_H_
+#define GAMMA_GAMMA_UPDATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gamma/catalog.h"
+#include "gamma/predicate.h"
+#include "sim/machine.h"
+
+namespace gammadb::db {
+
+/// One field assignment of an UPDATE ... SET clause (int32 fields).
+struct Assignment {
+  int field;
+  int32_t value;
+};
+
+struct UpdateSpec {
+  std::string relation;
+  PredicateList predicate;  // rows to touch (empty = all)
+  std::vector<Assignment> assignments;
+};
+
+struct DmlOutput {
+  size_t rows_touched = 0;
+  sim::RunMetrics metrics;
+};
+
+/// Applies the assignments to every matching tuple, in parallel at the
+/// disk nodes. Rejects assignments to the partitioning attribute of a
+/// hash- or range-declustered relation (the tuple would belong on a
+/// different site afterwards).
+Result<DmlOutput> ExecuteUpdate(sim::Machine& machine, Catalog& catalog,
+                                const UpdateSpec& spec);
+
+/// Deletes every matching tuple, in parallel at the disk nodes.
+Result<DmlOutput> ExecuteDelete(sim::Machine& machine, Catalog& catalog,
+                                const std::string& relation,
+                                const PredicateList& predicate);
+
+}  // namespace gammadb::db
+
+#endif  // GAMMA_GAMMA_UPDATE_H_

@@ -1,0 +1,277 @@
+#include "join/driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/logging.h"
+#include "gamma/bucket_analyzer.h"
+#include "gamma/split_table.h"
+#include "join/hash_engine.h"
+#include "join/sort_merge.h"
+
+namespace gammadb::join {
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kSortMerge:
+      return "sort-merge";
+    case Algorithm::kSimpleHash:
+      return "simple-hash";
+    case Algorithm::kGraceHash:
+      return "grace-hash";
+    case Algorithm::kHybridHash:
+      return "hybrid-hash";
+  }
+  return "?";
+}
+
+int OptimizerBucketCount(uint64_t inner_bytes, uint64_t memory_bytes) {
+  GAMMA_CHECK_GT(memory_bytes, 0u);
+  if (inner_bytes == 0) return 1;
+  // ceil(|R| / memory), with a 0.01% tolerance so that a memory budget
+  // computed as ratio * |R| in floating point (e.g. ratio = 1/3) does
+  // not round down a byte and spuriously add a bucket.
+  const double exact = static_cast<double>(inner_bytes) /
+                       static_cast<double>(memory_bytes);
+  return std::max(1, static_cast<int>(std::ceil(exact * (1.0 - 1e-4))));
+}
+
+namespace {
+
+Status ValidateField(const db::StoredRelation* rel, int field,
+                     const char* which) {
+  if (field < 0 || static_cast<size_t>(field) >= rel->schema().num_fields()) {
+    return Status::InvalidArgument(std::string(which) +
+                                   " join field out of range");
+  }
+  if (rel->schema().field(static_cast<size_t>(field)).type !=
+      storage::FieldType::kInt32) {
+    return Status::InvalidArgument(std::string(which) +
+                                   " join field must be int32");
+  }
+  return Status::OK();
+}
+
+Status RunSimple(sim::Machine& machine, HashJoinEngine& engine,
+                 const db::StoredRelation* inner,
+                 const db::StoredRelation* outer, const JoinSpec& spec) {
+  (void)machine;
+  return engine.RunSubJoin(
+      "simple", engine.RelationProducers(inner, &spec.inner_predicate),
+      engine.RelationProducers(outer, &spec.outer_predicate), spec.hash_seed);
+}
+
+Status RunGrace(sim::Machine& machine, HashJoinEngine& engine,
+                const db::StoredRelation* inner,
+                const db::StoredRelation* outer, const JoinSpec& spec,
+                int num_buckets) {
+  const std::vector<int> disks = machine.DiskNodeIds();
+  BucketFileSet r_buckets(&machine, disks, &inner->schema(), num_buckets,
+                          "grace.R");
+  BucketFileSet s_buckets(&machine, disks, &outer->schema(), num_buckets,
+                          "grace.S");
+  const db::SplitTable table =
+      db::SplitTable::GracePartitioning(disks, num_buckets);
+
+  // Bucket-forming: both relations are written back to disk before any
+  // joining starts (the defining property of the Grace algorithm).
+  GAMMA_RETURN_NOT_OK(engine.PartitionPhase(
+      "grace form R", table,
+      engine.RelationProducers(inner, &spec.inner_predicate), spec.hash_seed,
+      HashJoinEngine::Side::kInner, &r_buckets));
+  GAMMA_RETURN_NOT_OK(engine.PartitionPhase(
+      "grace form S", table,
+      engine.RelationProducers(outer, &spec.outer_predicate), spec.hash_seed,
+      HashJoinEngine::Side::kOuter, &s_buckets));
+
+  // Bucket-joining: each bucket is an independent sub-join.
+  for (int b = 1; b <= num_buckets; ++b) {
+    GAMMA_RETURN_NOT_OK(engine.RunSubJoin(
+        "grace bucket " + std::to_string(b),
+        engine.BucketProducers(&r_buckets, b),
+        engine.BucketProducers(&s_buckets, b), spec.hash_seed));
+    r_buckets.FreeBucket(b);
+    s_buckets.FreeBucket(b);
+  }
+  return Status::OK();
+}
+
+Status RunHybrid(sim::Machine& machine, HashJoinEngine& engine,
+                 const db::StoredRelation* inner,
+                 const db::StoredRelation* outer, const JoinSpec& spec,
+                 int num_buckets, const std::vector<int>& join_nodes) {
+  const std::vector<int> disks = machine.DiskNodeIds();
+  BucketFileSet r_buckets(&machine, disks, &inner->schema(), num_buckets - 1,
+                          "hybrid.R");
+  BucketFileSet s_buckets(&machine, disks, &outer->schema(), num_buckets - 1,
+                          "hybrid.S");
+  const db::SplitTable table =
+      db::SplitTable::HybridPartitioning(join_nodes, disks, num_buckets);
+  BucketFileSet* r_files = num_buckets > 1 ? &r_buckets : nullptr;
+  BucketFileSet* s_files = num_buckets > 1 ? &s_buckets : nullptr;
+
+  // Partitioning of R overlaps with building bucket 0's hash tables;
+  // partitioning of S overlaps with probing bucket 0.
+  engine.StartSubJoin();
+  GAMMA_RETURN_NOT_OK(engine.PartitionPhase(
+      "hybrid partition R", table,
+      engine.RelationProducers(inner, &spec.inner_predicate), spec.hash_seed,
+      HashJoinEngine::Side::kInner, r_files));
+  GAMMA_RETURN_NOT_OK(engine.PartitionPhase(
+      "hybrid partition S", table,
+      engine.RelationProducers(outer, &spec.outer_predicate), spec.hash_seed,
+      HashJoinEngine::Side::kOuter, s_files));
+  GAMMA_RETURN_NOT_OK(engine.ResolveOverflows("hybrid b0 ovfl", spec.hash_seed));
+
+  // The stored N-1 buckets join exactly like Grace buckets.
+  for (int b = 1; b <= num_buckets - 1; ++b) {
+    GAMMA_RETURN_NOT_OK(engine.RunSubJoin(
+        "hybrid bucket " + std::to_string(b),
+        engine.BucketProducers(&r_buckets, b),
+        engine.BucketProducers(&s_buckets, b), spec.hash_seed));
+    r_buckets.FreeBucket(b);
+    s_buckets.FreeBucket(b);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
+                               const JoinSpec& spec) {
+  GAMMA_ASSIGN_OR_RETURN(db::StoredRelation * inner,
+                         catalog.Get(spec.inner_relation));
+  GAMMA_ASSIGN_OR_RETURN(db::StoredRelation * outer,
+                         catalog.Get(spec.outer_relation));
+  GAMMA_RETURN_NOT_OK(ValidateField(inner, spec.inner_field, "inner"));
+  GAMMA_RETURN_NOT_OK(ValidateField(outer, spec.outer_field, "outer"));
+
+  // One entry per join PROCESS; a node id may repeat to run several
+  // join processes on one processor (Appendix A's remedy for skewed
+  // split-table distributions; also the paper's intra-query-parallelism
+  // future work).
+  std::vector<int> join_nodes =
+      spec.join_nodes.empty() ? machine.DiskNodeIds() : spec.join_nodes;
+  std::sort(join_nodes.begin(), join_nodes.end());
+  for (int id : join_nodes) {
+    if (id < 0 || id >= machine.num_nodes()) {
+      return Status::InvalidArgument("join node id out of range");
+    }
+  }
+  if (spec.algorithm == Algorithm::kSortMerge &&
+      join_nodes != machine.DiskNodeIds()) {
+    return Status::InvalidArgument(
+        "sort-merge joins execute only on the processors with disks "
+        "(paper Section 3.1)");
+  }
+
+  const uint64_t inner_bytes =
+      spec.estimated_inner_tuples.has_value()
+          ? *spec.estimated_inner_tuples * inner->schema().tuple_bytes()
+          : inner->total_bytes();
+  uint64_t memory_bytes = spec.memory_bytes.value_or(static_cast<uint64_t>(
+      spec.memory_ratio * static_cast<double>(inner_bytes)));
+  if (memory_bytes == 0) {
+    return Status::InvalidArgument("zero join memory");
+  }
+
+  const uint64_t capacity_per_node = static_cast<uint64_t>(
+      static_cast<double>(memory_bytes) / static_cast<double>(join_nodes.size()) *
+      (1.0 + spec.memory_slack));
+  if (spec.algorithm != Algorithm::kSortMerge &&
+      capacity_per_node < inner->schema().tuple_bytes()) {
+    return Status::InvalidArgument(
+        "per-node hash table capacity below one tuple");
+  }
+
+  std::string result_name = spec.result_name.empty()
+                                ? spec.inner_relation + "_" +
+                                      spec.outer_relation + "_join"
+                                : spec.result_name;
+  GAMMA_ASSIGN_OR_RETURN(
+      db::StoredRelation * result,
+      catalog.Create(machine, result_name,
+                     storage::Schema::Concat(inner->schema(),
+                                             outer->schema())));
+
+  machine.ResetMetrics();
+  JoinStats stats;
+
+  Status run_status = Status::OK();
+  if (spec.algorithm == Algorithm::kSortMerge) {
+    SortMergeParams params{inner,
+                           outer,
+                           spec.inner_field,
+                           spec.outer_field,
+                           &spec.inner_predicate,
+                           &spec.outer_predicate,
+                           memory_bytes,
+                           spec.use_bit_filters,
+                           spec.hash_seed,
+                           result};
+    run_status = RunSortMergeJoin(machine, params, &stats);
+  } else {
+    HashJoinEngine::Config config;
+    config.join_nodes = join_nodes;
+    config.disk_nodes = machine.DiskNodeIds();
+    config.inner_schema = &inner->schema();
+    config.outer_schema = &outer->schema();
+    config.inner_field = spec.inner_field;
+    config.outer_field = spec.outer_field;
+    config.capacity_bytes_per_node = capacity_per_node;
+    config.use_bit_filters = spec.use_bit_filters;
+    config.use_forming_bit_filters = spec.use_forming_bit_filters;
+    config.result = result;
+    config.stats = &stats;
+    HashJoinEngine engine(&machine, config);
+
+    switch (spec.algorithm) {
+      case Algorithm::kSimpleHash:
+        stats.num_buckets = 1;
+        run_status = RunSimple(machine, engine, inner, outer, spec);
+        break;
+      case Algorithm::kGraceHash:
+      case Algorithm::kHybridHash: {
+        int buckets = spec.num_buckets.value_or(
+            OptimizerBucketCount(inner_bytes, memory_bytes));
+        buckets = std::max(1, buckets);
+        if (spec.use_bucket_analyzer) {
+          buckets = db::AnalyzeBucketCount(
+              spec.algorithm == Algorithm::kGraceHash
+                  ? db::BucketAlgorithm::kGrace
+                  : db::BucketAlgorithm::kHybrid,
+              buckets, static_cast<int>(machine.DiskNodeIds().size()),
+              static_cast<int>(join_nodes.size()));
+        }
+        stats.num_buckets = buckets;
+        if (spec.algorithm == Algorithm::kGraceHash) {
+          run_status = RunGrace(machine, engine, inner, outer, spec, buckets);
+        } else {
+          run_status = RunHybrid(machine, engine, inner, outer, spec, buckets,
+                                 join_nodes);
+        }
+        break;
+      }
+      default:
+        run_status = Status::Internal("unhandled algorithm");
+    }
+    if (run_status.ok()) engine.FinalizeResult();
+  }
+
+  if (!run_status.ok()) {
+    GAMMA_CHECK_OK(catalog.Drop(result_name));
+    return run_status;
+  }
+
+  JoinOutput out;
+  out.metrics = machine.Metrics();
+  out.stats = stats;
+  out.stats.result_tuples = result->total_tuples();
+  out.stats.overflow_events = out.metrics.counters.ht_overflows;
+  out.stats.filter_drops = out.metrics.counters.filter_drops;
+  out.result_relation = result_name;
+  return out;
+}
+
+}  // namespace gammadb::join

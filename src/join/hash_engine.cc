@@ -1,0 +1,577 @@
+#include "join/hash_engine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "gamma/scheduler.h"
+
+namespace gammadb::join {
+
+namespace {
+/// Fraction of hash-table memory the overflow protocol tries to clear
+/// per eviction round ("We currently try to clear 10% of the hash table
+/// memory space when overflow is detected", paper Section 4.1).
+constexpr double kClearFraction = 0.10;
+/// Recursion-depth backstop for pathological inputs the hash function
+/// cannot split (e.g. one value exceeding aggregate memory).
+constexpr int kMaxOverflowLevels = 64;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BucketFileSet
+// ---------------------------------------------------------------------------
+
+BucketFileSet::BucketFileSet(sim::Machine* machine,
+                             const std::vector<int>& disk_nodes,
+                             const storage::Schema* schema, int num_buckets,
+                             const std::string& label)
+    : num_buckets_(num_buckets) {
+  GAMMA_CHECK_GE(num_buckets, 0);
+  files_.resize(static_cast<size_t>(num_buckets));
+  for (int b = 1; b <= num_buckets; ++b) {
+    auto& row = files_[static_cast<size_t>(b - 1)];
+    row.reserve(disk_nodes.size());
+    for (int node_id : disk_nodes) {
+      row.push_back(std::make_unique<storage::HeapFile>(
+          &machine->node(node_id), schema,
+          label + ".b" + std::to_string(b) + ".d" + std::to_string(node_id)));
+    }
+  }
+}
+
+storage::HeapFile& BucketFileSet::file(int bucket, size_t disk_index) {
+  GAMMA_DCHECK(bucket >= 1 && bucket <= num_buckets_);
+  return *files_[static_cast<size_t>(bucket - 1)][disk_index];
+}
+
+void BucketFileSet::FlushFilesOwnedBy(int node_id) {
+  for (auto& row : files_) {
+    for (auto& file : row) {
+      if (file->node()->id() == node_id) file->FlushAppends();
+    }
+  }
+}
+
+uint64_t BucketFileSet::BucketTuples(int bucket) const {
+  uint64_t total = 0;
+  for (const auto& file : files_[static_cast<size_t>(bucket - 1)]) {
+    total += file->tuple_count();
+  }
+  return total;
+}
+
+void BucketFileSet::FreeBucket(int bucket) {
+  for (auto& file : files_[static_cast<size_t>(bucket - 1)]) file->Free();
+}
+
+// ---------------------------------------------------------------------------
+// HashJoinEngine
+// ---------------------------------------------------------------------------
+
+HashJoinEngine::HashJoinEngine(sim::Machine* machine, Config config)
+    : machine_(machine),
+      config_(std::move(config)),
+      exchange_(machine),
+      overflow_exchange_(machine),
+      store_exchange_(machine) {
+  GAMMA_CHECK(!config_.join_nodes.empty());
+  GAMMA_CHECK(!config_.disk_nodes.empty());
+  GAMMA_CHECK(config_.result != nullptr);
+  GAMMA_CHECK(config_.stats != nullptr);
+  jstate_.resize(config_.join_nodes.size());
+  // "different overflow files are assigned to different disks". A join
+  // process running on a disk node spools to its own disk (for local
+  // joins "the transmission of the overflow tuples are all
+  // shortcircuited", Section 4.1). Diskless join processes are spread
+  // over the disks no disk-resident joiner claimed (falling back to all
+  // disks), with an offset that keeps the assignment unaligned with the
+  // split-table mod structure — this is why Simple's HPJA and non-HPJA
+  // remote curves coincide in Figure 14.
+  std::vector<int> free_disks;
+  for (int disk : config_.disk_nodes) {
+    bool claimed = false;
+    for (int join_id : config_.join_nodes) {
+      if (join_id == disk) claimed = true;
+    }
+    if (!claimed) free_disks.push_back(disk);
+  }
+  if (free_disks.empty()) free_disks = config_.disk_nodes;
+  size_t next_free = 1 % free_disks.size();  // offset breaks alignment
+  for (size_t ji = 0; ji < jstate_.size(); ++ji) {
+    const sim::Node& join_node = machine_->node(config_.join_nodes[ji]);
+    if (join_node.has_disk()) {
+      jstate_[ji].host_disk_node = join_node.id();
+    } else {
+      jstate_[ji].host_disk_node = free_disks[next_free];
+      next_free = (next_free + 1) % free_disks.size();
+    }
+    jstate_[ji].store_rr_next = ji;
+  }
+}
+
+size_t HashJoinEngine::DiskIndexOf(int node_id) const {
+  for (size_t i = 0; i < config_.disk_nodes.size(); ++i) {
+    if (config_.disk_nodes[i] == node_id) return i;
+  }
+  GAMMA_LOG(Fatal) << "node " << node_id << " is not a disk node";
+  return 0;
+}
+
+std::vector<int> HashJoinEngine::Participants(bool with_disk_nodes) const {
+  std::vector<int> ids = config_.join_nodes;
+  if (with_disk_nodes) {
+    ids.insert(ids.end(), config_.disk_nodes.begin(),
+               config_.disk_nodes.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+void HashJoinEngine::StartSubJoin() {
+  filter_.reset();
+  for (size_t ji = 0; ji < jstate_.size(); ++ji) {
+    JoinNodeState& st = jstate_[ji];
+    GAMMA_CHECK(st.r_overflow == nullptr && st.s_overflow == nullptr)
+        << "StartSubJoin with unconsumed overflow files";
+    st.cutoff = UINT64_MAX;
+    if (st.table == nullptr) {
+      st.table = std::make_unique<JoinHashTable>(
+          &machine_->node(config_.join_nodes[ji]), config_.inner_schema,
+          config_.inner_field, config_.capacity_bytes_per_node);
+    } else {
+      st.table->Clear();
+    }
+  }
+}
+
+void HashJoinEngine::EnsureOverflowFile(size_t ji, bool is_inner) {
+  JoinNodeState& st = jstate_[ji];
+  auto& slot = is_inner ? st.r_overflow : st.s_overflow;
+  if (slot == nullptr) {
+    const storage::Schema* schema =
+        is_inner ? config_.inner_schema : config_.outer_schema;
+    slot = std::make_unique<storage::HeapFile>(
+        &machine_->node(st.host_disk_node), schema,
+        std::string(is_inner ? "ovfl-R." : "ovfl-S.") + std::to_string(ji) +
+            "." + std::to_string(overflow_file_counter_));
+  }
+}
+
+void HashJoinEngine::SpoolToOverflow(sim::Node& from, size_t ji,
+                                     bool is_inner, storage::Tuple&& t) {
+  if (is_inner) EnsureOverflowFile(ji, true);
+  // (Outer overflow files are pre-created before the probe phase so that
+  // concurrent producers never race on creation.)
+  const uint32_t bytes = t.size();
+  overflow_exchange_.Send(from.id(), jstate_[ji].host_disk_node,
+                          OverflowMsg{std::move(t),
+                                      static_cast<int32_t>(ji), is_inner},
+                          bytes);
+}
+
+void HashJoinEngine::HandleBuildArrival(sim::Node& n, size_t ji,
+                                        uint64_t hash, storage::Tuple&& t) {
+  JoinNodeState& st = jstate_[ji];
+  if (hash >= st.cutoff) {
+    SpoolToOverflow(n, ji, /*is_inner=*/true, std::move(t));
+    return;
+  }
+  while (!st.table->Insert(t, hash)) {
+    // Overflow event: choose a cutoff clearing ~10% of memory and evict.
+    ++n.counters().ht_overflows;
+    const uint64_t new_cutoff =
+        st.table->histogram().CutoffForFraction(kClearFraction);
+    GAMMA_CHECK_LT(new_cutoff, st.cutoff)
+        << "overflow cutoff failed to decrease";
+    st.cutoff = new_cutoff;
+    for (auto& [eh, et] : st.table->EvictAtOrAbove(new_cutoff)) {
+      SpoolToOverflow(n, ji, /*is_inner=*/true, std::move(et));
+    }
+    if (hash >= st.cutoff) {
+      SpoolToOverflow(n, ji, /*is_inner=*/true, std::move(t));
+      return;
+    }
+  }
+}
+
+void HashJoinEngine::HandleProbeArrival(sim::Node& n, size_t ji,
+                                        uint64_t hash,
+                                        const storage::Tuple& t) {
+  JoinNodeState& st = jstate_[ji];
+  const int32_t key =
+      t.GetInt32(*config_.outer_schema, static_cast<size_t>(config_.outer_field));
+  st.table->Probe(key, hash, [&](const storage::Tuple& r) {
+    n.ChargeCpu(n.cost().cpu_build_result_seconds);
+    storage::Tuple result = storage::Tuple::Concat(r, t);
+    ++n.counters().result_tuples;
+    const size_t di = st.store_rr_next++ % config_.disk_nodes.size();
+    const uint32_t bytes = result.size();
+    store_exchange_.Send(n.id(), config_.disk_nodes[di], std::move(result),
+                         bytes);
+  });
+}
+
+void HashJoinEngine::RouteFromProducer(sim::Node& n,
+                                       const db::SplitTable& table,
+                                       uint64_t seed, Side side,
+                                       storage::Tuple&& t) {
+  const storage::Schema& schema =
+      side == Side::kInner ? *config_.inner_schema : *config_.outer_schema;
+  const int field =
+      side == Side::kInner ? config_.inner_field : config_.outer_field;
+  const int32_t key = t.GetInt32(schema, static_cast<size_t>(field));
+  const uint64_t hash = HashJoinAttribute(key, seed);
+  n.ChargeCpu(n.cost().cpu_hash_route_seconds);
+  const db::SplitEntry& entry = table.Route(hash);
+
+  if (entry.bucket > 0) {
+    // Forming-filter extension: outer tuples failing the filter built
+    // during the inner relation's bucket-forming pass are dropped
+    // before they are ever transmitted or stored.
+    if (side == Side::kOuter && forming_filter_ != nullptr) {
+      n.ChargeCpu(n.cost().cpu_filter_op_seconds);
+      if (!forming_filter_->MayContain(
+              static_cast<int>(DiskIndexOf(entry.node)), hash)) {
+        ++n.counters().filter_drops;
+        return;
+      }
+    }
+    const uint32_t bytes = t.size();
+    exchange_.Send(n.id(), entry.node,
+                   RoutedTuple{std::move(t), hash,
+                               side == Side::kInner ? kBucketInner
+                                                    : kBucketOuter,
+                               entry.bucket},
+                   bytes);
+    return;
+  }
+
+  // Bucket-0 (joining) entries occupy the first J table slots in both
+  // the joining and Hybrid-partitioning layouts, so the entry index IS
+  // the join PROCESS index — the paper's split tables are per-process,
+  // which permits several join processes on one node (Appendix A's
+  // "fifth join process" remedy).
+  const size_t ji = table.IndexOf(hash);
+  GAMMA_DCHECK(ji < jstate_.size());
+  GAMMA_DCHECK(config_.join_nodes[ji] == entry.node);
+  if (side == Side::kInner) {
+    const uint32_t bytes = t.size();
+    exchange_.Send(n.id(), entry.node,
+                   RoutedTuple{std::move(t), hash, kBuild,
+                               static_cast<int32_t>(ji)},
+                   bytes);
+    return;
+  }
+
+  // Outer side: the augmented split table routes overflow-range tuples
+  // "directly to the S' overflow files" (paper Section 3.2, step 3).
+  if (hash >= jstate_[ji].cutoff) {
+    SpoolToOverflow(n, ji, /*is_inner=*/false, std::move(t));
+    return;
+  }
+  if (filter_ != nullptr) {
+    n.ChargeCpu(n.cost().cpu_filter_op_seconds);
+    if (!filter_->MayContain(static_cast<int>(ji), hash)) {
+      ++n.counters().filter_drops;
+      return;
+    }
+  }
+  const uint32_t bytes = t.size();
+  exchange_.Send(n.id(), entry.node,
+                 RoutedTuple{std::move(t), hash, kProbe,
+                             static_cast<int32_t>(ji)},
+                 bytes);
+}
+
+void HashJoinEngine::DrainDiskSide(sim::Node& n, BucketFileSet* buckets) {
+  for (OverflowMsg& m : overflow_exchange_.TakeInbox(n.id())) {
+    JoinNodeState& st = jstate_[static_cast<size_t>(m.join_index)];
+    storage::HeapFile* file =
+        m.is_inner ? st.r_overflow.get() : st.s_overflow.get();
+    GAMMA_CHECK(file != nullptr);
+    file->Append(m.tuple);
+  }
+  for (storage::Tuple& t : store_exchange_.TakeInbox(n.id())) {
+    config_.result->fragment(DiskIndexOf(n.id())).Append(t);
+  }
+  if (buckets != nullptr) buckets->FlushFilesOwnedBy(n.id());
+}
+
+void HashJoinEngine::BuildFilterFromResidents() {
+  filter_ = std::make_unique<db::BitFilterSet>(
+      static_cast<int>(config_.join_nodes.size()));
+  // Iterate PROCESSES grouped by node (a node may host several).
+  machine_->RunOnNodes(Participants(false), [this](sim::Node& n) {
+    for (size_t ji = 0; ji < jstate_.size(); ++ji) {
+      if (config_.join_nodes[ji] != n.id()) continue;
+      jstate_[ji].table->ForEachResidentHash([&](uint64_t hash) {
+        n.ChargeCpu(n.cost().cpu_filter_op_seconds);
+        filter_->Set(static_cast<int>(ji), hash);
+      });
+    }
+  });
+  db::ChargeFilterDistribution(*machine_,
+                               static_cast<int>(config_.join_nodes.size()),
+                               static_cast<int>(config_.disk_nodes.size()));
+}
+
+void HashJoinEngine::CollectChainStats() {
+  for (const JoinNodeState& st : jstate_) {
+    const JoinHashTable::ChainStats cs = st.table->ComputeChainStats();
+    chain_tuples_total_ += cs.tuples;
+    chain_slots_total_ += cs.occupied_slots;
+    config_.stats->max_chain_length =
+        std::max(config_.stats->max_chain_length, cs.max);
+  }
+  if (chain_slots_total_ > 0) {
+    config_.stats->avg_chain_length =
+        static_cast<double>(chain_tuples_total_) /
+        static_cast<double>(chain_slots_total_);
+  }
+}
+
+Status HashJoinEngine::PartitionPhase(const std::string& label,
+                                      const db::SplitTable& table,
+                                      const std::vector<Producer>& producers,
+                                      uint64_t seed, Side side,
+                                      BucketFileSet* buckets) {
+  GAMMA_CHECK_EQ(producers.size(), config_.disk_nodes.size());
+  const bool has_stored_buckets = table.MaxBucket() > 0;
+  if (has_stored_buckets && buckets == nullptr) {
+    return Status::InvalidArgument(
+        "split table has stored buckets but no bucket files given");
+  }
+
+  if (side == Side::kOuter) {
+    // Pre-create S-overflow files for every join node whose hash table
+    // overflowed (the producers ship straight to them).
+    for (size_t ji = 0; ji < jstate_.size(); ++ji) {
+      if (jstate_[ji].cutoff != UINT64_MAX) EnsureOverflowFile(ji, false);
+    }
+  } else if (has_stored_buckets && config_.use_bit_filters &&
+             config_.use_forming_bit_filters) {
+    forming_filter_ = std::make_unique<db::BitFilterSet>(
+        static_cast<int>(config_.disk_nodes.size()));
+  }
+
+  machine_->BeginPhase(label);
+  const int consumers =
+      static_cast<int>(config_.join_nodes.size()) +
+      (has_stored_buckets ? static_cast<int>(config_.disk_nodes.size()) : 0);
+  db::ChargeOperatorPhase(*machine_,
+                          static_cast<int>(config_.disk_nodes.size()),
+                          consumers, table.SerializedBytes());
+
+  // Round A: producers scan and route.
+  machine_->RunOnNodes(config_.disk_nodes, [&](sim::Node& n) {
+    const size_t di = DiskIndexOf(n.id());
+    producers[di](n, [&](storage::Tuple&& t) {
+      RouteFromProducer(n, table, seed, side, std::move(t));
+    });
+  });
+
+  // Round B: consumers build/probe/append.
+  machine_->RunOnNodes(Participants(has_stored_buckets), [&](sim::Node& n) {
+    for (RoutedTuple& m : exchange_.TakeInbox(n.id())) {
+      switch (m.kind) {
+        case kBuild:
+          HandleBuildArrival(n, static_cast<size_t>(m.aux), m.hash,
+                             std::move(m.tuple));
+          break;
+        case kProbe:
+          HandleProbeArrival(n, static_cast<size_t>(m.aux), m.hash, m.tuple);
+          break;
+        case kBucketInner:
+          if (forming_filter_ != nullptr) {
+            // Each receiving disk site contributes its slice as inner
+            // tuples arrive to be stored.
+            n.ChargeCpu(n.cost().cpu_filter_op_seconds);
+            forming_filter_->Set(static_cast<int>(DiskIndexOf(n.id())),
+                                 m.hash);
+          }
+          buckets->file(m.aux, DiskIndexOf(n.id())).Append(m.tuple);
+          break;
+        case kBucketOuter:
+          buckets->file(m.aux, DiskIndexOf(n.id())).Append(m.tuple);
+          break;
+      }
+    }
+  });
+
+  // End of the build side: materialize the bit filter and record chain
+  // statistics before any probing happens. Pure bucket-forming tables
+  // (Grace) have no immediate bucket, hence nothing resident to filter
+  // ("filtering is only applied during bucket-joining", Section 4.2).
+  if (side == Side::kInner && table.HasImmediateBucket()) {
+    if (config_.use_bit_filters) BuildFilterFromResidents();
+    CollectChainStats();
+  }
+  if (side == Side::kInner && forming_filter_ != nullptr &&
+      has_stored_buckets) {
+    // Gather the forming-filter slices and broadcast the packet to the
+    // outer relation's producers before its forming pass starts.
+    db::ChargeFilterDistribution(*machine_,
+                                 static_cast<int>(config_.disk_nodes.size()),
+                                 static_cast<int>(config_.disk_nodes.size()));
+  }
+
+  // Round C: disk side absorbs overflow spool, result store and bucket
+  // flushes.
+  machine_->RunOnNodes(config_.disk_nodes,
+                       [&](sim::Node& n) { DrainDiskSide(n, buckets); });
+
+  machine_->EndPhase();
+  return Status::OK();
+}
+
+bool HashJoinEngine::AnyOverflow() const {
+  for (const JoinNodeState& st : jstate_) {
+    if (st.r_overflow != nullptr || st.s_overflow != nullptr) return true;
+  }
+  return false;
+}
+
+Status HashJoinEngine::ResolveOverflows(const std::string& label,
+                                        uint64_t base_seed) {
+  int level = 0;
+  uint64_t prev_inner_tuples = UINT64_MAX;
+  while (AnyOverflow()) {
+    ++level;
+    if (level > kMaxOverflowLevels) {
+      return Status::Internal("overflow resolution exceeded " +
+                              std::to_string(kMaxOverflowLevels) + " levels");
+    }
+    config_.stats->overflow_levels =
+        std::max(config_.stats->overflow_levels, level);
+
+    struct Taken {
+      std::unique_ptr<storage::HeapFile> r, s;
+    };
+    std::vector<Taken> taken(jstate_.size());
+    uint64_t inner_tuples = 0;
+    for (size_t ji = 0; ji < jstate_.size(); ++ji) {
+      taken[ji].r = std::move(jstate_[ji].r_overflow);
+      taken[ji].s = std::move(jstate_[ji].s_overflow);
+      if (taken[ji].r != nullptr) inner_tuples += taken[ji].r->tuple_count();
+    }
+    if (inner_tuples >= prev_inner_tuples) {
+      return Status::Internal(
+          "overflow resolution is not shrinking the inner partition "
+          "(duplicate values exceed aggregate join memory)");
+    }
+    prev_inner_tuples = inner_tuples;
+
+    ++overflow_file_counter_;
+    StartSubJoin();
+    // "the hash function is changed after each overflow" (Section 4.1).
+    const uint64_t seed = base_seed + static_cast<uint64_t>(level);
+    const db::SplitTable joining = db::SplitTable::Joining(config_.join_nodes);
+
+    const auto make_producers = [&](bool inner_side) {
+      std::vector<Producer> producers;
+      producers.reserve(config_.disk_nodes.size());
+      for (size_t di = 0; di < config_.disk_nodes.size(); ++di) {
+        const int host = config_.disk_nodes[di];
+        producers.push_back([this, host, &taken, inner_side](
+                                sim::Node& n,
+                                const std::function<void(storage::Tuple&&)>&
+                                    yield) {
+          GAMMA_CHECK_EQ(n.id(), host);
+          for (size_t ji = 0; ji < jstate_.size(); ++ji) {
+            if (jstate_[ji].host_disk_node != host) continue;
+            storage::HeapFile* file =
+                inner_side ? taken[ji].r.get() : taken[ji].s.get();
+            if (file == nullptr) continue;
+            file->FlushAppends();
+            auto scanner = file->Scan();
+            storage::Tuple t;
+            while (scanner.Next(&t)) yield(std::move(t));
+          }
+        });
+      }
+      return producers;
+    };
+
+    const std::string level_tag = " L" + std::to_string(level);
+    GAMMA_RETURN_NOT_OK(PartitionPhase(label + " build" + level_tag, joining,
+                                       make_producers(true), seed,
+                                       Side::kInner, nullptr));
+    GAMMA_RETURN_NOT_OK(PartitionPhase(label + " probe" + level_tag, joining,
+                                       make_producers(false), seed,
+                                       Side::kOuter, nullptr));
+    for (Taken& t : taken) {
+      if (t.r != nullptr) t.r->Free();
+      if (t.s != nullptr) t.s->Free();
+    }
+  }
+  return Status::OK();
+}
+
+Status HashJoinEngine::RunSubJoin(const std::string& label,
+                                  const std::vector<Producer>& build_producers,
+                                  const std::vector<Producer>& probe_producers,
+                                  uint64_t seed) {
+  StartSubJoin();
+  const db::SplitTable joining = db::SplitTable::Joining(config_.join_nodes);
+  GAMMA_RETURN_NOT_OK(PartitionPhase(label + " build", joining,
+                                     build_producers, seed, Side::kInner,
+                                     nullptr));
+  GAMMA_RETURN_NOT_OK(PartitionPhase(label + " probe", joining,
+                                     probe_producers, seed, Side::kOuter,
+                                     nullptr));
+  return ResolveOverflows(label + " ovfl", seed);
+}
+
+std::vector<Producer> HashJoinEngine::BucketProducers(BucketFileSet* files,
+                                                      int bucket) {
+  std::vector<Producer> producers;
+  producers.reserve(config_.disk_nodes.size());
+  for (size_t di = 0; di < config_.disk_nodes.size(); ++di) {
+    producers.push_back(
+        [files, bucket, di](sim::Node&,
+                            const std::function<void(storage::Tuple&&)>&
+                                yield) {
+          storage::HeapFile& file = files->file(bucket, di);
+          auto scanner = file.Scan();
+          storage::Tuple t;
+          while (scanner.Next(&t)) yield(std::move(t));
+        });
+  }
+  return producers;
+}
+
+std::vector<Producer> HashJoinEngine::RelationProducers(
+    const db::StoredRelation* relation, const db::PredicateList* predicate) {
+  GAMMA_CHECK_EQ(relation->num_fragments(), config_.disk_nodes.size());
+  std::vector<Producer> producers;
+  producers.reserve(config_.disk_nodes.size());
+  for (size_t di = 0; di < config_.disk_nodes.size(); ++di) {
+    producers.push_back([relation, predicate, di](
+                            sim::Node& n,
+                            const std::function<void(storage::Tuple&&)>&
+                                yield) {
+      auto scanner = relation->fragment(di).Scan();
+      storage::Tuple t;
+      const bool has_predicate = predicate != nullptr && !predicate->empty();
+      while (scanner.Next(&t)) {
+        if (has_predicate) {
+          n.ChargeCpu(n.cost().cpu_predicate_seconds);
+          if (!db::EvalAll(*predicate, relation->schema(), t)) continue;
+        }
+        yield(std::move(t));
+      }
+    });
+  }
+  return producers;
+}
+
+void HashJoinEngine::FinalizeResult() {
+  machine_->BeginPhase("store flush");
+  machine_->RunOnNodes(config_.disk_nodes, [this](sim::Node& n) {
+    config_.result->fragment(DiskIndexOf(n.id())).FlushAppends();
+  });
+  machine_->EndPhase();
+}
+
+}  // namespace gammadb::join

@@ -1,0 +1,207 @@
+// Shared execution engine for the three hash-based parallel joins
+// (Simple, Grace, Hybrid).
+//
+// All three algorithms are compositions of the same machinery (paper
+// Section 3: Simple hash "is currently used as the overflow resolution
+// method for our parallel implementations of the Grace and Hybrid
+// algorithms"):
+//
+//  * a *partition phase* routes tuples through a split table; entries
+//    tagged bucket 0 flow to the join processes (hash-table build or
+//    probe), entries tagged bucket >= 1 are appended to bucket fragment
+//    files on the disk nodes;
+//  * hash-table overflow at a join node runs the histogram/cutoff
+//    eviction protocol, spooling evicted tuples to a per-node overflow
+//    file on an assigned disk; producers of the outer relation are told
+//    the cutoffs ("the split table is augmented with the h' functions")
+//    and ship qualifying tuples straight to the S overflow files;
+//  * overflow files are then joined recursively with a NEW hash
+//    function (seed+1, seed+2, ...) until no overflow remains;
+//  * optionally, a per-sub-join 2 KB bit filter is built from the
+//    hash-table residents and applied by the outer producers.
+//
+// Simple = one sub-join over the whole input. Grace = bucket-forming
+// partition phases, then one sub-join per stored bucket. Hybrid =
+// partition phases whose bucket 0 is a live sub-join, then Grace-style
+// sub-joins for the stored buckets.
+#ifndef GAMMA_JOIN_HASH_ENGINE_H_
+#define GAMMA_JOIN_HASH_ENGINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gamma/bit_filter.h"
+#include "gamma/catalog.h"
+#include "gamma/split_table.h"
+#include "join/hash_table.h"
+#include "join/spec.h"
+#include "sim/exchange.h"
+#include "sim/machine.h"
+#include "storage/heap_file.h"
+
+namespace gammadb::join {
+
+/// A per-disk-node tuple source. Runs on that node's executor task;
+/// must call `yield` once per source tuple (charging its own scan and
+/// predicate costs).
+using Producer = std::function<void(
+    sim::Node&, const std::function<void(storage::Tuple&&)>&)>;
+
+/// Bucket fragment files: one heap file per (bucket, disk node), as in
+/// Figure 3 of the paper ("each bucket is partitioned across all
+/// available disk drives").
+class BucketFileSet {
+ public:
+  /// Buckets are numbered 1..num_buckets (matching split-table tags).
+  BucketFileSet(sim::Machine* machine, const std::vector<int>& disk_nodes,
+                const storage::Schema* schema, int num_buckets,
+                const std::string& label);
+
+  int num_buckets() const { return num_buckets_; }
+  size_t num_disks() const { return files_.empty() ? 0 : files_[0].size(); }
+
+  storage::HeapFile& file(int bucket, size_t disk_index);
+
+  /// Flushes the partial pages of every fragment of `bucket`; must run
+  /// on the owning nodes' tasks (the engine does this at the end of the
+  /// forming phase).
+  void FlushFilesOwnedBy(int node_id);
+
+  uint64_t BucketTuples(int bucket) const;
+
+  void FreeBucket(int bucket);
+
+ private:
+  int num_buckets_;
+  // files_[bucket-1][disk_index]
+  std::vector<std::vector<std::unique_ptr<storage::HeapFile>>> files_;
+};
+
+class HashJoinEngine {
+ public:
+  struct Config {
+    std::vector<int> join_nodes;  // node ids executing the join
+    std::vector<int> disk_nodes;  // node ids with disks (producers/hosts)
+    const storage::Schema* inner_schema;
+    const storage::Schema* outer_schema;
+    int inner_field;
+    int outer_field;
+    uint64_t capacity_bytes_per_node;
+    bool use_bit_filters;
+    /// Extension: filter the outer relation's bucket-forming pass with
+    /// a filter built while the inner relation's buckets formed.
+    bool use_forming_bit_filters = false;
+    db::StoredRelation* result;  // fragments parallel to disk_nodes
+    JoinStats* stats;
+  };
+
+  HashJoinEngine(sim::Machine* machine, Config config);
+
+  enum class Side { kInner, kOuter };
+
+  /// Resets per-sub-join state (hash tables, cutoffs, filter). Overflow
+  /// files accumulated by the previous sub-join must already have been
+  /// consumed or taken.
+  void StartSubJoin();
+
+  /// Runs one partition phase: producers (one per disk node) route
+  /// tuples hashed with `seed` through `table`. Bucket-0 entries build
+  /// (kInner) or probe (kOuter) the hash tables; stored-bucket entries
+  /// are appended to `buckets` (required iff the table has buckets).
+  /// For kInner with filters enabled, the phase ends by rebuilding the
+  /// bit filter from the hash-table residents and charging its
+  /// distribution.
+  Status PartitionPhase(const std::string& label, const db::SplitTable& table,
+                        const std::vector<Producer>& producers, uint64_t seed,
+                        Side side, BucketFileSet* buckets);
+
+  /// Joins overflow files recursively with fresh hash functions until
+  /// none remain (the paper's Simple-hash overflow resolution).
+  Status ResolveOverflows(const std::string& label, uint64_t base_seed);
+
+  /// Convenience: a full sub-join of the given producers through a
+  /// plain joining split table, overflow resolution included.
+  Status RunSubJoin(const std::string& label,
+                    const std::vector<Producer>& build_producers,
+                    const std::vector<Producer>& probe_producers,
+                    uint64_t seed);
+
+  /// Producers that scan bucket `bucket` of `files` (flushing trailing
+  /// pages first).
+  std::vector<Producer> BucketProducers(BucketFileSet* files, int bucket);
+
+  /// Producers that scan the fragments of a stored relation, applying a
+  /// selection predicate.
+  std::vector<Producer> RelationProducers(const db::StoredRelation* relation,
+                                          const db::PredicateList* predicate);
+
+  /// Flushes the result relation's partial pages (one final phase).
+  void FinalizeResult();
+
+  /// True if the benchmark-visible hash chains statistics have data.
+  const JoinStats& stats() const { return *config_.stats; }
+
+ private:
+  struct JoinNodeState {
+    std::unique_ptr<JoinHashTable> table;
+    uint64_t cutoff = UINT64_MAX;
+    int host_disk_node = -1;  // disk node hosting this node's overflow files
+    std::unique_ptr<storage::HeapFile> r_overflow;
+    std::unique_ptr<storage::HeapFile> s_overflow;
+    size_t store_rr_next = 0;  // round-robin cursor for result routing
+  };
+
+  struct RoutedTuple {
+    storage::Tuple tuple;
+    uint64_t hash;
+    uint8_t kind;  // RoutedKind
+    int32_t aux;   // join index (build/probe) or bucket number
+  };
+
+  struct OverflowMsg {
+    storage::Tuple tuple;
+    int32_t join_index;
+    bool is_inner;
+  };
+
+  enum RoutedKind : uint8_t { kBuild, kProbe, kBucketInner, kBucketOuter };
+
+  size_t DiskIndexOf(int node_id) const;
+  std::vector<int> Participants(bool with_disk_nodes) const;
+
+  void RouteFromProducer(sim::Node& n, const db::SplitTable& table,
+                         uint64_t seed, Side side, storage::Tuple&& t);
+  void HandleBuildArrival(sim::Node& n, size_t ji, uint64_t hash,
+                          storage::Tuple&& t);
+  void HandleProbeArrival(sim::Node& n, size_t ji, uint64_t hash,
+                          const storage::Tuple& t);
+  void SpoolToOverflow(sim::Node& from, size_t ji, bool is_inner,
+                       storage::Tuple&& t);
+  void EnsureOverflowFile(size_t ji, bool is_inner);
+  void DrainDiskSide(sim::Node& n, BucketFileSet* buckets);
+  void BuildFilterFromResidents();
+  void CollectChainStats();
+  bool AnyOverflow() const;
+
+  sim::Machine* machine_;
+  Config config_;
+  sim::Exchange<RoutedTuple> exchange_;
+  sim::Exchange<OverflowMsg> overflow_exchange_;
+  sim::Exchange<storage::Tuple> store_exchange_;
+  std::vector<JoinNodeState> jstate_;
+  std::unique_ptr<db::BitFilterSet> filter_;
+  /// Forming-phase filter (sliced per receiving disk site).
+  std::unique_ptr<db::BitFilterSet> forming_filter_;
+  int overflow_file_counter_ = 0;
+
+  // Chain-statistics accumulation across sub-joins.
+  size_t chain_tuples_total_ = 0;
+  size_t chain_slots_total_ = 0;
+};
+
+}  // namespace gammadb::join
+
+#endif  // GAMMA_JOIN_HASH_ENGINE_H_

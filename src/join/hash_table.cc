@@ -1,0 +1,92 @@
+#include "join/hash_table.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.h"
+
+namespace gammadb::join {
+
+JoinHashTable::JoinHashTable(sim::Node* node, const storage::Schema* schema,
+                             int key_field, uint64_t capacity_bytes)
+    : node_(node),
+      schema_(schema),
+      key_field_(key_field),
+      capacity_bytes_(capacity_bytes) {
+  GAMMA_CHECK_GE(capacity_bytes, static_cast<uint64_t>(schema->tuple_bytes()))
+      << "hash table capacity below one tuple";
+  const uint64_t want_slots =
+      std::max<uint64_t>(16, capacity_bytes / schema->tuple_bytes());
+  const uint64_t slots = std::bit_ceil(want_slots);
+  shift_ = 64 - std::countr_zero(slots);
+  heads_.assign(slots, kNil);
+  entries_.reserve(want_slots);
+}
+
+bool JoinHashTable::Insert(const storage::Tuple& tuple, uint64_t hash) {
+  if (bytes_used_ + tuple.size() > capacity_bytes_) return false;
+  node_->ChargeCpu(node_->cost().cpu_ht_insert_seconds);
+  ++node_->counters().ht_inserts;
+  bytes_used_ += tuple.size();
+  histogram_.Add(hash);
+  const int32_t key =
+      tuple.GetInt32(*schema_, static_cast<size_t>(key_field_));
+  const size_t slot = SlotOf(hash);
+  entries_.push_back(Entry{hash, key, heads_[slot], tuple});
+  heads_[slot] = static_cast<uint32_t>(entries_.size() - 1);
+  return true;
+}
+
+std::vector<std::pair<uint64_t, storage::Tuple>> JoinHashTable::EvictAtOrAbove(
+    uint64_t cutoff) {
+  // "the tuples in the hash table are examined and all qualifying tuples
+  // are written to the overflow file" — a full table search, charged.
+  node_->ChargeCpu(static_cast<double>(entries_.size()) *
+                   node_->cost().cpu_compare_seconds);
+  std::vector<std::pair<uint64_t, storage::Tuple>> evicted;
+  std::vector<Entry> kept;
+  kept.reserve(entries_.size());
+  for (Entry& e : entries_) {
+    if (e.hash >= cutoff) {
+      bytes_used_ -= e.tuple.size();
+      histogram_.Remove(e.hash);
+      evicted.emplace_back(e.hash, std::move(e.tuple));
+    } else {
+      kept.push_back(std::move(e));
+    }
+  }
+  entries_ = std::move(kept);
+  RebuildChains();
+  return evicted;
+}
+
+void JoinHashTable::RebuildChains() {
+  std::fill(heads_.begin(), heads_.end(), kNil);
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const size_t slot = SlotOf(entries_[i].hash);
+    entries_[i].next = heads_[slot];
+    heads_[slot] = static_cast<uint32_t>(i);
+  }
+}
+
+JoinHashTable::ChainStats JoinHashTable::ComputeChainStats() const {
+  ChainStats stats;
+  stats.tuples = entries_.size();
+  for (uint32_t head : heads_) {
+    if (head == kNil) continue;
+    ++stats.occupied_slots;
+    int length = 0;
+    for (uint32_t idx = head; idx != kNil; idx = entries_[idx].next) ++length;
+    stats.max = std::max(stats.max, length);
+  }
+  return stats;
+}
+
+void JoinHashTable::Clear() {
+  entries_.clear();
+  std::fill(heads_.begin(), heads_.end(), kNil);
+  bytes_used_ = 0;
+  histogram_.Clear();
+}
+
+}  // namespace gammadb::join

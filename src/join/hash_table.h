@@ -1,0 +1,118 @@
+// In-memory join hash table with the paper's overflow machinery.
+//
+// Tuples are chained by join-attribute hash; a hash-value histogram is
+// maintained alongside (paper Section 4.1) so that, on overflow, a
+// cutoff hash value can be chosen whose eviction frees a requested
+// fraction of memory. Capacity is a byte budget: the aggregate joining
+// memory divided over the join nodes.
+#ifndef GAMMA_JOIN_HASH_TABLE_H_
+#define GAMMA_JOIN_HASH_TABLE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "sim/node.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace gammadb::join {
+
+class JoinHashTable {
+ public:
+  /// `capacity_bytes` bounds the summed serialized size of resident
+  /// tuples; slot count is sized for ~1 tuple per slot at capacity.
+  JoinHashTable(sim::Node* node, const storage::Schema* schema,
+                int key_field, uint64_t capacity_bytes);
+
+  /// Inserts a copy (charging insert CPU) unless the byte budget would
+  /// be exceeded; returns false on overflow WITHOUT inserting (the
+  /// caller runs the eviction protocol and retries or redirects).
+  bool Insert(const storage::Tuple& tuple, uint64_t hash);
+
+  /// Evicts every resident tuple with hash >= cutoff, charging the
+  /// table-search CPU the paper blames for the overflow curve of
+  /// Figure 7. Returns the evicted (hash, tuple) pairs.
+  std::vector<std::pair<uint64_t, storage::Tuple>> EvictAtOrAbove(
+      uint64_t cutoff);
+
+  /// Probes with an outer key (charging probe + chain-compare CPU) and
+  /// invokes `fn(resident_tuple)` for every key-equal match.
+  template <typename Fn>
+  void Probe(int32_t key, uint64_t hash, Fn&& fn) const {
+    node_->ChargeCpu(node_->cost().cpu_ht_probe_seconds);
+    ++node_->counters().ht_probes;
+    size_t compares = 0;
+    for (uint32_t idx = heads_[SlotOf(hash)]; idx != kNil;
+         idx = entries_[idx].next) {
+      ++compares;
+      if (entries_[idx].key == key) fn(entries_[idx].tuple);
+    }
+    node_->ChargeCpu(static_cast<double>(compares) *
+                     node_->cost().cpu_compare_seconds);
+  }
+
+  /// Invokes `fn(hash)` for every resident tuple (bit-filter rebuild).
+  template <typename Fn>
+  void ForEachResidentHash(Fn&& fn) const {
+    for (const Entry& e : entries_) fn(e.hash);
+  }
+
+  size_t size() const { return entries_.size(); }
+  uint64_t bytes_used() const { return bytes_used_; }
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
+  const HashHistogram& histogram() const { return histogram_; }
+
+  struct ChainStats {
+    size_t tuples = 0;          // resident tuples
+    size_t occupied_slots = 0;  // slots with at least one tuple
+    int max = 0;                // longest chain
+
+    double Average() const {
+      return occupied_slots == 0
+                 ? 0.0
+                 : static_cast<double>(tuples) /
+                       static_cast<double>(occupied_slots);
+    }
+  };
+  /// Chain statistics over occupied slots (paper Section 4.4).
+  ChainStats ComputeChainStats() const;
+
+  /// Empties the table (between buckets / sub-joins). Frees no
+  /// simulated memory cost — the budget is per sub-join.
+  void Clear();
+
+ private:
+  struct Entry {
+    uint64_t hash;
+    int32_t key;
+    uint32_t next;
+    storage::Tuple tuple;
+  };
+
+  static constexpr uint32_t kNil = UINT32_MAX;
+
+  size_t SlotOf(uint64_t hash) const {
+    // Re-mix so slot choice is independent of the routing mod; equal
+    // keys still collide (equal hash -> equal slot), forming the
+    // duplicate chains the paper measures.
+    return (hash * 0x9E3779B97F4A7C15ULL) >> shift_;
+  }
+
+  void RebuildChains();
+
+  sim::Node* node_;
+  const storage::Schema* schema_;
+  int key_field_;
+  uint64_t capacity_bytes_;
+  uint64_t bytes_used_ = 0;
+  int shift_;
+  std::vector<uint32_t> heads_;
+  std::vector<Entry> entries_;
+  HashHistogram histogram_;
+};
+
+}  // namespace gammadb::join
+
+#endif  // GAMMA_JOIN_HASH_TABLE_H_

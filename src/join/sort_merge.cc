@@ -1,0 +1,278 @@
+#include "join/sort_merge.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "gamma/bit_filter.h"
+#include "gamma/scheduler.h"
+#include "gamma/split_table.h"
+#include "sim/exchange.h"
+#include "storage/external_sort.h"
+#include "storage/heap_file.h"
+
+namespace gammadb::join {
+
+namespace {
+
+struct HashedTuple {
+  storage::Tuple tuple;
+  uint64_t hash;
+};
+
+/// One disk node's sort-merge working state.
+struct SiteState {
+  std::unique_ptr<storage::HeapFile> r_temp;
+  std::unique_ptr<storage::HeapFile> s_temp;
+  std::unique_ptr<storage::ExternalSort> r_sort;
+  std::unique_ptr<storage::ExternalSort> s_sort;
+  size_t store_rr_next = 0;
+};
+
+/// Streams two sorted inputs and joins them. Duplicate inner keys are
+/// buffered as a group (no disk back-up needed); reading stops as soon
+/// as the inner stream is exhausted, which is what lets skewed (NU)
+/// inner relations skip the tail of the outer relation (paper
+/// Section 4.4).
+template <typename EmitFn>
+void MergeJoinStreams(sim::Node& node, storage::TupleStream* r_stream,
+                      storage::TupleStream* s_stream,
+                      const storage::Schema& r_schema, int r_field,
+                      const storage::Schema& s_schema, int s_field,
+                      const EmitFn& emit) {
+  const auto charge_compare = [&node] {
+    node.ChargeCpu(node.cost().cpu_compare_seconds);
+  };
+  storage::Tuple r, s;
+  bool rv = r_stream->Next(&r);
+  bool sv = s_stream->Next(&s);
+  while (rv && sv) {
+    const int32_t rk = r.GetInt32(r_schema, static_cast<size_t>(r_field));
+    const int32_t sk = s.GetInt32(s_schema, static_cast<size_t>(s_field));
+    charge_compare();
+    if (rk < sk) {
+      rv = r_stream->Next(&r);
+    } else if (rk > sk) {
+      sv = s_stream->Next(&s);
+    } else {
+      // Gather the inner duplicate group for this key.
+      std::vector<storage::Tuple> group;
+      group.push_back(r);
+      while ((rv = r_stream->Next(&r))) {
+        charge_compare();
+        if (r.GetInt32(r_schema, static_cast<size_t>(r_field)) != rk) break;
+        group.push_back(r);
+      }
+      // Join every outer tuple with this key against the group.
+      while (sv) {
+        if (s.GetInt32(s_schema, static_cast<size_t>(s_field)) != rk) break;
+        for (const storage::Tuple& g : group) {
+          charge_compare();
+          emit(g, s);
+        }
+        sv = s_stream->Next(&s);
+        if (sv) charge_compare();
+      }
+    }
+  }
+  // Inner exhausted: the remaining outer tuples are never read.
+}
+
+}  // namespace
+
+Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
+                        JoinStats* stats) {
+  const std::vector<int> disks = machine.DiskNodeIds();
+  const size_t d = disks.size();
+  const db::SplitTable joining = db::SplitTable::Joining(disks);
+
+  const storage::Schema& r_schema = params.inner->schema();
+  const storage::Schema& s_schema = params.outer->schema();
+  if (params.inner->num_fragments() != d || params.outer->num_fragments() != d) {
+    return Status::InvalidArgument("relations not declustered over all disks");
+  }
+
+  const uint32_t page_bytes = machine.cost().page_bytes;
+  const uint32_t sort_pages_per_node = static_cast<uint32_t>(std::max<uint64_t>(
+      3, params.memory_bytes / d / page_bytes));
+
+  std::vector<SiteState> sites(d);
+  for (size_t di = 0; di < d; ++di) {
+    sim::Node& node = machine.node(disks[di]);
+    sites[di].r_temp = std::make_unique<storage::HeapFile>(
+        &node, &r_schema, "smR." + std::to_string(di));
+    sites[di].s_temp = std::make_unique<storage::HeapFile>(
+        &node, &s_schema, "smS." + std::to_string(di));
+    sites[di].store_rr_next = di;
+  }
+
+  sim::Exchange<HashedTuple> exchange(&machine);
+  sim::Exchange<storage::Tuple> store_exchange(&machine);
+  std::unique_ptr<db::BitFilterSet> filter;
+  if (params.use_bit_filters) {
+    filter = std::make_unique<db::BitFilterSet>(static_cast<int>(d));
+  }
+
+  const auto partition_phase = [&](const char* label,
+                                   const db::StoredRelation* rel,
+                                   const db::PredicateList* predicate,
+                                   int field, bool is_inner,
+                                   std::vector<SiteState>& state) {
+    machine.BeginPhase(label);
+    db::ChargeOperatorPhase(machine, static_cast<int>(d), static_cast<int>(d),
+                            joining.SerializedBytes());
+    // Producers: scan local fragments and route by join-attribute hash.
+    machine.RunOnNodes(disks, [&](sim::Node& n) {
+      size_t di = 0;
+      for (size_t i = 0; i < d; ++i) {
+        if (disks[i] == n.id()) di = i;
+      }
+      auto scanner = rel->fragment(di).Scan();
+      storage::Tuple t;
+      const bool has_predicate = predicate != nullptr && !predicate->empty();
+      while (scanner.Next(&t)) {
+        if (has_predicate) {
+          n.ChargeCpu(n.cost().cpu_predicate_seconds);
+          if (!db::EvalAll(*predicate, rel->schema(), t)) continue;
+        }
+        const int32_t key = t.GetInt32(rel->schema(), static_cast<size_t>(field));
+        const uint64_t hash = HashJoinAttribute(key, params.hash_seed);
+        n.ChargeCpu(n.cost().cpu_hash_route_seconds);
+        const db::SplitEntry& entry = joining.Route(hash);
+        // The assembled filter is applied by the producers of the outer
+        // relation: eliminated tuples are never transmitted, stored,
+        // sorted or merged.
+        if (!is_inner && filter != nullptr) {
+          size_t site = 0;
+          for (size_t i = 0; i < d; ++i) {
+            if (disks[i] == entry.node) site = i;
+          }
+          n.ChargeCpu(n.cost().cpu_filter_op_seconds);
+          if (!filter->MayContain(static_cast<int>(site), hash)) {
+            ++n.counters().filter_drops;
+            continue;
+          }
+        }
+        const uint32_t bytes = t.size();
+        exchange.Send(n.id(), entry.node, HashedTuple{std::move(t), hash},
+                      bytes);
+      }
+    });
+    // Receivers: store into the local temporary file; the inner side
+    // also contributes its slice of the bit filter as tuples arrive.
+    machine.RunOnNodes(disks, [&](sim::Node& n) {
+      size_t di = 0;
+      for (size_t i = 0; i < d; ++i) {
+        if (disks[i] == n.id()) di = i;
+      }
+      storage::HeapFile* temp =
+          is_inner ? state[di].r_temp.get() : state[di].s_temp.get();
+      for (HashedTuple& m : exchange.TakeInbox(n.id())) {
+        if (is_inner && filter != nullptr) {
+          n.ChargeCpu(n.cost().cpu_filter_op_seconds);
+          filter->Set(static_cast<int>(di), m.hash);
+        }
+        temp->Append(m.tuple);
+      }
+      temp->FlushAppends();
+    });
+    machine.EndPhase();
+  };
+
+  // Phase 1: redistribute R into per-site temporary files.
+  partition_phase("sm partition R", params.inner, params.inner_predicate,
+                  params.inner_field, /*is_inner=*/true, sites);
+
+  // Phase 2: sort the local R' files in parallel.
+  machine.BeginPhase("sm sort R");
+  db::ChargeOperatorPhase(machine, static_cast<int>(d), 0, 0);
+  machine.RunOnNodes(disks, [&](sim::Node& n) {
+    size_t di = 0;
+    for (size_t i = 0; i < d; ++i) {
+      if (disks[i] == n.id()) di = i;
+    }
+    sites[di].r_sort = std::make_unique<storage::ExternalSort>(
+        &n, &r_schema, params.inner_field, sort_pages_per_node);
+    sites[di].r_sort->AddFile(*sites[di].r_temp);
+    sites[di].r_temp->Free();
+    sites[di].r_sort->FinishInput();
+  });
+  machine.EndPhase();
+  if (filter != nullptr) {
+    // Ship the assembled filter packet to the producing sites before S
+    // is read.
+    machine.BeginPhase("sm filter dist");
+    db::ChargeFilterDistribution(machine, static_cast<int>(d),
+                                 static_cast<int>(d));
+    machine.EndPhase();
+  }
+
+  // Phase 3: redistribute S (filtered at the producers).
+  partition_phase("sm partition S", params.outer, params.outer_predicate,
+                  params.outer_field, /*is_inner=*/false, sites);
+
+  // Phase 4: sort the local S' files in parallel.
+  machine.BeginPhase("sm sort S");
+  db::ChargeOperatorPhase(machine, static_cast<int>(d), 0, 0);
+  machine.RunOnNodes(disks, [&](sim::Node& n) {
+    size_t di = 0;
+    for (size_t i = 0; i < d; ++i) {
+      if (disks[i] == n.id()) di = i;
+    }
+    sites[di].s_sort = std::make_unique<storage::ExternalSort>(
+        &n, &s_schema, params.outer_field, sort_pages_per_node);
+    sites[di].s_sort->AddFile(*sites[di].s_temp);
+    sites[di].s_temp->Free();
+    sites[di].s_sort->FinishInput();
+  });
+  machine.EndPhase();
+
+  for (const SiteState& site : sites) {
+    stats->inner_sort_passes =
+        std::max(stats->inner_sort_passes, site.r_sort->intermediate_passes());
+    stats->outer_sort_passes =
+        std::max(stats->outer_sort_passes, site.s_sort->intermediate_passes());
+  }
+
+  // Phase 5: parallel local merge join; results round-robin to the
+  // store operators.
+  machine.BeginPhase("sm merge join");
+  db::ChargeOperatorPhase(machine, static_cast<int>(d), static_cast<int>(d), 0);
+  machine.RunOnNodes(disks, [&](sim::Node& n) {
+    size_t di = 0;
+    for (size_t i = 0; i < d; ++i) {
+      if (disks[i] == n.id()) di = i;
+    }
+    auto r_stream = sites[di].r_sort->OpenStream();
+    auto s_stream = sites[di].s_sort->OpenStream();
+    MergeJoinStreams(n, r_stream.get(), s_stream.get(), r_schema,
+                     params.inner_field, s_schema, params.outer_field,
+                     [&](const storage::Tuple& r, const storage::Tuple& s) {
+                       n.ChargeCpu(n.cost().cpu_build_result_seconds);
+                       storage::Tuple result = storage::Tuple::Concat(r, s);
+                       ++n.counters().result_tuples;
+                       const size_t target =
+                           sites[di].store_rr_next++ % d;
+                       const uint32_t bytes = result.size();
+                       store_exchange.Send(n.id(), disks[target],
+                                           std::move(result), bytes);
+                     });
+  });
+  machine.RunOnNodes(disks, [&](sim::Node& n) {
+    size_t di = 0;
+    for (size_t i = 0; i < d; ++i) {
+      if (disks[i] == n.id()) di = i;
+    }
+    for (storage::Tuple& t : store_exchange.TakeInbox(n.id())) {
+      params.result->fragment(di).Append(t);
+    }
+    params.result->fragment(di).FlushAppends();
+  });
+  machine.EndPhase();
+
+  return Status::OK();
+}
+
+}  // namespace gammadb::join

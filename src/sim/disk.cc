@@ -1,0 +1,59 @@
+#include "sim/disk.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "sim/node.h"
+
+namespace gammadb::sim {
+
+Disk::Disk(Node* owner, const CostModel* cost) : owner_(owner), cost_(cost) {}
+
+PageId Disk::AllocatePage() {
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    std::memset(pages_[id].get(), 0, cost_->page_bytes);
+    return id;
+  }
+  pages_.push_back(std::make_unique<uint8_t[]>(cost_->page_bytes));
+  std::memset(pages_.back().get(), 0, cost_->page_bytes);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+void Disk::FreePage(PageId id) {
+  GAMMA_DCHECK(id < pages_.size());
+  free_list_.push_back(id);
+}
+
+void Disk::ChargeIo(AccessPattern pattern, bool is_write) const {
+  const double device = pattern == AccessPattern::kSequential
+                            ? cost_->disk_seq_page_seconds
+                            : cost_->disk_rand_page_seconds;
+  owner_->ChargeDisk(device);
+  owner_->ChargeCpu(cost_->cpu_page_io_seconds);
+  if (is_write) {
+    ++owner_->counters().pages_written;
+  } else {
+    ++owner_->counters().pages_read;
+  }
+}
+
+void Disk::WritePage(PageId id, const uint8_t* data, AccessPattern pattern) {
+  GAMMA_DCHECK(id < pages_.size());
+  std::memcpy(pages_[id].get(), data, cost_->page_bytes);
+  ChargeIo(pattern, /*is_write=*/true);
+}
+
+void Disk::ReadPage(PageId id, uint8_t* out, AccessPattern pattern) const {
+  GAMMA_DCHECK(id < pages_.size());
+  std::memcpy(out, pages_[id].get(), cost_->page_bytes);
+  ChargeIo(pattern, /*is_write=*/false);
+}
+
+const uint8_t* Disk::PeekPage(PageId id) const {
+  GAMMA_DCHECK(id < pages_.size());
+  return pages_[id].get();
+}
+
+}  // namespace gammadb::sim

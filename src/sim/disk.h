@@ -1,0 +1,75 @@
+// Simulated disk drive: a page store with I/O cost accounting.
+//
+// Stands in for the 333 MB Fujitsu 8" drives of the paper's hardware.
+// Pages are real 8 KB byte arrays (the storage layer serializes real
+// tuples into them); only the *time* is simulated. Sequential accesses
+// (WiSS read-ahead / per-file output buffering) are cheaper than random
+// ones; the access pattern is declared by the storage layer, which knows
+// whether it is scanning or probing.
+#ifndef GAMMA_SIM_DISK_H_
+#define GAMMA_SIM_DISK_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/cost_model.h"
+
+namespace gammadb::sim {
+
+class Node;
+
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPageId = UINT32_MAX;
+
+enum class AccessPattern {
+  kSequential,  // file scan / run write with read-ahead or buffering
+  kRandom,      // index lookups, non-contiguous access
+};
+
+class Disk {
+ public:
+  /// The disk charges all I/O to `owner` (in a shared-nothing machine a
+  /// disk is only ever accessed by its own processor).
+  Disk(Node* owner, const CostModel* cost);
+
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  /// Allocates one page (zero-filled). Allocation itself is free; the
+  /// cost is paid when the page is read or written.
+  PageId AllocatePage();
+
+  /// Returns a page to the free pool. Freeing is free (Gamma temp files
+  /// are dropped by catalog operations, not per-page I/O).
+  void FreePage(PageId id);
+
+  /// Copies `cost().page_bytes` bytes into the page and charges one page
+  /// write to the owning node.
+  void WritePage(PageId id, const uint8_t* data, AccessPattern pattern);
+
+  /// Copies the page out and charges one page read to the owning node.
+  void ReadPage(PageId id, uint8_t* out, AccessPattern pattern) const;
+
+  /// Direct, read-only view of page bytes WITHOUT charging I/O. Used by
+  /// tests and by code paths that re-examine a page already charged.
+  const uint8_t* PeekPage(PageId id) const;
+
+  /// Number of live (allocated, not freed) pages.
+  size_t live_pages() const { return pages_.size() - free_list_.size(); }
+
+  const CostModel& cost() const { return *cost_; }
+
+ private:
+  void ChargeIo(AccessPattern pattern, bool is_write) const;
+
+  Node* owner_;
+  const CostModel* cost_;
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+  std::vector<PageId> free_list_;
+};
+
+}  // namespace gammadb::sim
+
+#endif  // GAMMA_SIM_DISK_H_

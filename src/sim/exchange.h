@@ -1,0 +1,65 @@
+// Exchange<T>: typed tuple transport between node processes within a
+// phase, with network cost accounting.
+//
+// Senders call Send() (routing cost is charged by the caller; wire and
+// protocol costs are accounted by the Network at phase end); receivers
+// drain their inbox with TakeInbox() after the sender barrier. Inboxes
+// are mutex-protected so the multi-threaded executor can run many
+// senders concurrently.
+#ifndef GAMMA_SIM_EXCHANGE_H_
+#define GAMMA_SIM_EXCHANGE_H_
+
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/machine.h"
+
+namespace gammadb::sim {
+
+template <typename T>
+class Exchange {
+ public:
+  explicit Exchange(Machine* machine)
+      : machine_(machine),
+        inboxes_(static_cast<size_t>(machine->num_nodes())) {}
+
+  /// Ships one item of `bytes` serialized size from node `src` to node
+  /// `dst`.
+  void Send(int src, int dst, T item, uint32_t bytes) {
+    machine_->network().AccountTuple(src, dst, bytes);
+    Inbox& inbox = inboxes_[static_cast<size_t>(dst)];
+    std::lock_guard<std::mutex> lock(inbox.mu);
+    inbox.items.push_back(std::move(item));
+  }
+
+  /// Removes and returns everything delivered to `node` so far.
+  std::vector<T> TakeInbox(int node) {
+    Inbox& inbox = inboxes_[static_cast<size_t>(node)];
+    std::lock_guard<std::mutex> lock(inbox.mu);
+    return std::exchange(inbox.items, {});
+  }
+
+  /// True if every inbox is empty (useful for invariant checks).
+  bool AllEmpty() {
+    for (auto& inbox : inboxes_) {
+      std::lock_guard<std::mutex> lock(inbox.mu);
+      if (!inbox.items.empty()) return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Inbox {
+    std::mutex mu;
+    std::vector<T> items;
+  };
+
+  Machine* machine_;
+  std::vector<Inbox> inboxes_;
+};
+
+}  // namespace gammadb::sim
+
+#endif  // GAMMA_SIM_EXCHANGE_H_

@@ -1,0 +1,67 @@
+#include "sim/executor.h"
+
+#include "common/logging.h"
+
+namespace gammadb::sim {
+
+Executor::Executor(int num_threads) : num_threads_(num_threads) {
+  GAMMA_CHECK_GE(num_threads, 1);
+  if (num_threads_ > 1) {
+    workers_.reserve(static_cast<size_t>(num_threads_));
+    for (int i = 0; i < num_threads_; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+}
+
+Executor::~Executor() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+}
+
+void Executor::Run(std::vector<std::function<void()>> tasks) {
+  if (num_threads_ == 1) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& task : tasks) {
+      queue_.push_back(std::move(task));
+      ++outstanding_;
+    }
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void Executor::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+      if (outstanding_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace gammadb::sim

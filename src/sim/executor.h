@@ -1,0 +1,51 @@
+// Executor: runs one task per participating node, optionally on a thread
+// pool, and waits for all of them (a phase barrier).
+//
+// With num_threads == 1 tasks run inline in submission order, which makes
+// tuple-arrival order — and therefore overflow behaviour — fully
+// deterministic. This is the default used by benchmarks and tests;
+// multi-threaded mode exercises the same code for correctness-style
+// invariants (results are order-independent).
+#ifndef GAMMA_SIM_EXECUTOR_H_
+#define GAMMA_SIM_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gammadb::sim {
+
+class Executor {
+ public:
+  /// num_threads == 1: inline serial execution (deterministic).
+  explicit Executor(int num_threads);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Runs all tasks and blocks until every one has finished.
+  void Run(std::vector<std::function<void()>> tasks);
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::deque<std::function<void()>> queue_;
+  int outstanding_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace gammadb::sim
+
+#endif  // GAMMA_SIM_EXECUTOR_H_

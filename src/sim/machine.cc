@@ -1,0 +1,119 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gammadb::sim {
+
+Machine::Machine(MachineConfig config)
+    : config_(config),
+      network_(static_cast<size_t>(config.num_disk_nodes +
+                                   config.num_diskless_nodes),
+               &config_.cost),
+      executor_(config.num_threads) {
+  GAMMA_CHECK_GE(config.num_disk_nodes, 1);
+  GAMMA_CHECK_GE(config.num_diskless_nodes, 0);
+  const int total = config.num_disk_nodes + config.num_diskless_nodes;
+  nodes_.reserve(static_cast<size_t>(total));
+  for (int id = 0; id < total; ++id) {
+    nodes_.push_back(std::make_unique<Node>(
+        id, /*has_disk=*/id < config.num_disk_nodes, &config_.cost));
+  }
+}
+
+std::vector<int> Machine::DiskNodeIds() const {
+  std::vector<int> ids(static_cast<size_t>(config_.num_disk_nodes));
+  for (int i = 0; i < config_.num_disk_nodes; ++i) ids[static_cast<size_t>(i)] = i;
+  return ids;
+}
+
+std::vector<int> Machine::DisklessNodeIds() const {
+  std::vector<int> ids;
+  ids.reserve(static_cast<size_t>(config_.num_diskless_nodes));
+  for (int i = config_.num_disk_nodes; i < num_nodes(); ++i) ids.push_back(i);
+  return ids;
+}
+
+void Machine::BeginPhase(std::string label) {
+  GAMMA_CHECK(!in_phase_) << "phase '" << phase_label_
+                          << "' still open when starting '" << label << "'";
+  in_phase_ = true;
+  phase_label_ = std::move(label);
+  phase_sched_seconds_ = 0;
+  for (auto& node : nodes_) node->ResetPhaseUsage();
+}
+
+void Machine::ChargeScheduler(double seconds, int64_t messages) {
+  GAMMA_CHECK(in_phase_);
+  phase_sched_seconds_ += seconds;
+  machine_counters_.control_messages += messages;
+}
+
+void Machine::EndPhase() {
+  GAMMA_CHECK(in_phase_);
+  PhaseRecord record;
+  record.label = std::move(phase_label_);
+  record.sched_seconds = phase_sched_seconds_;
+
+  std::vector<Node*> raw;
+  raw.reserve(nodes_.size());
+  for (auto& node : nodes_) raw.push_back(node.get());
+  record.ring_seconds = network_.FlushPhase(raw, machine_counters_);
+
+  record.usage.reserve(nodes_.size());
+  double slowest_node = 0;
+  for (auto& node : nodes_) {
+    record.usage.push_back(node->phase_usage());
+    slowest_node = std::max(slowest_node, node->phase_usage().Elapsed());
+  }
+  // Node work overlaps ring transfers; scheduler messages serialize.
+  record.elapsed_seconds =
+      std::max(slowest_node, record.ring_seconds) + record.sched_seconds;
+  response_seconds_ += record.elapsed_seconds;
+  phases_.push_back(std::move(record));
+  in_phase_ = false;
+}
+
+void Machine::RunOnNodes(const std::vector<int>& ids,
+                         const std::function<void(Node&)>& fn) {
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(ids.size());
+  for (int id : ids) {
+    GAMMA_CHECK(id >= 0 && id < num_nodes()) << "bad node id " << id;
+    Node* node = nodes_[static_cast<size_t>(id)].get();
+    tasks.push_back([node, &fn] { fn(*node); });
+  }
+  executor_.Run(std::move(tasks));
+}
+
+RunMetrics Machine::Metrics() const {
+  RunMetrics m;
+  m.response_seconds = response_seconds_;
+  m.phases = phases_;
+  m.counters = machine_counters_;
+  for (const auto& node : nodes_) {
+    const Counters& c = node->counters();
+    m.counters.pages_read += c.pages_read;
+    m.counters.pages_written += c.pages_written;
+    m.counters.ht_inserts += c.ht_inserts;
+    m.counters.ht_probes += c.ht_probes;
+    m.counters.ht_overflows += c.ht_overflows;
+    m.counters.filter_drops += c.filter_drops;
+    m.counters.result_tuples += c.result_tuples;
+  }
+  return m;
+}
+
+void Machine::ResetMetrics() {
+  GAMMA_CHECK(!in_phase_);
+  response_seconds_ = 0;
+  machine_counters_ = Counters{};
+  phases_.clear();
+  for (auto& node : nodes_) {
+    node->ResetCounters();
+    node->ResetPhaseUsage();
+  }
+}
+
+}  // namespace gammadb::sim

@@ -1,0 +1,103 @@
+// The simulated shared-nothing multiprocessor.
+//
+// Mirrors the paper's Gamma configuration: a set of processors, some
+// with attached disks ("disk nodes") and some diskless ("join nodes" of
+// the remote configuration), connected by a token ring. The machine
+// owns the phase clock: algorithms bracket their work in
+// BeginPhase/EndPhase, run per-node work through RunOnNodes, and the
+// machine turns accumulated per-node CPU/disk time plus network traffic
+// into response time.
+#ifndef GAMMA_SIM_MACHINE_H_
+#define GAMMA_SIM_MACHINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/executor.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "sim/node.h"
+
+namespace gammadb::sim {
+
+struct MachineConfig {
+  /// Processors with attached disk drives (Gamma default: 8).
+  int num_disk_nodes = 8;
+  /// Diskless processors available for join/aggregate work.
+  int num_diskless_nodes = 0;
+  CostModel cost;
+  /// 1 = deterministic serial execution (default); >1 = thread pool.
+  int num_threads = 1;
+};
+
+class Machine {
+ public:
+  explicit Machine(MachineConfig config);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_disk_nodes() const { return config_.num_disk_nodes; }
+  Node& node(int id) { return *nodes_[static_cast<size_t>(id)]; }
+  const Node& node(int id) const { return *nodes_[static_cast<size_t>(id)]; }
+
+  /// Ids of the nodes with attached disks, ascending ([0, num_disk_nodes)).
+  std::vector<int> DiskNodeIds() const;
+  /// Ids of the diskless nodes, ascending.
+  std::vector<int> DisklessNodeIds() const;
+
+  Network& network() { return network_; }
+  const CostModel& cost() const { return config_.cost; }
+  const MachineConfig& config() const { return config_; }
+
+  // --- Phase control -----------------------------------------------------
+
+  /// Opens a phase. Phases must not nest.
+  void BeginPhase(std::string label);
+
+  /// Adds serialized scheduler work (control messages, split-table
+  /// distribution) to the current phase; counts `messages` control
+  /// messages in the counters.
+  void ChargeScheduler(double seconds, int64_t messages);
+
+  /// Closes the phase: flushes network traffic, computes the phase's
+  /// elapsed time (max over nodes of max(cpu, disk), then max with ring
+  /// occupancy, plus scheduler seconds) and adds it to the response time.
+  void EndPhase();
+
+  /// Runs `fn(node)` once for each id in `ids` (a phase sub-step); blocks
+  /// until all complete.
+  void RunOnNodes(const std::vector<int>& ids,
+                  const std::function<void(Node&)>& fn);
+
+  // --- Results ------------------------------------------------------------
+
+  /// Response time accumulated since the last ResetMetrics().
+  double response_seconds() const { return response_seconds_; }
+
+  /// Snapshot of all metrics: merges per-node counters with the
+  /// machine-level ones.
+  RunMetrics Metrics() const;
+
+  /// Clears response time, phases and all counters (start of a query).
+  void ResetMetrics();
+
+ private:
+  MachineConfig config_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  Network network_;
+  Executor executor_;
+
+  bool in_phase_ = false;
+  std::string phase_label_;
+  double phase_sched_seconds_ = 0;
+
+  double response_seconds_ = 0;
+  Counters machine_counters_;  // network + scheduler counters
+  std::vector<PhaseRecord> phases_;
+};
+
+}  // namespace gammadb::sim
+
+#endif  // GAMMA_SIM_MACHINE_H_

@@ -1,0 +1,60 @@
+// Simulated 80 Mbit token ring with 2 KB packets and short-circuiting.
+//
+// Gamma's communication software short-circuits messages between two
+// processes on the same processor (paper Section 2.2): such traffic
+// never occupies the ring and pays a reduced protocol cost, but the
+// cost "cannot be ignored" (Section 4.1). The network therefore tracks,
+// per (source, destination) pair within a phase, how many bytes and
+// tuples flowed; at phase end the traffic is packetized and protocol
+// CPU is charged to both endpoints, with ring occupancy accumulated for
+// remote traffic only.
+#ifndef GAMMA_SIM_NETWORK_H_
+#define GAMMA_SIM_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/metrics.h"
+
+namespace gammadb::sim {
+
+class Node;
+
+class Network {
+ public:
+  Network(size_t num_nodes, const CostModel* cost);
+
+  /// Records `bytes` of tuple traffic from node `src` to node `dst`.
+  /// Thread-safety contract: within a phase, row `src` is only touched by
+  /// the executor task running on behalf of node `src`.
+  void AccountTuple(int src, int dst, uint32_t bytes) {
+    Cell& c = matrix_[static_cast<size_t>(src) * num_nodes_ + dst];
+    c.bytes += bytes;
+    c.tuples += 1;
+  }
+
+  /// Records a stream of raw bytes (e.g. shipping a bit filter).
+  void AccountBytes(int src, int dst, uint64_t bytes) {
+    matrix_[static_cast<size_t>(src) * num_nodes_ + dst].bytes += bytes;
+  }
+
+  /// Packetizes the phase's traffic: charges protocol CPU to the nodes,
+  /// updates `counters`, and returns the ring occupancy in seconds.
+  /// Clears the traffic matrix for the next phase.
+  double FlushPhase(std::vector<Node*>& nodes, Counters& counters);
+
+ private:
+  struct Cell {
+    uint64_t bytes = 0;
+    uint64_t tuples = 0;
+  };
+
+  size_t num_nodes_;
+  const CostModel* cost_;
+  std::vector<Cell> matrix_;  // row-major [src][dst]
+};
+
+}  // namespace gammadb::sim
+
+#endif  // GAMMA_SIM_NETWORK_H_

@@ -1,0 +1,24 @@
+#include "sim/node.h"
+
+#include "common/logging.h"
+
+namespace gammadb::sim {
+
+Node::Node(int id, bool has_disk, const CostModel* cost)
+    : id_(id), cost_(cost) {
+  if (has_disk) {
+    disk_ = std::make_unique<Disk>(this, cost);
+  }
+}
+
+Disk& Node::disk() {
+  GAMMA_CHECK(disk_ != nullptr) << "node " << id_ << " is diskless";
+  return *disk_;
+}
+
+const Disk& Node::disk() const {
+  GAMMA_CHECK(disk_ != nullptr) << "node " << id_ << " is diskless";
+  return *disk_;
+}
+
+}  // namespace gammadb::sim

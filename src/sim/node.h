@@ -1,0 +1,57 @@
+// One processor of the simulated shared-nothing machine.
+//
+// A node owns (optionally) a disk, a per-phase time account and its own
+// operation counters. During a phase, at most one executor task runs on
+// behalf of a node, so charging needs no synchronization.
+#ifndef GAMMA_SIM_NODE_H_
+#define GAMMA_SIM_NODE_H_
+
+#include <memory>
+
+#include "sim/cost_model.h"
+#include "sim/disk.h"
+#include "sim/metrics.h"
+
+namespace gammadb::sim {
+
+class Node {
+ public:
+  Node(int id, bool has_disk, const CostModel* cost);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const { return id_; }
+  bool has_disk() const { return disk_ != nullptr; }
+
+  /// Requires has_disk().
+  Disk& disk();
+  const Disk& disk() const;
+
+  const CostModel& cost() const { return *cost_; }
+
+  /// Adds CPU time to the current phase.
+  void ChargeCpu(double seconds) { phase_usage_.cpu_seconds += seconds; }
+  /// Adds disk-device time to the current phase.
+  void ChargeDisk(double seconds) { phase_usage_.disk_seconds += seconds; }
+
+  /// Current-phase account (read by Machine::EndPhase).
+  const NodeUsage& phase_usage() const { return phase_usage_; }
+  void ResetPhaseUsage() { phase_usage_ = NodeUsage{}; }
+
+  /// This node's private operation counters (merged by Machine).
+  Counters& counters() { return counters_; }
+  const Counters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = Counters{}; }
+
+ private:
+  int id_;
+  const CostModel* cost_;
+  std::unique_ptr<Disk> disk_;
+  NodeUsage phase_usage_;
+  Counters counters_;
+};
+
+}  // namespace gammadb::sim
+
+#endif  // GAMMA_SIM_NODE_H_

@@ -1,0 +1,51 @@
+#include "sim/throughput.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gammadb::sim {
+
+double ThroughputEstimate::ThroughputAtMpl(int k) const {
+  if (k <= 0 || single_query_seconds <= 0) return 0;
+  const double pipeline_bound =
+      static_cast<double>(k) / single_query_seconds;
+  return std::min(pipeline_bound, MaxThroughput());
+}
+
+double ThroughputEstimate::ResponseAtMpl(int k) const {
+  const double x = ThroughputAtMpl(k);
+  return x > 0 ? static_cast<double>(k) / x : 0.0;
+}
+
+int ThroughputEstimate::SaturationMpl() const {
+  const double d = BottleneckSeconds();
+  if (d <= 0 || single_query_seconds <= 0) return 1;
+  return static_cast<int>(std::ceil(single_query_seconds / d));
+}
+
+ThroughputEstimate EstimateThroughput(const RunMetrics& metrics) {
+  ThroughputEstimate estimate;
+  estimate.single_query_seconds = metrics.response_seconds;
+  std::vector<double> cpu, disk;
+  for (const auto& phase : metrics.phases) {
+    if (cpu.size() < phase.usage.size()) {
+      cpu.resize(phase.usage.size());
+      disk.resize(phase.usage.size());
+    }
+    for (size_t i = 0; i < phase.usage.size(); ++i) {
+      cpu[i] += phase.usage[i].cpu_seconds;
+      disk[i] += phase.usage[i].disk_seconds;
+    }
+  }
+  for (double c : cpu) {
+    estimate.bottleneck_cpu_seconds =
+        std::max(estimate.bottleneck_cpu_seconds, c);
+  }
+  for (double d : disk) {
+    estimate.bottleneck_disk_seconds =
+        std::max(estimate.bottleneck_disk_seconds, d);
+  }
+  return estimate;
+}
+
+}  // namespace gammadb::sim

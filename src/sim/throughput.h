@@ -1,0 +1,57 @@
+// Multiuser throughput estimation — the study the paper defers ("we
+// intend on studying the multiuser tradeoffs in the near future",
+// Section 5) — via asymptotic bound analysis over a measured
+// single-query profile.
+//
+// With K identical queries cycling through the machine (closed system,
+// no think time), throughput is bounded by both the single-query
+// pipeline (K/R0, all resources overlapped) and the busiest resource's
+// service demand per query (1/D_max): X(K) = min(K/R0, 1/D_max), and
+// R(K) = K/X(K). The bottleneck demand D_max is the per-query busy time
+// of the most loaded CPU or disk — which is exactly why offloading
+// joins to diskless processors ("remote" execution) buys multiuser
+// throughput even when it loses on single-query response time.
+#ifndef GAMMA_SIM_THROUGHPUT_H_
+#define GAMMA_SIM_THROUGHPUT_H_
+
+#include "sim/metrics.h"
+
+namespace gammadb::sim {
+
+struct ThroughputEstimate {
+  /// Single-query response time (the profile's R0).
+  double single_query_seconds = 0;
+  /// Busiest processor's CPU seconds per query.
+  double bottleneck_cpu_seconds = 0;
+  /// Busiest disk's device seconds per query.
+  double bottleneck_disk_seconds = 0;
+
+  /// Largest per-query service demand on any resource.
+  double BottleneckSeconds() const {
+    return bottleneck_cpu_seconds > bottleneck_disk_seconds
+               ? bottleneck_cpu_seconds
+               : bottleneck_disk_seconds;
+  }
+
+  /// Saturation throughput, queries/second.
+  double MaxThroughput() const {
+    const double d = BottleneckSeconds();
+    return d > 0 ? 1.0 / d : 0.0;
+  }
+
+  /// Throughput at multiprogramming level k (asymptotic bounds).
+  double ThroughputAtMpl(int k) const;
+
+  /// Mean response time at multiprogramming level k.
+  double ResponseAtMpl(int k) const;
+
+  /// Smallest multiprogramming level that saturates the bottleneck.
+  int SaturationMpl() const;
+};
+
+/// Derives the estimate from one executed query's metrics.
+ThroughputEstimate EstimateThroughput(const RunMetrics& metrics);
+
+}  // namespace gammadb::sim
+
+#endif  // GAMMA_SIM_THROUGHPUT_H_

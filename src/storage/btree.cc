@@ -1,0 +1,362 @@
+#include "storage/btree.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace gammadb::storage {
+
+namespace {
+
+// Node page layout:
+//   offset 0: uint16 count
+//   offset 2: uint8  is_leaf
+//   offset 3: pad
+//   offset 4: uint32 link  (leaf: next-leaf page id; internal: leftmost child)
+//   offset 8: packed entries
+//     leaf entry:     int32 key + uint64 value  (12 bytes)
+//     internal entry: int32 key + uint32 child  (8 bytes; child is right of key)
+constexpr uint32_t kHeader = 8;
+constexpr uint32_t kLeafEntry = 12;
+constexpr uint32_t kInternalEntry = 8;
+constexpr uint32_t kNoPage = 0xFFFFFFFFu;
+
+/// Mutable decoded view over a node page buffer.
+class NodeView {
+ public:
+  explicit NodeView(uint8_t* buf) : buf_(buf) {}
+
+  uint16_t count() const {
+    uint16_t c;
+    std::memcpy(&c, buf_, sizeof(c));
+    return c;
+  }
+  void set_count(uint16_t c) { std::memcpy(buf_, &c, sizeof(c)); }
+
+  bool is_leaf() const { return buf_[2] != 0; }
+  void set_is_leaf(bool v) { buf_[2] = v ? 1 : 0; }
+
+  uint32_t link() const {
+    uint32_t l;
+    std::memcpy(&l, buf_ + 4, sizeof(l));
+    return l;
+  }
+  void set_link(uint32_t l) { std::memcpy(buf_ + 4, &l, sizeof(l)); }
+
+  // --- Leaf entries ---
+  int32_t LeafKey(uint16_t i) const {
+    int32_t k;
+    std::memcpy(&k, buf_ + kHeader + i * kLeafEntry, sizeof(k));
+    return k;
+  }
+  uint64_t LeafValue(uint16_t i) const {
+    uint64_t v;
+    std::memcpy(&v, buf_ + kHeader + i * kLeafEntry + 4, sizeof(v));
+    return v;
+  }
+  void SetLeafEntry(uint16_t i, int32_t key, uint64_t value) {
+    std::memcpy(buf_ + kHeader + i * kLeafEntry, &key, sizeof(key));
+    std::memcpy(buf_ + kHeader + i * kLeafEntry + 4, &value, sizeof(value));
+  }
+  void LeafInsertAt(uint16_t pos, int32_t key, uint64_t value) {
+    const uint16_t n = count();
+    std::memmove(buf_ + kHeader + (pos + 1) * kLeafEntry,
+                 buf_ + kHeader + pos * kLeafEntry,
+                 static_cast<size_t>(n - pos) * kLeafEntry);
+    SetLeafEntry(pos, key, value);
+    set_count(static_cast<uint16_t>(n + 1));
+  }
+
+  // --- Internal entries ---
+  int32_t InternalKey(uint16_t i) const {
+    int32_t k;
+    std::memcpy(&k, buf_ + kHeader + i * kInternalEntry, sizeof(k));
+    return k;
+  }
+  uint32_t InternalChild(uint16_t i) const {
+    uint32_t c;
+    std::memcpy(&c, buf_ + kHeader + i * kInternalEntry + 4, sizeof(c));
+    return c;
+  }
+  void SetInternalEntry(uint16_t i, int32_t key, uint32_t child) {
+    std::memcpy(buf_ + kHeader + i * kInternalEntry, &key, sizeof(key));
+    std::memcpy(buf_ + kHeader + i * kInternalEntry + 4, &child, sizeof(child));
+  }
+  void InternalInsertAt(uint16_t pos, int32_t key, uint32_t child) {
+    const uint16_t n = count();
+    std::memmove(buf_ + kHeader + (pos + 1) * kInternalEntry,
+                 buf_ + kHeader + pos * kInternalEntry,
+                 static_cast<size_t>(n - pos) * kInternalEntry);
+    SetInternalEntry(pos, key, child);
+    set_count(static_cast<uint16_t>(n + 1));
+  }
+
+  /// For a search key, the child page to descend into.
+  /// lower_bound semantics: descend LEFT of the first separator >= key,
+  /// so equal keys are always found at or right of the reached leaf.
+  uint32_t DescendLowerBound(int32_t key) const {
+    const uint16_t n = count();
+    uint16_t i = 0;
+    while (i < n && InternalKey(i) < key) ++i;
+    return i == 0 ? link() : InternalChild(static_cast<uint16_t>(i - 1));
+  }
+
+  /// upper_bound semantics (inserts go to the rightmost eligible child).
+  uint16_t ChildIndexUpperBound(int32_t key) const {
+    const uint16_t n = count();
+    uint16_t i = 0;
+    while (i < n && InternalKey(i) <= key) ++i;
+    return i;  // 0 => leftmost child (link), else InternalChild(i-1)
+  }
+  uint32_t ChildAt(uint16_t idx) const {
+    return idx == 0 ? link() : InternalChild(static_cast<uint16_t>(idx - 1));
+  }
+
+ private:
+  uint8_t* buf_;
+};
+
+}  // namespace
+
+BPlusTree::BPlusTree(sim::Node* node) : node_(node) {
+  GAMMA_CHECK(node_->has_disk());
+  root_ = NewLeaf();
+}
+
+BPlusTree::~BPlusTree() {
+  for (sim::PageId id : allocated_pages_) node_->disk().FreePage(id);
+}
+
+sim::PageId BPlusTree::NewLeaf() {
+  const sim::PageId id = node_->disk().AllocatePage();
+  allocated_pages_.push_back(id);
+  std::vector<uint8_t> buf(node_->cost().page_bytes, 0);
+  NodeView view(buf.data());
+  view.set_is_leaf(true);
+  view.set_link(kNoPage);
+  node_->disk().WritePage(id, buf.data(), sim::AccessPattern::kRandom);
+  return id;
+}
+
+sim::PageId BPlusTree::NewInternal() {
+  const sim::PageId id = node_->disk().AllocatePage();
+  allocated_pages_.push_back(id);
+  std::vector<uint8_t> buf(node_->cost().page_bytes, 0);
+  NodeView view(buf.data());
+  view.set_is_leaf(false);
+  view.set_link(kNoPage);
+  node_->disk().WritePage(id, buf.data(), sim::AccessPattern::kRandom);
+  return id;
+}
+
+void BPlusTree::Insert(int32_t key, uint64_t value) {
+  auto split = InsertRecursive(root_, key, value);
+  if (split.has_value()) {
+    // Grow a new root.
+    const sim::PageId new_root = NewInternal();
+    std::vector<uint8_t> buf(node_->cost().page_bytes);
+    node_->disk().ReadPage(new_root, buf.data(), sim::AccessPattern::kRandom);
+    NodeView view(buf.data());
+    view.set_link(root_);
+    view.SetInternalEntry(0, split->separator, split->right);
+    view.set_count(1);
+    node_->disk().WritePage(new_root, buf.data(), sim::AccessPattern::kRandom);
+    root_ = new_root;
+    ++height_;
+  }
+  ++size_;
+}
+
+std::optional<BPlusTree::SplitResult> BPlusTree::InsertRecursive(
+    sim::PageId page, int32_t key, uint64_t value) {
+  const uint32_t page_bytes = node_->cost().page_bytes;
+  const uint16_t leaf_cap =
+      static_cast<uint16_t>((page_bytes - kHeader) / kLeafEntry);
+  const uint16_t internal_cap =
+      static_cast<uint16_t>((page_bytes - kHeader) / kInternalEntry);
+
+  std::vector<uint8_t> buf(page_bytes);
+  node_->disk().ReadPage(page, buf.data(), sim::AccessPattern::kRandom);
+  NodeView view(buf.data());
+
+  if (view.is_leaf()) {
+    // Insert position: after existing equal keys (stable for duplicates).
+    uint16_t pos = 0;
+    const uint16_t n = view.count();
+    while (pos < n && view.LeafKey(pos) <= key) ++pos;
+    if (n < leaf_cap) {
+      view.LeafInsertAt(pos, key, value);
+      node_->disk().WritePage(page, buf.data(), sim::AccessPattern::kRandom);
+      return std::nullopt;
+    }
+    // Split. Prefer a split point that does not straddle a duplicate
+    // group so equal keys stay reachable from one leaf.
+    uint16_t mid = static_cast<uint16_t>(n / 2);
+    while (mid > 1 && view.LeafKey(static_cast<uint16_t>(mid - 1)) ==
+                          view.LeafKey(mid)) {
+      --mid;
+    }
+    if (mid <= 1) mid = static_cast<uint16_t>(n / 2);  // all-equal node
+
+    const sim::PageId right_id = NewLeaf();
+    std::vector<uint8_t> rbuf(page_bytes);
+    node_->disk().ReadPage(right_id, rbuf.data(), sim::AccessPattern::kRandom);
+    NodeView right(rbuf.data());
+    for (uint16_t i = mid; i < n; ++i) {
+      right.SetLeafEntry(static_cast<uint16_t>(i - mid), view.LeafKey(i),
+                         view.LeafValue(i));
+    }
+    right.set_count(static_cast<uint16_t>(n - mid));
+    right.set_link(view.link());
+    view.set_count(mid);
+    view.set_link(right_id);
+
+    // Insert the new entry into the proper half.
+    const int32_t sep = right.LeafKey(0);
+    if (key >= sep) {
+      uint16_t rpos = 0;
+      const uint16_t rn = right.count();
+      while (rpos < rn && right.LeafKey(rpos) <= key) ++rpos;
+      right.LeafInsertAt(rpos, key, value);
+    } else {
+      uint16_t lpos = 0;
+      const uint16_t ln = view.count();
+      while (lpos < ln && view.LeafKey(lpos) <= key) ++lpos;
+      view.LeafInsertAt(lpos, key, value);
+    }
+    node_->disk().WritePage(page, buf.data(), sim::AccessPattern::kRandom);
+    node_->disk().WritePage(right_id, rbuf.data(), sim::AccessPattern::kRandom);
+    return SplitResult{sep, right_id};
+  }
+
+  // Internal node.
+  const uint16_t child_idx = view.ChildIndexUpperBound(key);
+  auto child_split = InsertRecursive(view.ChildAt(child_idx), key, value);
+  if (!child_split.has_value()) return std::nullopt;
+
+  const uint16_t n = view.count();
+  if (n < internal_cap) {
+    view.InternalInsertAt(child_idx, child_split->separator,
+                          child_split->right);
+    node_->disk().WritePage(page, buf.data(), sim::AccessPattern::kRandom);
+    return std::nullopt;
+  }
+
+  // Split the internal node: median separator moves up.
+  // Build the would-be entry list including the new one, then split it.
+  std::vector<std::pair<int32_t, uint32_t>> entries;
+  entries.reserve(static_cast<size_t>(n) + 1);
+  for (uint16_t i = 0; i < n; ++i) {
+    entries.emplace_back(view.InternalKey(i), view.InternalChild(i));
+  }
+  entries.insert(entries.begin() + child_idx,
+                 {child_split->separator, child_split->right});
+
+  const size_t total = entries.size();
+  const size_t mid = total / 2;  // entries[mid] moves up
+  const int32_t up_key = entries[mid].first;
+
+  const sim::PageId right_id = NewInternal();
+  std::vector<uint8_t> rbuf(page_bytes);
+  node_->disk().ReadPage(right_id, rbuf.data(), sim::AccessPattern::kRandom);
+  NodeView right(rbuf.data());
+  right.set_link(entries[mid].second);  // leftmost child of the right node
+  uint16_t rcount = 0;
+  for (size_t i = mid + 1; i < total; ++i) {
+    right.SetInternalEntry(rcount, entries[i].first, entries[i].second);
+    ++rcount;
+  }
+  right.set_count(rcount);
+
+  // Left node keeps entries [0, mid).
+  view.set_count(0);
+  uint16_t lcount = 0;
+  for (size_t i = 0; i < mid; ++i) {
+    view.SetInternalEntry(lcount, entries[i].first, entries[i].second);
+    ++lcount;
+  }
+  view.set_count(lcount);
+
+  node_->disk().WritePage(page, buf.data(), sim::AccessPattern::kRandom);
+  node_->disk().WritePage(right_id, rbuf.data(), sim::AccessPattern::kRandom);
+  return SplitResult{up_key, right_id};
+}
+
+sim::PageId BPlusTree::FindLeaf(int32_t key) const {
+  const uint32_t page_bytes = node_->cost().page_bytes;
+  std::vector<uint8_t> buf(page_bytes);
+  sim::PageId page = root_;
+  for (;;) {
+    node_->disk().ReadPage(page, buf.data(), sim::AccessPattern::kRandom);
+    NodeView view(buf.data());
+    if (view.is_leaf()) return page;
+    page = view.DescendLowerBound(key);
+  }
+}
+
+std::vector<uint64_t> BPlusTree::Search(int32_t key) const {
+  std::vector<uint64_t> out;
+  const uint32_t page_bytes = node_->cost().page_bytes;
+  std::vector<uint8_t> buf(page_bytes);
+  sim::PageId page = FindLeaf(key);
+  for (;;) {
+    node_->disk().ReadPage(page, buf.data(), sim::AccessPattern::kRandom);
+    NodeView view(buf.data());
+    const uint16_t n = view.count();
+    bool past_key = false;
+    for (uint16_t i = 0; i < n; ++i) {
+      const int32_t k = view.LeafKey(i);
+      if (k == key) {
+        out.push_back(view.LeafValue(i));
+      } else if (k > key) {
+        past_key = true;
+        break;
+      }
+    }
+    if (past_key || view.link() == kNoPage) break;
+    page = view.link();
+  }
+  return out;
+}
+
+std::vector<std::pair<int32_t, uint64_t>> BPlusTree::RangeScan(
+    int32_t lo, int32_t hi) const {
+  std::vector<std::pair<int32_t, uint64_t>> out;
+  if (lo > hi) return out;
+  const uint32_t page_bytes = node_->cost().page_bytes;
+  std::vector<uint8_t> buf(page_bytes);
+  sim::PageId page = FindLeaf(lo);
+  for (;;) {
+    node_->disk().ReadPage(page, buf.data(), sim::AccessPattern::kRandom);
+    NodeView view(buf.data());
+    const uint16_t n = view.count();
+    bool done = false;
+    for (uint16_t i = 0; i < n; ++i) {
+      const int32_t k = view.LeafKey(i);
+      if (k < lo) continue;
+      if (k > hi) {
+        done = true;
+        break;
+      }
+      out.emplace_back(k, view.LeafValue(i));
+    }
+    if (done || view.link() == kNoPage) break;
+    page = view.link();
+  }
+  return out;
+}
+
+void BPlusTree::ValidateInvariants() const {
+  // Iterative walk: collect leaf depth and ordering via RangeScan over
+  // the full key domain, then check monotonicity.
+  auto all = RangeScan(std::numeric_limits<int32_t>::min(),
+                       std::numeric_limits<int32_t>::max());
+  GAMMA_CHECK_EQ(all.size(), size_);
+  for (size_t i = 1; i < all.size(); ++i) {
+    GAMMA_CHECK_LE(all[i - 1].first, all[i].first)
+        << "leaf chain out of order at position " << i;
+  }
+}
+
+}  // namespace gammadb::storage

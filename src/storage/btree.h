@@ -1,0 +1,70 @@
+// Page-based B+-tree index: the "B+ indices" service of WiSS (paper
+// Section 2.2).
+//
+// Keys are int32 attribute values (duplicates allowed); values are
+// opaque 64-bit payloads (record ids). Nodes are real page images on a
+// simulated disk; every node touched by a lookup or split is charged as
+// a random page access (no buffer-pool caching is modeled — the paper's
+// join experiments never go through an index, so the tree serves as a
+// substrate-completeness service exercised by tests and examples).
+#ifndef GAMMA_STORAGE_BTREE_H_
+#define GAMMA_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/node.h"
+
+namespace gammadb::storage {
+
+class BPlusTree {
+ public:
+  /// `node` must own a disk.
+  explicit BPlusTree(sim::Node* node);
+  /// Returns every node page to the disk.
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts a (key, value) entry. Duplicate keys are allowed.
+  void Insert(int32_t key, uint64_t value);
+
+  /// All values stored under `key` (possibly empty).
+  std::vector<uint64_t> Search(int32_t key) const;
+
+  /// All (key, value) entries with lo <= key <= hi, in key order.
+  std::vector<std::pair<int32_t, uint64_t>> RangeScan(int32_t lo,
+                                                      int32_t hi) const;
+
+  size_t size() const { return size_; }
+  int height() const { return height_; }
+
+  /// Walks the whole tree checking structural invariants (ordering,
+  /// separator correctness, leaf chaining). CHECK-fails on violation.
+  void ValidateInvariants() const;
+
+ private:
+  struct SplitResult {
+    int32_t separator;
+    sim::PageId right;
+  };
+
+  sim::PageId NewLeaf();
+  sim::PageId NewInternal();
+  std::optional<SplitResult> InsertRecursive(sim::PageId page, int32_t key,
+                                             uint64_t value);
+  sim::PageId FindLeaf(int32_t key) const;
+
+  sim::Node* node_;
+  sim::PageId root_;
+  size_t size_ = 0;
+  int height_ = 1;
+  std::vector<sim::PageId> allocated_pages_;
+};
+
+}  // namespace gammadb::storage
+
+#endif  // GAMMA_STORAGE_BTREE_H_

@@ -1,0 +1,90 @@
+#include "storage/byte_file.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace gammadb::storage {
+
+ByteFile::ByteFile(sim::Node* node, std::string name)
+    : node_(node), name_(std::move(name)) {
+  GAMMA_CHECK(node_->has_disk()) << "byte file requires a disk node";
+}
+
+void ByteFile::Append(const uint8_t* data, size_t n) {
+  if (tail_flushed_) {
+    // The trailing partial page was snapshotted to disk; retract the
+    // snapshot and continue filling the in-memory tail.
+    node_->disk().FreePage(pages_.back());
+    pages_.pop_back();
+    tail_flushed_ = false;
+  }
+  size_t consumed = 0;
+  while (consumed < n) {
+    const size_t room = page_bytes() - tail_.size();
+    const size_t take = std::min(room, n - consumed);
+    tail_.insert(tail_.end(), data + consumed, data + consumed + take);
+    consumed += take;
+    if (tail_.size() == page_bytes()) {
+      const sim::PageId id = node_->disk().AllocatePage();
+      node_->disk().WritePage(id, tail_.data(),
+                              sim::AccessPattern::kSequential);
+      pages_.push_back(id);
+      tail_.clear();
+    }
+  }
+  size_ += n;
+}
+
+void ByteFile::FlushAppends() {
+  if (tail_.empty() || tail_flushed_) return;
+  std::vector<uint8_t> page(page_bytes(), 0);
+  std::memcpy(page.data(), tail_.data(), tail_.size());
+  const sim::PageId id = node_->disk().AllocatePage();
+  node_->disk().WritePage(id, page.data(), sim::AccessPattern::kSequential);
+  pages_.push_back(id);
+  tail_flushed_ = true;
+}
+
+Status ByteFile::ReadAt(uint64_t offset, size_t n, uint8_t* out) const {
+  if (offset + n > size_) {
+    return Status::OutOfRange("read past end of byte file");
+  }
+  if (n == 0) return Status::OK();
+  const uint64_t persistent_bytes =
+      tail_flushed_
+          ? size_
+          : static_cast<uint64_t>(pages_.size()) * page_bytes();
+  if (offset + n > persistent_bytes) {
+    return Status::FailedPrecondition("unflushed bytes; call FlushAppends");
+  }
+  std::vector<uint8_t> page(page_bytes());
+  size_t produced = 0;
+  while (produced < n) {
+    const uint64_t pos = offset + produced;
+    const size_t page_index = static_cast<size_t>(pos / page_bytes());
+    const size_t in_page = static_cast<size_t>(pos % page_bytes());
+    const size_t take =
+        std::min(static_cast<size_t>(page_bytes()) - in_page, n - produced);
+    const sim::AccessPattern pattern = pos == last_read_end_
+                                           ? sim::AccessPattern::kSequential
+                                           : sim::AccessPattern::kRandom;
+    node_->disk().ReadPage(pages_[page_index], page.data(), pattern);
+    std::memcpy(out + produced, page.data() + in_page, take);
+    produced += take;
+    last_read_end_ = pos + take;
+  }
+  return Status::OK();
+}
+
+void ByteFile::Free() {
+  for (sim::PageId id : pages_) node_->disk().FreePage(id);
+  pages_.clear();
+  tail_.clear();
+  tail_flushed_ = false;
+  size_ = 0;
+  last_read_end_ = UINT64_MAX;
+}
+
+}  // namespace gammadb::storage

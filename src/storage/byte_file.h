@@ -1,0 +1,58 @@
+// Byte-stream files "as in UNIX" — one of the WiSS file services the
+// paper lists (Section 2.2), used for unstructured data (long data
+// items are byte files with external references). Offers positioned
+// reads and appends over page-granular simulated storage.
+#ifndef GAMMA_STORAGE_BYTE_FILE_H_
+#define GAMMA_STORAGE_BYTE_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/node.h"
+
+namespace gammadb::storage {
+
+class ByteFile {
+ public:
+  /// `node` must own a disk; all I/O is charged to it.
+  ByteFile(sim::Node* node, std::string name = "");
+
+  ByteFile(const ByteFile&) = delete;
+  ByteFile& operator=(const ByteFile&) = delete;
+
+  /// Appends `n` bytes to the end of the file. Whole pages are written
+  /// as they fill; call FlushAppends() to persist a trailing partial
+  /// page before reading it back.
+  void Append(const uint8_t* data, size_t n);
+  void FlushAppends();
+
+  /// Reads `n` bytes starting at `offset` into `out`. Charges one page
+  /// read per touched page (random access unless the read continues
+  /// where the previous one ended).
+  Status ReadAt(uint64_t offset, size_t n, uint8_t* out) const;
+
+  uint64_t size() const { return size_; }
+  size_t page_count() const { return pages_.size(); }
+
+  /// Releases all pages.
+  void Free();
+
+ private:
+  uint32_t page_bytes() const { return node_->cost().page_bytes; }
+
+  sim::Node* node_;
+  std::string name_;
+  std::vector<sim::PageId> pages_;
+  uint64_t size_ = 0;
+  std::vector<uint8_t> tail_;  // trailing partial page contents
+  /// True when pages_.back() is an on-disk snapshot of the tail; a
+  /// subsequent Append retracts it.
+  bool tail_flushed_ = false;
+  mutable uint64_t last_read_end_ = UINT64_MAX;  // sequentiality hint
+};
+
+}  // namespace gammadb::storage
+
+#endif  // GAMMA_STORAGE_BYTE_FILE_H_

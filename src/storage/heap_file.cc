@@ -1,0 +1,172 @@
+#include "storage/heap_file.h"
+
+#include "common/logging.h"
+
+namespace gammadb::storage {
+
+HeapFile::HeapFile(sim::Node* node, const Schema* schema, std::string name)
+    : node_(node), schema_(schema), name_(std::move(name)) {
+  GAMMA_CHECK(node_->has_disk()) << "heap file requires a disk node";
+}
+
+HeapFile::~HeapFile() {
+  // Pages are intentionally NOT freed automatically: permanent relations
+  // outlive query objects. Temp files are freed explicitly via Free().
+}
+
+void HeapFile::Append(const Tuple& tuple) {
+  GAMMA_DCHECK(tuple.size() == schema_->tuple_bytes());
+  if (writer_ == nullptr) {
+    writer_ = std::make_unique<PageWriter>(node_->cost().page_bytes,
+                                           schema_->tuple_bytes());
+  }
+  node_->ChargeCpu(node_->cost().cpu_write_tuple_seconds);
+  writer_->Append(tuple.data());
+  ++tuple_count_;
+  if (writer_->Full()) {
+    const sim::PageId id = node_->disk().AllocatePage();
+    node_->disk().WritePage(id, writer_->Finish(),
+                            sim::AccessPattern::kSequential);
+    pages_.push_back(id);
+    writer_->Reset();
+  }
+}
+
+void HeapFile::FlushAppends() {
+  if (writer_ != nullptr && writer_->count() > 0) {
+    const sim::PageId id = node_->disk().AllocatePage();
+    node_->disk().WritePage(id, writer_->Finish(),
+                            sim::AccessPattern::kSequential);
+    pages_.push_back(id);
+    writer_->Reset();
+  }
+  writer_.reset();
+}
+
+void HeapFile::Free() {
+  for (sim::PageId id : pages_) node_->disk().FreePage(id);
+  pages_.clear();
+  tuple_count_ = 0;
+  writer_.reset();
+  fetch_buf_page_ = SIZE_MAX;
+}
+
+HeapFile::Scanner::Scanner(const HeapFile* file)
+    : file_(file), page_buf_(file->node_->cost().page_bytes) {
+  GAMMA_CHECK(file_->writer_ == nullptr || file_->writer_->count() == 0)
+      << "scan of heap file '" << file_->name_ << "' with unflushed appends";
+}
+
+bool HeapFile::Scanner::LoadNextPage() {
+  if (next_page_ >= file_->pages_.size()) return false;
+  file_->node_->disk().ReadPage(file_->pages_[next_page_], page_buf_.data(),
+                                sim::AccessPattern::kSequential);
+  ++next_page_;
+  ++pages_read_;
+  PageReader reader(page_buf_.data(), file_->schema_->tuple_bytes());
+  page_tuples_ = reader.count();
+  next_slot_ = 0;
+  return true;
+}
+
+bool HeapFile::Scanner::Next(Tuple* out) {
+  while (next_slot_ >= page_tuples_) {
+    if (!LoadNextPage()) return false;
+  }
+  PageReader reader(page_buf_.data(), file_->schema_->tuple_bytes());
+  const uint8_t* rec = reader.Record(next_slot_);
+  ++next_slot_;
+  file_->node_->ChargeCpu(file_->node_->cost().cpu_read_tuple_seconds);
+  *out = Tuple(rec, file_->schema_->tuple_bytes());
+  return true;
+}
+
+size_t HeapFile::UpdateInPlace(const std::function<UpdateAction(uint8_t*)>& fn) {
+  GAMMA_CHECK(writer_ == nullptr || writer_->count() == 0)
+      << "UpdateInPlace on '" << name_ << "' with unflushed appends";
+  const uint32_t record_bytes = schema_->tuple_bytes();
+  const uint32_t page_bytes = node_->cost().page_bytes;
+  std::vector<uint8_t> page(page_bytes);
+  size_t touched = 0;
+  for (sim::PageId id : pages_) {
+    node_->disk().ReadPage(id, page.data(), sim::AccessPattern::kSequential);
+    PageReader reader(page.data(), record_bytes);
+    PageWriter rebuilt(page_bytes, record_bytes);
+    bool modified = false;
+    for (uint16_t slot = 0; slot < reader.count(); ++slot) {
+      // Mutable access into our local page image.
+      uint8_t* record = page.data() + kPageHeaderBytes +
+                        static_cast<size_t>(slot) * record_bytes;
+      node_->ChargeCpu(node_->cost().cpu_read_tuple_seconds);
+      switch (fn(record)) {
+        case UpdateAction::kKeep:
+          rebuilt.Append(record);
+          break;
+        case UpdateAction::kUpdated:
+          node_->ChargeCpu(node_->cost().cpu_write_tuple_seconds);
+          rebuilt.Append(record);
+          ++touched;
+          modified = true;
+          break;
+        case UpdateAction::kDelete:
+          ++touched;
+          --tuple_count_;
+          modified = true;
+          break;
+      }
+    }
+    if (modified) {
+      node_->disk().WritePage(id, rebuilt.Finish(),
+                              sim::AccessPattern::kSequential);
+    }
+  }
+  fetch_buf_page_ = SIZE_MAX;  // cached page may be stale
+  return touched;
+}
+
+Tuple HeapFile::FetchByRid(uint64_t rid) const {
+  const size_t page_index = static_cast<size_t>(rid >> 16);
+  const uint16_t slot = static_cast<uint16_t>(rid & 0xFFFF);
+  GAMMA_CHECK_LT(page_index, pages_.size());
+  if (fetch_buf_page_ != page_index) {
+    fetch_buf_.resize(node_->cost().page_bytes);
+    node_->disk().ReadPage(pages_[page_index], fetch_buf_.data(),
+                           sim::AccessPattern::kRandom);
+    fetch_buf_page_ = page_index;
+  }
+  PageReader reader(fetch_buf_.data(), schema_->tuple_bytes());
+  GAMMA_CHECK_LT(slot, reader.count());
+  node_->ChargeCpu(node_->cost().cpu_read_tuple_seconds);
+  return Tuple(reader.Record(slot), schema_->tuple_bytes());
+}
+
+void HeapFile::ForEachRid(
+    const std::function<void(uint64_t, const uint8_t*)>& fn) const {
+  GAMMA_CHECK(writer_ == nullptr || writer_->count() == 0)
+      << "ForEachRid with unflushed appends";
+  std::vector<uint8_t> page(node_->cost().page_bytes);
+  for (size_t page_index = 0; page_index < pages_.size(); ++page_index) {
+    node_->disk().ReadPage(pages_[page_index], page.data(),
+                           sim::AccessPattern::kSequential);
+    PageReader reader(page.data(), schema_->tuple_bytes());
+    for (uint16_t slot = 0; slot < reader.count(); ++slot) {
+      node_->ChargeCpu(node_->cost().cpu_read_tuple_seconds);
+      fn(MakeRid(page_index, slot), reader.Record(slot));
+    }
+  }
+}
+
+std::vector<Tuple> HeapFile::PeekAll() const {
+  std::vector<Tuple> out;
+  out.reserve(tuple_count_);
+  const uint32_t record_bytes = schema_->tuple_bytes();
+  for (sim::PageId id : pages_) {
+    PageReader reader(node_->disk().PeekPage(id), record_bytes);
+    for (uint16_t i = 0; i < reader.count(); ++i) {
+      out.emplace_back(reader.Record(i), record_bytes);
+    }
+  }
+  return out;
+}
+
+}  // namespace gammadb::storage

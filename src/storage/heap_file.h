@@ -1,0 +1,131 @@
+// Heap files: sequences of fixed-length-record pages on one simulated
+// disk (WiSS "structured sequential files").
+//
+// A heap file is always local to the node that owns the disk it lives
+// on; appends buffer into an in-memory page image and flush whole pages
+// (per-file output buffering, which is why bucket-forming writes many
+// fragment files without paying random-I/O costs — Gamma buffered each
+// output file separately).
+#ifndef GAMMA_STORAGE_HEAP_FILE_H_
+#define GAMMA_STORAGE_HEAP_FILE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/node.h"
+#include "storage/page.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace gammadb::storage {
+
+class HeapFile {
+ public:
+  /// `node` must own a disk; all I/O and tuple-move CPU is charged to it.
+  HeapFile(sim::Node* node, const Schema* schema, std::string name = "");
+  ~HeapFile();
+
+  HeapFile(const HeapFile&) = delete;
+  HeapFile& operator=(const HeapFile&) = delete;
+  HeapFile(HeapFile&&) = default;
+  HeapFile& operator=(HeapFile&&) = default;
+
+  const Schema& schema() const { return *schema_; }
+  const std::string& name() const { return name_; }
+  sim::Node* node() const { return node_; }
+
+  /// Buffers one tuple (charges tuple-copy CPU); flushes a full page to
+  /// disk as a sequential write.
+  void Append(const Tuple& tuple);
+
+  /// Flushes a trailing partial page, if any. Idempotent. Must be called
+  /// before scanning.
+  void FlushAppends();
+
+  size_t tuple_count() const { return tuple_count_; }
+  size_t page_count() const { return pages_.size(); }
+  /// Total serialized bytes of the stored tuples.
+  uint64_t data_bytes() const {
+    return static_cast<uint64_t>(tuple_count_) * schema_->tuple_bytes();
+  }
+
+  /// Releases all pages back to the disk and empties the file.
+  void Free();
+
+  /// Sequential reader. Reading charges page I/O and per-tuple CPU; a
+  /// scanner abandoned early never charges for the pages it did not
+  /// reach (this is how sort-merge's early merge termination saves I/O
+  /// on skewed data).
+  class Scanner {
+   public:
+    explicit Scanner(const HeapFile* file);
+
+    /// Advances to the next tuple; returns false at end of file.
+    bool Next(Tuple* out);
+
+    /// Pages actually read so far.
+    size_t pages_read() const { return pages_read_; }
+
+   private:
+    bool LoadNextPage();
+
+    const HeapFile* file_;
+    std::vector<uint8_t> page_buf_;
+    size_t next_page_ = 0;
+    uint16_t page_tuples_ = 0;
+    uint16_t next_slot_ = 0;
+    size_t pages_read_ = 0;
+  };
+
+  Scanner Scan() const { return Scanner(this); }
+
+  /// Reads every tuple WITHOUT charging any simulated cost. For tests
+  /// and result verification only.
+  std::vector<Tuple> PeekAll() const;
+
+  /// What an UpdateInPlace callback decided about one record.
+  enum class UpdateAction { kKeep, kUpdated, kDelete };
+
+  /// Page-wise read-modify-write over the whole file: every page is
+  /// read (sequential), `fn` may mutate each record in place or delete
+  /// it, and only MODIFIED pages are written back (WiSS-style in-place
+  /// update). Deleted records are compacted within their page; empty
+  /// pages remain allocated. Returns the number of updated + deleted
+  /// records. Must not be called with unflushed appends.
+  size_t UpdateInPlace(const std::function<UpdateAction(uint8_t*)>& fn);
+
+  /// Record identifier for index entries: (page ordinal, slot).
+  static uint64_t MakeRid(size_t page_index, uint16_t slot) {
+    return (static_cast<uint64_t>(page_index) << 16) | slot;
+  }
+
+  /// Fetches one record by rid, charging a RANDOM page read (the
+  /// unclustered-index access path). A one-page cache makes consecutive
+  /// fetches from the same page free, as WiSS's buffer would.
+  Tuple FetchByRid(uint64_t rid) const;
+
+  /// Invokes `fn(rid, record)` for every record, charging a sequential
+  /// scan (used to bulk-build indices).
+  void ForEachRid(
+      const std::function<void(uint64_t, const uint8_t*)>& fn) const;
+
+ private:
+  friend class Scanner;
+
+  sim::Node* node_;
+  const Schema* schema_;
+  std::string name_;
+  std::vector<sim::PageId> pages_;
+  size_t tuple_count_ = 0;
+  std::unique_ptr<PageWriter> writer_;  // pending partial page
+
+  // One-page fetch cache for FetchByRid.
+  mutable std::vector<uint8_t> fetch_buf_;
+  mutable size_t fetch_buf_page_ = SIZE_MAX;
+};
+
+}  // namespace gammadb::storage
+
+#endif  // GAMMA_STORAGE_HEAP_FILE_H_

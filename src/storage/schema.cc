@@ -1,0 +1,83 @@
+#include "storage/schema.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace gammadb::storage {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  GAMMA_CHECK(!fields_.empty());
+  offsets_.reserve(fields_.size());
+  uint32_t offset = 0;
+  for (const Field& f : fields_) {
+    if (f.type == FieldType::kInt32) {
+      GAMMA_CHECK_EQ(f.width, 4u) << "int32 field " << f.name;
+    } else {
+      GAMMA_CHECK_GT(f.width, 0u) << "char field " << f.name;
+    }
+    offsets_.push_back(offset);
+    offset += f.width;
+  }
+  tuple_bytes_ = offset;
+}
+
+int Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int32_t Schema::GetInt32(const uint8_t* tuple, size_t field) const {
+  GAMMA_DCHECK(fields_[field].type == FieldType::kInt32);
+  int32_t v;
+  std::memcpy(&v, tuple + offsets_[field], sizeof(v));
+  return v;
+}
+
+void Schema::SetInt32(uint8_t* tuple, size_t field, int32_t value) const {
+  GAMMA_DCHECK(fields_[field].type == FieldType::kInt32);
+  std::memcpy(tuple + offsets_[field], &value, sizeof(value));
+}
+
+std::string_view Schema::GetChars(const uint8_t* tuple, size_t field) const {
+  GAMMA_DCHECK(fields_[field].type == FieldType::kChar);
+  return std::string_view(reinterpret_cast<const char*>(tuple + offsets_[field]),
+                          fields_[field].width);
+}
+
+void Schema::SetChars(uint8_t* tuple, size_t field, std::string_view value) const {
+  GAMMA_DCHECK(fields_[field].type == FieldType::kChar);
+  const uint32_t width = fields_[field].width;
+  uint8_t* dst = tuple + offsets_[field];
+  const size_t n = std::min<size_t>(value.size(), width);
+  std::memcpy(dst, value.data(), n);
+  if (n < width) std::memset(dst + n, ' ', width - n);
+}
+
+Schema Schema::Concat(const Schema& a, const Schema& b) {
+  std::vector<Field> fields = a.fields_;
+  fields.reserve(a.num_fields() + b.num_fields());
+  for (const Field& f : b.fields_) {
+    Field copy = f;
+    if (a.FieldIndex(f.name) >= 0) copy.name += "_2";
+    fields.push_back(std::move(copy));
+  }
+  return Schema(std::move(fields));
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (fields_.size() != other.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != other.fields_[i].name ||
+        fields_[i].type != other.fields_[i].type ||
+        fields_[i].width != other.fields_[i].width) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace gammadb::storage

@@ -1,0 +1,72 @@
+// Fixed-length record schemas.
+//
+// The Wisconsin benchmark relations (paper Section 4) are fixed-length:
+// thirteen 4-byte integers followed by three 52-byte strings, 208 bytes
+// per tuple. The storage layer supports any fixed-length composition of
+// 32-bit integers and fixed-width character fields, which covers every
+// relation the paper's experiments touch (including join results, which
+// concatenate two schemas).
+#ifndef GAMMA_STORAGE_SCHEMA_H_
+#define GAMMA_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gammadb::storage {
+
+enum class FieldType : uint8_t {
+  kInt32,
+  kChar,  // fixed-width character field, space padded
+};
+
+struct Field {
+  std::string name;
+  FieldType type;
+  uint32_t width;  // bytes; must be 4 for kInt32
+
+  static Field Int32(std::string name) {
+    return Field{std::move(name), FieldType::kInt32, 4};
+  }
+  static Field Char(std::string name, uint32_t width) {
+    return Field{std::move(name), FieldType::kChar, width};
+  }
+};
+
+class Schema {
+ public:
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  uint32_t offset(size_t i) const { return offsets_[i]; }
+  /// Total serialized tuple size in bytes.
+  uint32_t tuple_bytes() const { return tuple_bytes_; }
+
+  /// Index of the named field, or -1.
+  int FieldIndex(std::string_view name) const;
+
+  // Raw accessors over a serialized tuple buffer (little-endian ints).
+  int32_t GetInt32(const uint8_t* tuple, size_t field) const;
+  void SetInt32(uint8_t* tuple, size_t field, int32_t value) const;
+  std::string_view GetChars(const uint8_t* tuple, size_t field) const;
+  /// Copies `value` into the field, space-padding or truncating to width.
+  void SetChars(uint8_t* tuple, size_t field, std::string_view value) const;
+
+  /// Schema of the concatenation of an `a` tuple and a `b` tuple (join
+  /// results). Field names from `b` that collide with `a` get a "_2"
+  /// suffix.
+  static Schema Concat(const Schema& a, const Schema& b);
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Field> fields_;
+  std::vector<uint32_t> offsets_;
+  uint32_t tuple_bytes_;
+};
+
+}  // namespace gammadb::storage
+
+#endif  // GAMMA_STORAGE_SCHEMA_H_

@@ -1,0 +1,56 @@
+// A serialized fixed-length tuple. The byte layout is defined by a
+// Schema; Tuple is just an owning byte buffer that flows through scans,
+// split tables, network exchanges and hash tables.
+#ifndef GAMMA_STORAGE_TUPLE_H_
+#define GAMMA_STORAGE_TUPLE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace gammadb::storage {
+
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(size_t bytes) : data_(bytes, 0) {}
+  Tuple(const uint8_t* bytes, size_t n) : data_(bytes, bytes + n) {}
+
+  uint8_t* data() { return data_.data(); }
+  const uint8_t* data() const { return data_.data(); }
+  uint32_t size() const { return static_cast<uint32_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  // Schema-mediated convenience accessors.
+  int32_t GetInt32(const Schema& s, size_t field) const {
+    return s.GetInt32(data_.data(), field);
+  }
+  void SetInt32(const Schema& s, size_t field, int32_t v) {
+    s.SetInt32(data_.data(), field, v);
+  }
+  std::string_view GetChars(const Schema& s, size_t field) const {
+    return s.GetChars(data_.data(), field);
+  }
+  void SetChars(const Schema& s, size_t field, std::string_view v) {
+    s.SetChars(data_.data(), field, v);
+  }
+
+  bool operator==(const Tuple& other) const { return data_ == other.data_; }
+
+  /// Byte-wise concatenation (join result composition).
+  static Tuple Concat(const Tuple& a, const Tuple& b) {
+    Tuple out(a.size() + static_cast<size_t>(b.size()));
+    std::memcpy(out.data(), a.data(), a.size());
+    std::memcpy(out.data() + a.size(), b.data(), b.size());
+    return out;
+  }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace gammadb::storage
+
+#endif  // GAMMA_STORAGE_TUPLE_H_

@@ -1,0 +1,19 @@
+// Pull-based tuple stream interface (sorted-run merges, scans, ...).
+#ifndef GAMMA_STORAGE_TUPLE_STREAM_H_
+#define GAMMA_STORAGE_TUPLE_STREAM_H_
+
+#include "storage/tuple.h"
+
+namespace gammadb::storage {
+
+class TupleStream {
+ public:
+  virtual ~TupleStream() = default;
+
+  /// Produces the next tuple; returns false at end of stream.
+  virtual bool Next(Tuple* out) = 0;
+};
+
+}  // namespace gammadb::storage
+
+#endif  // GAMMA_STORAGE_TUPLE_STREAM_H_

@@ -1,0 +1,49 @@
+#include "wisconsin/queries.h"
+
+namespace gammadb::wisconsin {
+
+namespace {
+
+join::JoinSpec BaseSpec(const QueryOptions& options) {
+  join::JoinSpec spec;
+  spec.inner_relation = options.inner_relation;
+  spec.outer_relation = options.outer_relation;
+  const int field = options.hpja ? fields::kUnique1 : fields::kUnique2;
+  spec.inner_field = field;
+  spec.outer_field = field;
+  spec.algorithm = options.algorithm;
+  spec.memory_ratio = options.memory_ratio;
+  spec.use_bit_filters = options.bit_filters;
+  spec.join_nodes = options.join_nodes;
+  return spec;
+}
+
+}  // namespace
+
+join::JoinSpec JoinABprimeSpec(const QueryOptions& options) {
+  return BaseSpec(options);
+}
+
+join::JoinSpec JoinAselBSpec(const QueryOptions& options,
+                             uint64_t estimated_selected) {
+  join::JoinSpec spec = BaseSpec(options);
+  // 10% selection on the inner relation: ten == 3 picks one of the ten
+  // residue classes of unique1.
+  spec.inner_predicate = {
+      db::Predicate{fields::kTen, db::Predicate::Op::kEq, 3}};
+  spec.estimated_inner_tuples = estimated_selected;
+  return spec;
+}
+
+join::JoinSpec JoinCselAselBSpec(const QueryOptions& options,
+                                 uint64_t estimated_selected) {
+  join::JoinSpec spec = BaseSpec(options);
+  spec.inner_predicate = {
+      db::Predicate{fields::kFiftyPercent, db::Predicate::Op::kEq, 0}};
+  spec.outer_predicate = {
+      db::Predicate{fields::kFiftyPercent, db::Predicate::Op::kEq, 0}};
+  spec.estimated_inner_tuples = estimated_selected;
+  return spec;
+}
+
+}  // namespace gammadb::wisconsin

@@ -1,0 +1,41 @@
+// Canned specifications of the paper's benchmark join queries
+// (Section 4): joinABprime, joinAselB and joinCselAselB, over a loaded
+// joinABprime dataset.
+#ifndef GAMMA_WISCONSIN_QUERIES_H_
+#define GAMMA_WISCONSIN_QUERIES_H_
+
+#include "join/spec.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb::wisconsin {
+
+struct QueryOptions {
+  /// Join on the declustering attribute (unique1) or not (unique2).
+  bool hpja = true;
+  double memory_ratio = 1.0;
+  bool bit_filters = false;
+  /// Empty = local joins.
+  std::vector<int> join_nodes;
+  join::Algorithm algorithm = join::Algorithm::kHybridHash;
+  std::string inner_relation = "Bprime";
+  std::string outer_relation = "A";
+};
+
+/// joinABprime: the 10k inner relation joined with the 100k outer.
+join::JoinSpec JoinABprimeSpec(const QueryOptions& options);
+
+/// joinAselB: the outer relation joined with a 10% selection of the
+/// inner (selection runs inline in the scan; the optimizer hint bases
+/// memory and bucket counts on the post-selection size).
+/// `estimated_selected` is the expected number of selected inner tuples
+/// (inner cardinality / 10 for the default selection).
+join::JoinSpec JoinAselBSpec(const QueryOptions& options,
+                             uint64_t estimated_selected);
+
+/// joinCselAselB: selections on both join inputs (50% each).
+join::JoinSpec JoinCselAselBSpec(const QueryOptions& options,
+                                 uint64_t estimated_selected);
+
+}  // namespace gammadb::wisconsin
+
+#endif  // GAMMA_WISCONSIN_QUERIES_H_

@@ -1,0 +1,71 @@
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace gammadb {
+namespace {
+
+TEST(HashTest, DeterministicAndSeedSensitive) {
+  EXPECT_EQ(HashJoinAttribute(42), HashJoinAttribute(42));
+  EXPECT_NE(HashJoinAttribute(42), HashJoinAttribute(43));
+  EXPECT_NE(HashJoinAttribute(42, 1), HashJoinAttribute(42, 2));
+}
+
+TEST(HashTest, Mix64Avalanches) {
+  // Flipping one input bit should flip ~half the output bits.
+  for (int bit = 0; bit < 64; bit += 7) {
+    const uint64_t a = Mix64(0x1234567890ABCDEFULL);
+    const uint64_t b = Mix64(0x1234567890ABCDEFULL ^ (1ULL << bit));
+    const int flipped = __builtin_popcountll(a ^ b);
+    EXPECT_GE(flipped, 16) << "bit " << bit;
+    EXPECT_LE(flipped, 48) << "bit " << bit;
+  }
+}
+
+TEST(HashTest, ModDistributionIsBalanced) {
+  // Sequential keys (Wisconsin unique1) must spread evenly under the
+  // mod-based split-table indexing the whole system relies on.
+  const int kNodes = 8;
+  int counts[kNodes] = {0};
+  const int n = 80000;
+  for (int32_t key = 0; key < n; ++key) {
+    ++counts[HashJoinAttribute(key) % kNodes];
+  }
+  for (int node = 0; node < kNodes; ++node) {
+    EXPECT_NEAR(counts[node], n / kNodes, n / kNodes / 20) << node;
+  }
+}
+
+TEST(HashTest, LargerModAlsoBalanced) {
+  // Grace partitioning uses mod (numDisks * N); check a non-power-of-2.
+  const int kEntries = 56;  // 7 buckets x 8 disks
+  std::vector<int> counts(kEntries, 0);
+  const int n = 112000;
+  for (int32_t key = 0; key < n; ++key) {
+    ++counts[HashJoinAttribute(key) % kEntries];
+  }
+  for (int e = 0; e < kEntries; ++e) {
+    EXPECT_NEAR(counts[e], n / kEntries, n / kEntries / 5) << e;
+  }
+}
+
+TEST(HashTest, NoCollisionsOnSmallDomain) {
+  std::set<uint64_t> seen;
+  for (int32_t key = 0; key < 100000; ++key) {
+    seen.insert(HashJoinAttribute(key));
+  }
+  EXPECT_EQ(seen.size(), 100000u);  // 64-bit space: collisions ~0
+}
+
+TEST(HashTest, HashBytesDiffersByContentAndSeed) {
+  EXPECT_EQ(HashBytes("hello"), HashBytes("hello"));
+  EXPECT_NE(HashBytes("hello"), HashBytes("hellp"));
+  EXPECT_NE(HashBytes("hello", 1), HashBytes("hello", 2));
+  EXPECT_NE(HashBytes(""), HashBytes("x"));
+}
+
+}  // namespace
+}  // namespace gammadb

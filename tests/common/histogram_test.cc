@@ -1,0 +1,92 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/random.h"
+
+namespace gammadb {
+namespace {
+
+TEST(HashHistogramTest, EmptyCutoffEvictsNothing) {
+  HashHistogram h;
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.CutoffForFraction(0.10),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(HashHistogramTest, AddRemoveTracksTotals) {
+  HashHistogram h(16);
+  h.Add(0);
+  h.Add(UINT64_MAX);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(15), 1u);
+  h.Remove(UINT64_MAX);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.bin_count(15), 0u);
+}
+
+TEST(HashHistogramTest, BinBoundariesRoundTrip) {
+  HashHistogram h(256);
+  for (uint32_t bin = 0; bin < h.num_bins(); ++bin) {
+    EXPECT_EQ(h.BinOf(h.BinLowerBound(bin)), bin);
+  }
+}
+
+TEST(HashHistogramTest, CutoffClearsRequestedFraction) {
+  HashHistogram h;
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.Next());
+  const uint64_t cutoff = h.CutoffForFraction(0.10);
+  const uint64_t above = h.CountAtOrAbove(cutoff);
+  // At least 10% must clear; bin granularity (256 bins over a uniform
+  // population) keeps the overshoot below ~one bin (~0.4%) plus noise.
+  EXPECT_GE(above, 10000u);
+  EXPECT_LE(above, 11000u);
+}
+
+TEST(HashHistogramTest, CutoffDecreasesUnderRepeatedEviction) {
+  // Mirrors the overflow protocol: evict 10%, re-request, cutoff must
+  // strictly decrease while population remains.
+  HashHistogram h;
+  Rng rng(2);
+  for (int i = 0; i < 50000; ++i) h.Add(rng.Next());
+  uint64_t cutoff = std::numeric_limits<uint64_t>::max();
+  for (int round = 0; round < 5; ++round) {
+    const uint64_t next = h.CutoffForFraction(0.10);
+    ASSERT_LT(next, cutoff);
+    cutoff = next;
+    // Evict everything at or above the cutoff (rebuild with survivors).
+    HashHistogram rebuilt;
+    Rng replay(2);
+    for (int i = 0; i < 50000; ++i) {
+      const uint64_t v = replay.Next();
+      if (v < cutoff) rebuilt.Add(v);
+    }
+    h = rebuilt;
+    ASSERT_GT(h.total(), 0u);
+  }
+}
+
+TEST(HashHistogramTest, SkewedPopulationStillFindsCutoff) {
+  // All mass in one low bin: the cutoff must fall back to that bin.
+  HashHistogram h(64);
+  for (int i = 0; i < 1000; ++i) h.Add(42);  // bin 0
+  const uint64_t cutoff = h.CutoffForFraction(0.10);
+  EXPECT_EQ(cutoff, h.BinLowerBound(0));
+  EXPECT_EQ(h.CountAtOrAbove(cutoff), 1000u);
+}
+
+TEST(HashHistogramTest, ClearResets) {
+  HashHistogram h(32);
+  h.Add(1);
+  h.Add(2);
+  h.Clear();
+  EXPECT_EQ(h.total(), 0u);
+  for (uint32_t b = 0; b < h.num_bins(); ++b) EXPECT_EQ(h.bin_count(b), 0u);
+}
+
+}  // namespace
+}  // namespace gammadb

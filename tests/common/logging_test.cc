@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace gammadb {
+namespace {
+
+TEST(LoggingTest, ThresholdRoundTrips) {
+  const LogLevel original = GetLogThreshold();
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_EQ(GetLogThreshold(), LogLevel::kError);
+  SetLogThreshold(original);
+}
+
+TEST(LoggingTest, BelowThresholdMessagesAreCheap) {
+  // Just exercise the suppressed path; no crash, no output assertion.
+  const LogLevel original = GetLogThreshold();
+  SetLogThreshold(LogLevel::kError);
+  GAMMA_LOG(Debug) << "suppressed " << 42;
+  GAMMA_LOG(Info) << "also suppressed";
+  SetLogThreshold(original);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ GAMMA_CHECK(1 == 2) << "boom"; }, "Check failed");
+  EXPECT_DEATH({ GAMMA_CHECK_EQ(3, 4); }, "3 vs 4");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(GAMMA_CHECK_OK(Status::Internal("bad state")), "bad state");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  GAMMA_CHECK(true) << "never rendered";
+  GAMMA_CHECK_EQ(5, 5);
+  GAMMA_CHECK_LT(1, 2);
+  GAMMA_CHECK_LE(2, 2);
+  GAMMA_CHECK_GT(3, 2);
+  GAMMA_CHECK_GE(3, 3);
+  GAMMA_CHECK_NE(1, 2);
+  GAMMA_CHECK_OK(Status::OK());
+}
+
+}  // namespace
+}  // namespace gammadb

@@ -1,0 +1,95 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace gammadb {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformStaysInBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversClosedRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all 7 values hit
+}
+
+TEST(RngTest, UniformIsRoughlyUnbiased) {
+  Rng rng(11);
+  int counts[10] = {0};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.Uniform(10)];
+  for (int bucket = 0; bucket < 10; ++bucket) {
+    EXPECT_NEAR(counts[bucket], n / 10, 500) << "bucket " << bucket;
+  }
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian(50000, 750);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double variance = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 50000, 10);
+  EXPECT_NEAR(std::sqrt(variance), 750, 10);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(17);
+  std::vector<int> v(1000);
+  for (int i = 0; i < 1000; ++i) v[static_cast<size_t>(i)] = i;
+  rng.Shuffle(v);
+  std::set<int> unique(v.begin(), v.end());
+  EXPECT_EQ(unique.size(), 1000u);
+  EXPECT_NE(v[0] * 3 + v[1], 1);  // overwhelmingly likely shuffled
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(19);
+  const auto sample = rng.SampleWithoutReplacement(1000, 100);
+  EXPECT_EQ(sample.size(), 100u);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 100u);
+  for (uint32_t idx : sample) EXPECT_LT(idx, 1000u);
+}
+
+TEST(RngTest, SampleAllElements) {
+  Rng rng(21);
+  const auto sample = rng.SampleWithoutReplacement(50, 50);
+  std::set<uint32_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+}  // namespace
+}  // namespace gammadb

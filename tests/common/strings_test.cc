@@ -1,0 +1,32 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace gammadb {
+namespace {
+
+TEST(StringsTest, StrFormatBasic) {
+  EXPECT_EQ(StrFormat("x=%d y=%.2f", 7, 1.5), "x=7 y=1.50");
+  EXPECT_EQ(StrFormat("%s", "plain"), "plain");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(StringsTest, StrFormatLongOutput) {
+  std::string long_arg(5000, 'a');
+  const std::string out = StrFormat("<%s>", long_arg.c_str());
+  EXPECT_EQ(out.size(), 5002u);
+  EXPECT_EQ(out.front(), '<');
+  EXPECT_EQ(out.back(), '>');
+}
+
+TEST(StringsTest, ThousandsSeparators) {
+  EXPECT_EQ(WithThousandsSeparators(0), "0");
+  EXPECT_EQ(WithThousandsSeparators(999), "999");
+  EXPECT_EQ(WithThousandsSeparators(1000), "1,000");
+  EXPECT_EQ(WithThousandsSeparators(1234567), "1,234,567");
+  EXPECT_EQ(WithThousandsSeparators(-1234567), "-1,234,567");
+  EXPECT_EQ(WithThousandsSeparators(100000), "100,000");
+}
+
+}  // namespace
+}  // namespace gammadb

@@ -1,0 +1,116 @@
+// Shape guards for the extension experiments (the paper's future-work
+// section), mirroring shape_test.cc for the reproduced figures.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/harness.h"
+#include "sim/throughput.h"
+
+namespace gammadb::experiments {
+namespace {
+
+using bench::RemoteConfig;
+using bench::Workload;
+using join::Algorithm;
+
+class ExtensionShapeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bench::WorkloadOptions non;
+    non.hpja = false;
+    remote_non_ = new Workload(RemoteConfig(), non);
+  }
+  static void TearDownTestSuite() {
+    delete remote_non_;
+    remote_non_ = nullptr;
+  }
+  static Workload* remote_non_;
+};
+
+Workload* ExtensionShapeTest::remote_non_ = nullptr;
+
+// Forming-phase bit filters "would significantly increase the
+// performance of these algorithms" (paper Sections 4.2/4.4): for Grace
+// they must beat joining-only filters AND eliminate page writes.
+TEST_F(ExtensionShapeTest, FormingFiltersBeatJoiningOnlyForGrace) {
+  auto joining_only =
+      remote_non_->Run(Algorithm::kGraceHash, 0.5, true, false);
+  auto forming = remote_non_->RunCustom(
+      Algorithm::kGraceHash, 0.5, true, false,
+      [](join::JoinSpec& spec) { spec.use_forming_bit_filters = true; });
+  EXPECT_EQ(forming.stats.result_tuples, 10000u);
+  EXPECT_LT(forming.response_seconds(),
+            0.85 * joining_only.response_seconds());
+  EXPECT_LT(forming.metrics.counters.pages_written,
+            joining_only.metrics.counters.pages_written - 500);
+}
+
+// Section 5 utilization claim: local joins saturate the CPUs; remote
+// execution leaves the disk nodes half idle.
+TEST_F(ExtensionShapeTest, RemoteExecutionIdlesDiskNodes) {
+  auto local = remote_non_->Run(Algorithm::kHybridHash, 1.0, false, false);
+  auto remote = remote_non_->Run(Algorithm::kHybridHash, 1.0, false, true);
+  const auto local_util = local.metrics.NodeCpuUtilization();
+  const auto remote_util = remote.metrics.NodeCpuUtilization();
+  double local_disk = 0, remote_disk = 0, remote_joiner = 0;
+  for (int i = 0; i < 8; ++i) local_disk += local_util[static_cast<size_t>(i)] / 8;
+  for (int i = 0; i < 8; ++i) remote_disk += remote_util[static_cast<size_t>(i)] / 8;
+  for (size_t i = 8; i < 16; ++i) remote_joiner += remote_util[i] / 8;
+  EXPECT_GT(local_disk, 0.90);    // "100% CPU utilization"
+  EXPECT_LT(remote_disk, 0.65);   // "approximately 60%"
+  EXPECT_GT(remote_joiner, 0.85);
+}
+
+// ...and the throughput consequence: the remote profile sustains more
+// queries/hour despite (potentially) worse single-query response.
+TEST_F(ExtensionShapeTest, RemoteSustainsMoreThroughput) {
+  auto local = remote_non_->Run(Algorithm::kHybridHash, 0.5, false, false);
+  auto remote = remote_non_->Run(Algorithm::kHybridHash, 0.5, false, true);
+  const auto local_bound = sim::EstimateThroughput(local.metrics);
+  const auto remote_bound = sim::EstimateThroughput(remote.metrics);
+  EXPECT_GT(remote_bound.MaxThroughput(), 1.2 * local_bound.MaxThroughput());
+}
+
+// Speedup: doubling the disk nodes must cut the response by a healthy
+// factor (>1.6x per doubling on this workload), and scaleup must stay
+// within ~35% of flat from 2 to 16 nodes.
+TEST_F(ExtensionShapeTest, SpeedupAndScaleup) {
+  const auto response_with = [&](int disks, uint32_t outer) {
+    sim::MachineConfig config;
+    config.num_disk_nodes = disks;
+    bench::WorkloadOptions options;
+    options.hpja = true;
+    options.outer_cardinality = outer;
+    options.inner_cardinality = outer / 10;
+    Workload workload(config, options);
+    auto out = workload.Run(Algorithm::kHybridHash, 0.5, false, false);
+    return out.response_seconds();
+  };
+  const double at2 = response_with(2, 100000);
+  const double at4 = response_with(4, 100000);
+  const double at8 = response_with(8, 100000);
+  EXPECT_GT(at2 / at4, 1.6);
+  EXPECT_GT(at4 / at8, 1.6);
+
+  const double scale2 = response_with(2, 25000);
+  const double scale8 = response_with(8, 100000);
+  EXPECT_LT(scale8, 1.35 * scale2);
+}
+
+// Mixed placement tracks the local configuration under this simulator
+// (documented deviation from the paper's "halfway" — see
+// EXPERIMENTS.md); guard the documented behaviour.
+TEST_F(ExtensionShapeTest, MixedPlacementTracksLocal) {
+  auto local = remote_non_->Run(Algorithm::kSimpleHash, 0.5, false, false);
+  auto mixed = remote_non_->RunCustom(
+      Algorithm::kSimpleHash, 0.5, false, false, [](join::JoinSpec& spec) {
+        spec.join_nodes = {0, 1, 2, 3, 8, 9, 10, 11};
+      });
+  EXPECT_NEAR(mixed.response_seconds(), local.response_seconds(),
+              0.05 * local.response_seconds());
+}
+
+}  // namespace
+}  // namespace gammadb::experiments

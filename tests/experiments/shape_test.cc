@@ -1,0 +1,236 @@
+// Property tests over the reproduced experiments: the qualitative
+// claims of the paper's evaluation section (the "expected shape
+// criteria" of DESIGN.md) must hold at full benchmark scale.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/harness.h"
+
+namespace gammadb::experiments {
+namespace {
+
+using bench::IntegralBucketRatios;
+using bench::LocalConfig;
+using bench::RemoteConfig;
+using bench::Workload;
+using join::Algorithm;
+
+/// Workloads are expensive to load; share them across the suite.
+class ShapeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    bench::WorkloadOptions hpja;
+    hpja.hpja = true;
+    local_hpja_ = new Workload(LocalConfig(), hpja);
+    remote_hpja_ = new Workload(RemoteConfig(), hpja);
+    bench::WorkloadOptions non;
+    non.hpja = false;
+    local_non_ = new Workload(LocalConfig(), non);
+    remote_non_ = new Workload(RemoteConfig(), non);
+  }
+  static void TearDownTestSuite() {
+    delete local_hpja_;
+    delete remote_hpja_;
+    delete local_non_;
+    delete remote_non_;
+    local_hpja_ = remote_hpja_ = local_non_ = remote_non_ = nullptr;
+  }
+
+  static double Seconds(Workload* w, Algorithm a, double ratio,
+                        bool filters = false, bool remote = false) {
+    auto output = w->Run(a, ratio, filters, remote);
+    EXPECT_EQ(output.stats.result_tuples, 10000u);
+    return output.response_seconds();
+  }
+
+  static Workload* local_hpja_;
+  static Workload* remote_hpja_;
+  static Workload* local_non_;
+  static Workload* remote_non_;
+};
+
+Workload* ShapeTest::local_hpja_ = nullptr;
+Workload* ShapeTest::remote_hpja_ = nullptr;
+Workload* ShapeTest::local_non_ = nullptr;
+Workload* ShapeTest::remote_non_ = nullptr;
+
+// Criterion 1: Hybrid dominates every other algorithm at every ratio
+// (Figures 5/6; paper Section 5 conclusion).
+TEST_F(ShapeTest, HybridDominatesEverywhere) {
+  for (Workload* w : {local_hpja_, local_non_}) {
+    for (double ratio : IntegralBucketRatios()) {
+      const double hybrid = Seconds(w, Algorithm::kHybridHash, ratio);
+      EXPECT_LE(hybrid, Seconds(w, Algorithm::kGraceHash, ratio) * 1.001)
+          << ratio;
+      EXPECT_LE(hybrid, Seconds(w, Algorithm::kSimpleHash, ratio) * 1.001)
+          << ratio;
+      EXPECT_LE(hybrid, Seconds(w, Algorithm::kSortMerge, ratio) * 1.001)
+          << ratio;
+    }
+  }
+}
+
+// Criterion 2: Simple == Hybrid at ratio 1.0; Simple degrades
+// super-linearly and falls behind Grace below ~0.5.
+TEST_F(ShapeTest, SimpleEqualsHybridAtFullMemoryThenCollapses) {
+  const double hybrid_full = Seconds(local_hpja_, Algorithm::kHybridHash, 1.0);
+  const double simple_full = Seconds(local_hpja_, Algorithm::kSimpleHash, 1.0);
+  EXPECT_NEAR(simple_full, hybrid_full, 1e-9);
+
+  EXPECT_GT(Seconds(local_hpja_, Algorithm::kSimpleHash, 1.0 / 3),
+            Seconds(local_hpja_, Algorithm::kGraceHash, 1.0 / 3));
+  // Rapid degradation: 10% memory costs Simple > 2.5x its full-memory
+  // time while Hybrid stays under 2x.
+  EXPECT_GT(Seconds(local_hpja_, Algorithm::kSimpleHash, 0.1),
+            2.5 * simple_full);
+  EXPECT_LT(Seconds(local_hpja_, Algorithm::kHybridHash, 0.1),
+            2.0 * hybrid_full);
+}
+
+// Criterion 3: Grace is nearly flat over the whole memory range.
+TEST_F(ShapeTest, GraceIsInsensitiveToMemory) {
+  const double at_full = Seconds(local_hpja_, Algorithm::kGraceHash, 1.0);
+  const double at_tenth = Seconds(local_hpja_, Algorithm::kGraceHash, 0.1);
+  EXPECT_LT(at_tenth, 1.35 * at_full);
+  EXPECT_GT(at_tenth, at_full);  // ...but extra buckets do cost a little
+}
+
+// Paper Section 4.1: "the response time for the Hybrid algorithm
+// approaches that of the Grace algorithm as memory is reduced".
+TEST_F(ShapeTest, HybridApproachesGraceAsMemoryShrinks) {
+  const double gap_full = Seconds(local_hpja_, Algorithm::kGraceHash, 1.0) -
+                          Seconds(local_hpja_, Algorithm::kHybridHash, 1.0);
+  const double gap_tenth = Seconds(local_hpja_, Algorithm::kGraceHash, 0.1) -
+                           Seconds(local_hpja_, Algorithm::kHybridHash, 0.1);
+  EXPECT_GT(gap_full, 0);
+  EXPECT_GT(gap_tenth, 0);
+  EXPECT_LT(gap_tenth, 0.5 * gap_full);
+}
+
+// Criterion 4: sort-merge is dominated over the entire range and rises
+// overall as memory shrinks (with the paper's own small local dips).
+TEST_F(ShapeTest, SortMergeDominatedAndRising) {
+  const double at_full = Seconds(local_hpja_, Algorithm::kSortMerge, 1.0);
+  const double at_tenth = Seconds(local_hpja_, Algorithm::kSortMerge, 0.1);
+  EXPECT_GT(at_full, Seconds(local_hpja_, Algorithm::kGraceHash, 1.0));
+  EXPECT_GT(at_tenth, at_full);
+}
+
+// Criterion 5: non-HPJA joins sit above HPJA joins by a near-constant
+// offset (Figures 5 vs 6).
+TEST_F(ShapeTest, NonHpjaOffsetIsNearConstant) {
+  for (Algorithm a : {Algorithm::kHybridHash, Algorithm::kGraceHash}) {
+    const double offset_full =
+        Seconds(local_non_, a, 1.0) - Seconds(local_hpja_, a, 1.0);
+    const double offset_fifth =
+        Seconds(local_non_, a, 0.2) - Seconds(local_hpja_, a, 0.2);
+    EXPECT_GT(offset_full, 0);
+    EXPECT_NEAR(offset_fifth, offset_full, 0.25 * offset_full)
+        << AlgorithmName(a);
+  }
+}
+
+// Criterion 6: bit filters always help (Figures 8-13) and Grace gains
+// least (no I/O is saved).
+TEST_F(ShapeTest, BitFiltersHelpAndGraceGainsLeast) {
+  const double ratio = 0.25;
+  double improvement[4];
+  const Algorithm algorithms[] = {Algorithm::kHybridHash,
+                                  Algorithm::kGraceHash,
+                                  Algorithm::kSimpleHash,
+                                  Algorithm::kSortMerge};
+  for (int i = 0; i < 4; ++i) {
+    const double plain = Seconds(local_hpja_, algorithms[i], ratio, false);
+    const double filtered = Seconds(local_hpja_, algorithms[i], ratio, true);
+    improvement[i] = (plain - filtered) / plain;
+    EXPECT_GT(improvement[i], 0) << AlgorithmName(algorithms[i]);
+  }
+  EXPECT_LT(improvement[1], improvement[0]);  // grace < hybrid
+  EXPECT_LT(improvement[1], improvement[2]);  // grace < simple
+  EXPECT_LT(improvement[1], improvement[3]);  // grace < sort-merge
+}
+
+// Criterion 7a (Figure 15): HPJA joins run faster locally than remotely
+// for Hybrid and Grace at every ratio; Simple crosses over.
+TEST_F(ShapeTest, HpjaLocalBeatsRemote) {
+  for (Algorithm a : {Algorithm::kHybridHash, Algorithm::kGraceHash}) {
+    for (double ratio : {1.0, 0.5, 0.25, 0.1}) {
+      EXPECT_LT(Seconds(remote_hpja_, a, ratio, false, false),
+                Seconds(remote_hpja_, a, ratio, false, true))
+          << AlgorithmName(a) << " @ " << ratio;
+    }
+  }
+  // Simple: local wins at 1.0, remote wins deep in overflow territory.
+  EXPECT_LT(Seconds(remote_hpja_, Algorithm::kSimpleHash, 1.0, false, false),
+            Seconds(remote_hpja_, Algorithm::kSimpleHash, 1.0, false, true));
+  EXPECT_GT(Seconds(remote_hpja_, Algorithm::kSimpleHash, 0.2, false, false),
+            Seconds(remote_hpja_, Algorithm::kSimpleHash, 0.2, false, true));
+}
+
+// Criterion 7b (Figure 16): non-HPJA Hybrid is faster REMOTE at full
+// memory and crosses back to local as memory shrinks; Simple never
+// crosses back; Grace stays local-favoured by a near-constant margin.
+TEST_F(ShapeTest, NonHpjaRemoteCrossovers) {
+  EXPECT_GT(Seconds(remote_non_, Algorithm::kHybridHash, 1.0, false, false),
+            Seconds(remote_non_, Algorithm::kHybridHash, 1.0, false, true));
+  EXPECT_LT(Seconds(remote_non_, Algorithm::kHybridHash, 0.1, false, false),
+            Seconds(remote_non_, Algorithm::kHybridHash, 0.1, false, true));
+  for (double ratio : {1.0, 0.25, 0.1}) {
+    EXPECT_GT(Seconds(remote_non_, Algorithm::kSimpleHash, ratio, false,
+                      false),
+              Seconds(remote_non_, Algorithm::kSimpleHash, ratio, false,
+                      true))
+        << ratio;
+    EXPECT_LT(Seconds(remote_non_, Algorithm::kGraceHash, ratio, false,
+                      false),
+              Seconds(remote_non_, Algorithm::kGraceHash, ratio, false, true))
+        << ratio;
+  }
+}
+
+// Figure 14: Grace's HPJA advantage on the remote configuration is
+// constant; Hybrid's widens as memory shrinks; Simple's is ~zero.
+TEST_F(ShapeTest, RemoteHpjaAdvantageShapes) {
+  const auto gap = [&](Algorithm a, double ratio) {
+    return Seconds(remote_non_, a, ratio, false, true) -
+           Seconds(remote_hpja_, a, ratio, false, true);
+  };
+  const double grace_full = gap(Algorithm::kGraceHash, 1.0);
+  const double grace_tenth = gap(Algorithm::kGraceHash, 0.1);
+  EXPECT_NEAR(grace_tenth, grace_full, 0.25 * grace_full);
+
+  const double hybrid_full = gap(Algorithm::kHybridHash, 1.0);
+  const double hybrid_tenth = gap(Algorithm::kHybridHash, 0.1);
+  EXPECT_GT(hybrid_tenth, hybrid_full + 0.5 * grace_full);
+
+  const double simple_half = gap(Algorithm::kSimpleHash, 0.5);
+  EXPECT_LT(std::abs(simple_half), 0.15 * Seconds(remote_hpja_,
+                                                  Algorithm::kSimpleHash, 0.5,
+                                                  false, true));
+}
+
+// Figure 7 trade-off: the optimistic one-bucket overflow run beats the
+// pessimistic two-bucket run near ratio 1.0 and loses near 0.5.
+TEST_F(ShapeTest, HybridOverflowTradeoff) {
+  const auto overflow_run = [&](double ratio) {
+    auto output = local_hpja_->RunCustom(
+        Algorithm::kHybridHash, ratio, false, false, [](join::JoinSpec& s) {
+          s.num_buckets = 1;
+          s.memory_slack = 0.08;
+        });
+    return output.response_seconds();
+  };
+  const auto two_bucket_run = [&](double ratio) {
+    auto output = local_hpja_->RunCustom(
+        Algorithm::kHybridHash, ratio, false, false,
+        [](join::JoinSpec& s) { s.num_buckets = 2; });
+    return output.response_seconds();
+  };
+  EXPECT_LT(overflow_run(0.95), two_bucket_run(0.95));
+  EXPECT_GT(overflow_run(0.55), two_bucket_run(0.55));
+}
+
+}  // namespace
+}  // namespace gammadb::experiments

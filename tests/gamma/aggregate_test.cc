@@ -1,0 +1,201 @@
+#include "gamma/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/machine.h"
+#include "testing/test_util.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb::db {
+namespace {
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  AggregateTest() : machine_(gammadb::testing::SmallConfig(4, 2)) {
+    auto rel = catalog_.Create(machine_, "A", wisconsin::WisconsinSchema());
+    GAMMA_CHECK(rel.ok());
+    wisconsin::GenOptions gen;
+    gen.cardinality = 3000;
+    gen.seed = 4;
+    tuples_ = wisconsin::Generate(gen);
+    LoadOptions load;
+    load.strategy = PartitionStrategy::kHashed;
+    load.partition_field = wisconsin::fields::kUnique1;
+    GAMMA_CHECK_OK(LoadRelation(*rel, tuples_, load));
+  }
+
+  /// Reference grouped aggregate over the raw tuples.
+  std::map<int32_t, int64_t> Reference(AggFunction f, int group_field,
+                                       int value_field) {
+    const auto schema = wisconsin::WisconsinSchema();
+    std::map<int32_t, int64_t> out;
+    for (const auto& t : tuples_) {
+      const int32_t g = t.GetInt32(schema, static_cast<size_t>(group_field));
+      const int64_t v = t.GetInt32(schema, static_cast<size_t>(value_field));
+      auto [it, inserted] = out.try_emplace(
+          g, f == AggFunction::kMin   ? INT64_MAX
+             : f == AggFunction::kMax ? INT64_MIN
+                                      : 0);
+      switch (f) {
+        case AggFunction::kCount:
+          ++it->second;
+          break;
+        case AggFunction::kSum:
+          it->second += v;
+          break;
+        case AggFunction::kMin:
+          it->second = std::min(it->second, v);
+          break;
+        case AggFunction::kMax:
+          it->second = std::max(it->second, v);
+          break;
+      }
+    }
+    return out;
+  }
+
+  std::map<int32_t, int32_t> RunGrouped(const AggregateSpec& spec) {
+    auto output = ExecuteAggregate(machine_, catalog_, spec);
+    GAMMA_CHECK(output.ok()) << output.status().ToString();
+    auto rel = catalog_.Get(spec.output_relation);
+    GAMMA_CHECK(rel.ok());
+    std::map<int32_t, int32_t> rows;
+    for (const auto& t : (*rel)->PeekAllTuples()) {
+      rows[t.GetInt32((*rel)->schema(), 0)] =
+          t.GetInt32((*rel)->schema(), 1);
+    }
+    GAMMA_CHECK_OK(catalog_.Drop(spec.output_relation));
+    return rows;
+  }
+
+  sim::Machine machine_;
+  Catalog catalog_;
+  std::vector<storage::Tuple> tuples_;
+};
+
+TEST_F(AggregateTest, GroupedCount) {
+  AggregateSpec spec;
+  spec.input_relation = "A";
+  spec.output_relation = "counts";
+  spec.group_by_field = wisconsin::fields::kTen;
+  spec.function = AggFunction::kCount;
+  const auto rows = RunGrouped(spec);
+  ASSERT_EQ(rows.size(), 10u);
+  for (const auto& [group, count] : rows) EXPECT_EQ(count, 300) << group;
+}
+
+TEST_F(AggregateTest, GroupedSumMinMaxMatchReference) {
+  for (AggFunction f :
+       {AggFunction::kSum, AggFunction::kMin, AggFunction::kMax}) {
+    AggregateSpec spec;
+    spec.input_relation = "A";
+    spec.output_relation = "agg";
+    spec.group_by_field = wisconsin::fields::kTwenty;
+    spec.value_field = wisconsin::fields::kUnique2;
+    spec.function = f;
+    const auto rows = RunGrouped(spec);
+    const auto expected =
+        Reference(f, wisconsin::fields::kTwenty, wisconsin::fields::kUnique2);
+    ASSERT_EQ(rows.size(), expected.size()) << AggFunctionName(f);
+    for (const auto& [group, value] : expected) {
+      EXPECT_EQ(rows.at(group), value) << AggFunctionName(f) << " " << group;
+    }
+  }
+}
+
+TEST_F(AggregateTest, ScalarAggregate) {
+  AggregateSpec spec;
+  spec.input_relation = "A";
+  spec.output_relation = "total";
+  spec.group_by_field = -1;
+  spec.value_field = wisconsin::fields::kUnique1;
+  spec.function = AggFunction::kMax;
+  auto output = ExecuteAggregate(machine_, catalog_, spec);
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(output->groups, 1u);
+  auto rel = catalog_.Get("total");
+  ASSERT_TRUE(rel.ok());
+  const auto rows = (*rel)->PeekAllTuples();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ((*rel)->schema().num_fields(), 1u);
+  EXPECT_EQ(rows[0].GetInt32((*rel)->schema(), 0), 2999);
+}
+
+TEST_F(AggregateTest, PredicateFiltersInput) {
+  AggregateSpec spec;
+  spec.input_relation = "A";
+  spec.output_relation = "filtered";
+  spec.group_by_field = -1;
+  spec.function = AggFunction::kCount;
+  spec.predicate = {Predicate{wisconsin::fields::kUnique1,
+                              Predicate::Op::kLt, 100}};
+  auto output = ExecuteAggregate(machine_, catalog_, spec);
+  ASSERT_TRUE(output.ok());
+  auto rel = catalog_.Get("filtered");
+  const auto rows = (*rel)->PeekAllTuples();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].GetInt32((*rel)->schema(), 0), 100);
+}
+
+TEST_F(AggregateTest, RunsOnDisklessProcessors) {
+  AggregateSpec spec;
+  spec.input_relation = "A";
+  spec.output_relation = "remote_agg";
+  spec.group_by_field = wisconsin::fields::kTen;
+  spec.function = AggFunction::kCount;
+  spec.agg_nodes = machine_.DisklessNodeIds();
+  auto output = ExecuteAggregate(machine_, catalog_, spec);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  EXPECT_EQ(output->groups, 10u);
+  // The merge ran remotely: partials crossed the ring.
+  EXPECT_GT(output->metrics.counters.tuples_sent_remote, 0);
+}
+
+TEST_F(AggregateTest, SumOverflowDetected) {
+  // Build a small relation whose 32-bit sum overflows.
+  auto rel = catalog_.Create(machine_, "big", wisconsin::WisconsinSchema());
+  ASSERT_TRUE(rel.ok());
+  const auto schema = wisconsin::WisconsinSchema();
+  std::vector<storage::Tuple> rows;
+  for (int i = 0; i < 10; ++i) {
+    storage::Tuple t(schema.tuple_bytes());
+    t.SetInt32(schema, wisconsin::fields::kUnique1, i);
+    t.SetInt32(schema, wisconsin::fields::kUnique2, INT32_MAX);
+    rows.push_back(std::move(t));
+  }
+  LoadOptions load;
+  load.strategy = PartitionStrategy::kRoundRobin;
+  ASSERT_TRUE(LoadRelation(*rel, rows, load).ok());
+
+  AggregateSpec spec;
+  spec.input_relation = "big";
+  spec.output_relation = "overflowed";
+  spec.group_by_field = -1;
+  spec.value_field = wisconsin::fields::kUnique2;
+  spec.function = AggFunction::kSum;
+  EXPECT_EQ(ExecuteAggregate(machine_, catalog_, spec).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_FALSE(catalog_.Get("overflowed").ok());  // cleaned up
+}
+
+TEST_F(AggregateTest, RejectsBadFields) {
+  AggregateSpec spec;
+  spec.input_relation = "A";
+  spec.output_relation = "bad";
+  spec.group_by_field = 99;
+  EXPECT_EQ(ExecuteAggregate(machine_, catalog_, spec).status().code(),
+            StatusCode::kInvalidArgument);
+  spec.group_by_field = wisconsin::fields::kStringU1;
+  EXPECT_EQ(ExecuteAggregate(machine_, catalog_, spec).status().code(),
+            StatusCode::kInvalidArgument);
+  spec.group_by_field = -1;
+  spec.function = AggFunction::kSum;
+  spec.value_field = 99;
+  EXPECT_EQ(ExecuteAggregate(machine_, catalog_, spec).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace gammadb::db

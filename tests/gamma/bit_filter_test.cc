@@ -1,0 +1,72 @@
+#include "gamma/bit_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace gammadb::db {
+namespace {
+
+TEST(BitFilterTest, PaperBitBudget) {
+  // 8 sites sharing one 2 KB packet: 1,973 bits per site (Section 4.2).
+  BitFilterSet filter(8);
+  EXPECT_EQ(filter.bits_per_site(), 1973u);
+  EXPECT_EQ(filter.num_sites(), 8);
+  EXPECT_EQ(filter.packet_bytes(), 2048u);
+  // Fewer sites -> larger slices.
+  EXPECT_EQ(BitFilterSet(1).bits_per_site(), 15784u);
+}
+
+TEST(BitFilterTest, NoFalseNegatives) {
+  BitFilterSet filter(4);
+  Rng rng(1);
+  std::vector<uint64_t> inserted;
+  for (int i = 0; i < 500; ++i) inserted.push_back(rng.Next());
+  for (uint64_t h : inserted) filter.Set(static_cast<int>(h % 4), h);
+  for (uint64_t h : inserted) {
+    EXPECT_TRUE(filter.MayContain(static_cast<int>(h % 4), h));
+  }
+}
+
+TEST(BitFilterTest, FalsePositiveRateMatchesFill) {
+  BitFilterSet filter(8);
+  Rng rng(2);
+  for (int i = 0; i < 1250; ++i) filter.Set(0, rng.Next());
+  const double fill = filter.FillFraction(0);
+  // 1250 hashes into 1973 bits: expected fill 1 - exp(-1250/1973) = 0.47.
+  EXPECT_NEAR(fill, 0.47, 0.04);
+  // Unrelated probes pass with probability == fill.
+  int passes = 0;
+  const int probes = 20000;
+  for (int i = 0; i < probes; ++i) {
+    if (filter.MayContain(0, rng.Next())) ++passes;
+  }
+  EXPECT_NEAR(static_cast<double>(passes) / probes, fill, 0.02);
+}
+
+TEST(BitFilterTest, SitesAreIndependent) {
+  BitFilterSet filter(2);
+  filter.Set(0, 12345);
+  EXPECT_TRUE(filter.MayContain(0, 12345));
+  EXPECT_FALSE(filter.MayContain(1, 12345));
+}
+
+TEST(BitFilterTest, DuplicateValuesShareOneBit) {
+  // The Section 4.4 effect: skewed data sets fewer bits.
+  BitFilterSet filter(1);
+  for (int i = 0; i < 1000; ++i) filter.Set(0, /*hash=*/42);
+  EXPECT_NEAR(filter.FillFraction(0), 1.0 / filter.bits_per_site(), 1e-9);
+}
+
+TEST(BitFilterTest, ClearAllResets) {
+  BitFilterSet filter(2);
+  filter.Set(0, 1);
+  filter.Set(1, 2);
+  filter.ClearAll();
+  EXPECT_FALSE(filter.MayContain(0, 1));
+  EXPECT_FALSE(filter.MayContain(1, 2));
+  EXPECT_DOUBLE_EQ(filter.FillFraction(0), 0.0);
+}
+
+}  // namespace
+}  // namespace gammadb::db

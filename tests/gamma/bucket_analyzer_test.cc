@@ -1,0 +1,60 @@
+#include "gamma/bucket_analyzer.h"
+
+#include <gtest/gtest.h>
+
+namespace gammadb::db {
+namespace {
+
+// The paper's worked example (Appendix A): a three-bucket Hybrid join
+// with two disk nodes and four joining nodes must grow to four buckets.
+TEST(BucketAnalyzerTest, PaperExampleHybridGrowsToFour) {
+  EXPECT_EQ(AnalyzeBucketCount(BucketAlgorithm::kHybrid, 3, /*num_disks=*/2,
+                               /*join_nodes=*/4),
+            4);
+}
+
+// Local configurations (join nodes == disk nodes) never need extra
+// buckets: the mod cycle reaches every node by construction.
+TEST(BucketAnalyzerTest, LocalConfigurationsUnchanged) {
+  for (int buckets = 1; buckets <= 12; ++buckets) {
+    EXPECT_EQ(AnalyzeBucketCount(BucketAlgorithm::kGrace, buckets, 8, 8),
+              buckets)
+        << buckets << " buckets (grace)";
+    EXPECT_EQ(AnalyzeBucketCount(BucketAlgorithm::kHybrid, buckets, 8, 8),
+              buckets)
+        << buckets << " buckets (hybrid)";
+  }
+}
+
+TEST(BucketAnalyzerTest, SingleBucketFewerDisksThanJoinersIsFine) {
+  EXPECT_EQ(AnalyzeBucketCount(BucketAlgorithm::kHybrid, 1, 2, 4), 1);
+  EXPECT_EQ(AnalyzeBucketCount(BucketAlgorithm::kGrace, 1, 4, 8), 1);
+}
+
+// The returned count never shrinks and always satisfies the analyzer's
+// own acceptance test (property check over a parameter grid).
+TEST(BucketAnalyzerTest, MonotoneAndAccepted) {
+  for (int disks = 1; disks <= 8; ++disks) {
+    for (int joiners = 1; joiners <= 16; ++joiners) {
+      for (int buckets = 1; buckets <= 6; ++buckets) {
+        for (auto algo : {BucketAlgorithm::kGrace, BucketAlgorithm::kHybrid}) {
+          const int chosen = AnalyzeBucketCount(algo, buckets, disks, joiners);
+          EXPECT_GE(chosen, buckets);
+          // Re-running on the chosen count is a fixed point.
+          EXPECT_EQ(AnalyzeBucketCount(algo, chosen, disks, joiners), chosen);
+        }
+      }
+    }
+  }
+}
+
+// Remote Gamma configuration (8 disks feeding 8 diskless joiners).
+TEST(BucketAnalyzerTest, RemoteEightByEight) {
+  for (int buckets = 1; buckets <= 10; ++buckets) {
+    const int grace = AnalyzeBucketCount(BucketAlgorithm::kGrace, buckets, 8, 8);
+    EXPECT_EQ(grace, buckets);
+  }
+}
+
+}  // namespace
+}  // namespace gammadb::db

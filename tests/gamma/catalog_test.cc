@@ -1,0 +1,77 @@
+#include "gamma/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb::db {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : machine_(sim::MachineConfig{4, 2, sim::CostModel{}, 1}) {}
+
+  sim::Machine machine_;
+  Catalog catalog_;
+};
+
+TEST_F(CatalogTest, CreateDeclustersOverAllDiskNodes) {
+  auto rel = catalog_.Create(machine_, "r", wisconsin::WisconsinSchema());
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->num_fragments(), 4u);
+  EXPECT_EQ((*rel)->home_nodes(), machine_.DiskNodeIds());
+  EXPECT_EQ((*rel)->total_tuples(), 0u);
+  EXPECT_EQ((*rel)->name(), "r");
+}
+
+TEST_F(CatalogTest, DuplicateNameRejected) {
+  ASSERT_TRUE(catalog_.Create(machine_, "r", wisconsin::WisconsinSchema()).ok());
+  auto dup = catalog_.Create(machine_, "r", wisconsin::WisconsinSchema());
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, GetAndDrop) {
+  ASSERT_TRUE(catalog_.Create(machine_, "r", wisconsin::WisconsinSchema()).ok());
+  EXPECT_TRUE(catalog_.Get("r").ok());
+  EXPECT_FALSE(catalog_.Get("missing").ok());
+  EXPECT_TRUE(catalog_.Drop("r").ok());
+  EXPECT_FALSE(catalog_.Get("r").ok());
+  EXPECT_EQ(catalog_.Drop("r").code(), StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, DropFreesDiskPages) {
+  auto rel = catalog_.Create(machine_, "r", wisconsin::WisconsinSchema());
+  ASSERT_TRUE(rel.ok());
+  machine_.BeginPhase("load");
+  wisconsin::GenOptions gen;
+  gen.cardinality = 400;
+  for (const auto& t : wisconsin::Generate(gen)) {
+    (*rel)->fragment(0).Append(t);
+  }
+  (*rel)->fragment(0).FlushAppends();
+  machine_.EndPhase();
+  EXPECT_GT(machine_.node(0).disk().live_pages(), 0u);
+  ASSERT_TRUE(catalog_.Drop("r").ok());
+  EXPECT_EQ(machine_.node(0).disk().live_pages(), 0u);
+}
+
+TEST_F(CatalogTest, NamesAreSorted) {
+  ASSERT_TRUE(catalog_.Create(machine_, "zeta", wisconsin::WisconsinSchema()).ok());
+  ASSERT_TRUE(catalog_.Create(machine_, "alpha", wisconsin::WisconsinSchema()).ok());
+  EXPECT_EQ(catalog_.Names(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST_F(CatalogTest, PartitionStrategyNames) {
+  EXPECT_STREQ(PartitionStrategyName(PartitionStrategy::kRoundRobin),
+               "round-robin");
+  EXPECT_STREQ(PartitionStrategyName(PartitionStrategy::kHashed), "hashed");
+  EXPECT_STREQ(PartitionStrategyName(PartitionStrategy::kRangeUser),
+               "range-user");
+  EXPECT_STREQ(PartitionStrategyName(PartitionStrategy::kRangeUniform),
+               "range-uniform");
+}
+
+}  // namespace
+}  // namespace gammadb::db

@@ -1,0 +1,157 @@
+// Index-accelerated selection: the WiSS B+ index as a scan access path.
+#include <gtest/gtest.h>
+
+#include "gamma/operators.h"
+#include "gamma/update.h"
+#include "sim/machine.h"
+#include "testing/test_util.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb::db {
+namespace {
+
+namespace wf = wisconsin::fields;
+
+class IndexSelectTest : public ::testing::Test {
+ protected:
+  IndexSelectTest() : machine_(gammadb::testing::SmallConfig(4)) {
+    auto rel = catalog_.Create(machine_, "A", wisconsin::WisconsinSchema());
+    GAMMA_CHECK(rel.ok());
+    relation_ = *rel;
+    wisconsin::GenOptions gen;
+    gen.cardinality = 4000;
+    gen.seed = 29;
+    LoadOptions load;
+    load.strategy = PartitionStrategy::kHashed;
+    load.partition_field = wf::kUnique1;
+    GAMMA_CHECK_OK(LoadRelation(relation_, wisconsin::Generate(gen), load));
+  }
+
+  Result<SelectOutput> Select(const PredicateList& predicate, bool use_index,
+                              const std::string& out) {
+    SelectSpec spec;
+    spec.input_relation = "A";
+    spec.output_relation = out;
+    spec.predicate = predicate;
+    spec.use_index = use_index;
+    return ExecuteSelect(machine_, catalog_, spec);
+  }
+
+  sim::Machine machine_;
+  Catalog catalog_;
+  StoredRelation* relation_ = nullptr;
+};
+
+TEST_F(IndexSelectTest, BuildIndexValidates) {
+  EXPECT_EQ(relation_->BuildIndex(machine_, 99).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(relation_->BuildIndex(machine_, wf::kStringU1).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(relation_->has_index());
+  ASSERT_TRUE(relation_->BuildIndex(machine_, wf::kUnique1).ok());
+  EXPECT_TRUE(relation_->has_index());
+  EXPECT_EQ(relation_->indexed_field(), wf::kUnique1);
+  for (size_t i = 0; i < relation_->num_fragments(); ++i) {
+    EXPECT_EQ(relation_->fragment_index(i).size(),
+              relation_->fragment(i).tuple_count());
+  }
+}
+
+TEST_F(IndexSelectTest, IndexAndScanAgree) {
+  ASSERT_TRUE(relation_->BuildIndex(machine_, wf::kUnique1).ok());
+  const PredicateList range = {
+      Predicate{wf::kUnique1, Predicate::Op::kGe, 1000},
+      Predicate{wf::kUnique1, Predicate::Op::kLt, 1100}};
+  auto via_index = Select(range, true, "via_index");
+  auto via_scan = Select(range, false, "via_scan");
+  ASSERT_TRUE(via_index.ok() && via_scan.ok());
+  EXPECT_TRUE(via_index->used_index);
+  EXPECT_FALSE(via_scan->used_index);
+  EXPECT_EQ(via_index->output_tuples, 100u);
+  EXPECT_EQ(via_scan->output_tuples, 100u);
+  auto a = catalog_.Get("via_index");
+  auto b = catalog_.Get("via_scan");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(gammadb::testing::Canonical((*a)->PeekAllTuples()),
+            gammadb::testing::Canonical((*b)->PeekAllTuples()));
+  // The index path examined only the matching tuples.
+  EXPECT_EQ(via_index->input_tuples, 100u);
+  EXPECT_EQ(via_scan->input_tuples, 4000u);
+}
+
+TEST_F(IndexSelectTest, SelectiveLookupIsCheaperBroadScanIsNot) {
+  ASSERT_TRUE(relation_->BuildIndex(machine_, wf::kUnique1).ok());
+  // Point lookup: index wins.
+  const PredicateList point = {Predicate{wf::kUnique1, Predicate::Op::kEq, 7}};
+  auto idx_point = Select(point, true, "p1");
+  auto scan_point = Select(point, false, "p2");
+  ASSERT_TRUE(idx_point.ok() && scan_point.ok());
+  EXPECT_LT(idx_point->metrics.response_seconds,
+            scan_point->metrics.response_seconds);
+
+  // 80% selection: the unclustered fetches lose to the sequential scan.
+  const PredicateList broad = {
+      Predicate{wf::kUnique1, Predicate::Op::kLt, 3200}};
+  auto idx_broad = Select(broad, true, "b1");
+  auto scan_broad = Select(broad, false, "b2");
+  ASSERT_TRUE(idx_broad.ok() && scan_broad.ok());
+  EXPECT_TRUE(idx_broad->used_index);
+  EXPECT_GT(idx_broad->metrics.response_seconds,
+            scan_broad->metrics.response_seconds);
+}
+
+TEST_F(IndexSelectTest, UnboundedPredicateFallsBackToScan) {
+  ASSERT_TRUE(relation_->BuildIndex(machine_, wf::kUnique1).ok());
+  // Predicate on a different field: no index range derivable.
+  auto out = Select({Predicate{wf::kTen, Predicate::Op::kEq, 3}}, true, "o1");
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->used_index);
+  EXPECT_EQ(out->output_tuples, 400u);
+  // kNe on the indexed field gives no bound either.
+  auto ne = Select({Predicate{wf::kUnique1, Predicate::Op::kNe, 5}}, true,
+                   "o2");
+  ASSERT_TRUE(ne.ok());
+  EXPECT_FALSE(ne->used_index);
+  EXPECT_EQ(ne->output_tuples, 3999u);
+}
+
+TEST_F(IndexSelectTest, ResidualPredicateStillApplied) {
+  ASSERT_TRUE(relation_->BuildIndex(machine_, wf::kUnique1).ok());
+  // Range on the indexed field AND a residual condition.
+  auto out = Select({Predicate{wf::kUnique1, Predicate::Op::kLt, 1000},
+                     Predicate{wf::kTwo, Predicate::Op::kEq, 0}},
+                    true, "res");
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->used_index);
+  EXPECT_EQ(out->output_tuples, 500u);
+}
+
+TEST_F(IndexSelectTest, ContradictoryRangeSelectsNothingViaScan) {
+  ASSERT_TRUE(relation_->BuildIndex(machine_, wf::kUnique1).ok());
+  auto out = Select({Predicate{wf::kUnique1, Predicate::Op::kGt, 10},
+                     Predicate{wf::kUnique1, Predicate::Op::kLt, 5}},
+                    true, "none");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->output_tuples, 0u);
+}
+
+TEST_F(IndexSelectTest, DmlDropsIndexes) {
+  ASSERT_TRUE(relation_->BuildIndex(machine_, wf::kUnique1).ok());
+  UpdateSpec spec;
+  spec.relation = "A";
+  spec.assignments = {Assignment{wf::kTwenty, 1}};
+  ASSERT_TRUE(ExecuteUpdate(machine_, catalog_, spec).ok());
+  EXPECT_FALSE(relation_->has_index());
+}
+
+TEST_F(IndexSelectTest, DropFreesIndexPages) {
+  ASSERT_TRUE(relation_->BuildIndex(machine_, wf::kUnique1).ok());
+  EXPECT_GT(machine_.node(0).disk().live_pages(), 0u);
+  ASSERT_TRUE(catalog_.Drop("A").ok());
+  for (int node = 0; node < 4; ++node) {
+    EXPECT_EQ(machine_.node(node).disk().live_pages(), 0u) << node;
+  }
+}
+
+}  // namespace
+}  // namespace gammadb::db

@@ -1,0 +1,116 @@
+// Parameterized declustering sweep: every strategy on several machine
+// widths and cardinalities must preserve the data exactly and satisfy
+// its placement invariant.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/hash.h"
+#include "gamma/loader.h"
+#include "sim/machine.h"
+#include "testing/test_util.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb::db {
+namespace {
+
+using LoaderParam = std::tuple<PartitionStrategy, int /*sites*/,
+                               uint32_t /*cardinality*/>;
+
+class LoaderPropertyTest : public ::testing::TestWithParam<LoaderParam> {};
+
+std::string LoaderParamName(const ::testing::TestParamInfo<LoaderParam>& info) {
+  const auto& [strategy, sites, n] = info.param;
+  std::string name = PartitionStrategyName(strategy);
+  for (auto& c : name) {
+    if (c == '-') c = '_';
+  }
+  return name + "_s" + std::to_string(sites) + "_n" + std::to_string(n);
+}
+
+TEST_P(LoaderPropertyTest, PreservesDataAndPlacementInvariant) {
+  const auto& [strategy, sites, cardinality] = GetParam();
+  sim::Machine machine(gammadb::testing::SmallConfig(sites));
+  Catalog catalog;
+  auto rel = catalog.Create(machine, "r", wisconsin::WisconsinSchema());
+  ASSERT_TRUE(rel.ok());
+
+  wisconsin::GenOptions gen;
+  gen.cardinality = cardinality;
+  gen.seed = 41;
+  const auto tuples = wisconsin::Generate(gen);
+
+  LoadOptions options;
+  options.strategy = strategy;
+  options.partition_field = wisconsin::fields::kUnique1;
+  if (strategy == PartitionStrategy::kRangeUser) {
+    options.range_boundaries.clear();
+    for (int i = 1; i < sites; ++i) {
+      options.range_boundaries.push_back(
+          static_cast<int32_t>(cardinality) * i / sites - 1);
+    }
+  }
+  ASSERT_TRUE(LoadRelation(*rel, tuples, options).ok());
+
+  // No tuple lost or duplicated.
+  EXPECT_EQ((*rel)->total_tuples(), cardinality);
+  EXPECT_EQ(gammadb::testing::Canonical((*rel)->PeekAllTuples()),
+            gammadb::testing::Canonical(tuples));
+
+  const auto& schema = (*rel)->schema();
+  for (size_t frag = 0; frag < (*rel)->num_fragments(); ++frag) {
+    const auto rows = (*rel)->fragment(frag).PeekAll();
+    switch (strategy) {
+      case PartitionStrategy::kRoundRobin:
+        // Exact balance (up to remainder).
+        EXPECT_NEAR(static_cast<double>(rows.size()),
+                    static_cast<double>(cardinality) / sites, 1.0);
+        break;
+      case PartitionStrategy::kHashed:
+        for (const auto& t : rows) {
+          const int32_t key =
+              t.GetInt32(schema, wisconsin::fields::kUnique1);
+          EXPECT_EQ(HashJoinAttribute(key) % static_cast<uint64_t>(sites),
+                    frag);
+        }
+        break;
+      case PartitionStrategy::kRangeUser:
+      case PartitionStrategy::kRangeUniform: {
+        // Fragments hold disjoint ascending ranges.
+        int32_t lo = INT32_MAX, hi = INT32_MIN;
+        for (const auto& t : rows) {
+          const int32_t key =
+              t.GetInt32(schema, wisconsin::fields::kUnique1);
+          lo = std::min(lo, key);
+          hi = std::max(hi, key);
+        }
+        if (!rows.empty() && frag + 1 < (*rel)->num_fragments()) {
+          const auto next = (*rel)->fragment(frag + 1).PeekAll();
+          for (const auto& t : next) {
+            EXPECT_GT(t.GetInt32(schema, wisconsin::fields::kUnique1), hi);
+          }
+        }
+        // Uniform ranges additionally balance the load.
+        if (strategy == PartitionStrategy::kRangeUniform) {
+          EXPECT_NEAR(static_cast<double>(rows.size()),
+                      static_cast<double>(cardinality) / sites,
+                      cardinality * 0.02 + 2);
+        }
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LoaderPropertyTest,
+    ::testing::Combine(::testing::Values(PartitionStrategy::kRoundRobin,
+                                         PartitionStrategy::kHashed,
+                                         PartitionStrategy::kRangeUser,
+                                         PartitionStrategy::kRangeUniform),
+                       ::testing::Values(1, 3, 8),
+                       ::testing::Values(64u, 2000u)),
+    LoaderParamName);
+
+}  // namespace
+}  // namespace gammadb::db

@@ -1,0 +1,203 @@
+#include "gamma/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "gamma/planner.h"
+#include "join/driver.h"
+#include "sim/machine.h"
+#include "testing/test_util.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb::db {
+namespace {
+
+namespace wf = wisconsin::fields;
+
+class PlanTest : public ::testing::Test {
+ protected:
+  PlanTest() : machine_(gammadb::testing::SmallConfig(4)) {
+    wisconsin::DatasetOptions options;
+    options.outer_cardinality = 2000;
+    options.inner_cardinality = 200;
+    options.seed = 17;
+    auto loaded = wisconsin::LoadJoinABprime(machine_, catalog_, options);
+    GAMMA_CHECK(loaded.ok());
+  }
+
+  sim::Machine machine_;
+  db::Catalog catalog_;
+};
+
+TEST_F(PlanTest, PlainJoinPlan) {
+  Plan plan = Plan::Join(Plan::Scan("Bprime"), Plan::Scan("A"),
+                         wf::kUnique1, wf::kUnique1, {});
+  auto result = ExecutePlan(machine_, catalog_, plan, "answer");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->result_tuples, 200u);
+  ASSERT_EQ(result->steps.size(), 1u);
+  // Uniform inner at full memory: the optimizer picks Hybrid.
+  EXPECT_NE(result->steps[0].description.find("hybrid"), std::string::npos);
+  EXPECT_GT(result->total_seconds, 0);
+  EXPECT_TRUE(catalog_.Drop("answer").ok());
+}
+
+TEST_F(PlanTest, SelectionPushdownAvoidsMaterialization) {
+  Plan plan = Plan::Join(
+      Plan::Scan("Bprime",
+                 {Predicate{wf::kUnique1, Predicate::Op::kLt, 500}}),
+      Plan::Scan("A"), wf::kUnique1, wf::kUnique1, {});
+  auto result = ExecutePlan(machine_, catalog_, plan, "answer");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Exactly one step: the selection ran inside the join's scans.
+  ASSERT_EQ(result->steps.size(), 1u);
+  auto rel = catalog_.Get("answer");
+  ASSERT_TRUE(rel.ok());
+  for (const auto& t : (*rel)->PeekAllTuples()) {
+    EXPECT_LT(t.GetInt32((*rel)->schema(), wf::kUnique1), 500);
+  }
+  EXPECT_TRUE(catalog_.Drop("answer").ok());
+}
+
+TEST_F(PlanTest, ProjectionForcesMaterializedSelect) {
+  Plan plan = Plan::Join(
+      Plan::Scan("Bprime", {}, {wf::kUnique1, wf::kUnique2}),
+      Plan::Scan("A"), /*inner_field=*/0, wf::kUnique1, {});
+  auto result = ExecutePlan(machine_, catalog_, plan, "answer");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->steps.size(), 2u);  // select + join
+  EXPECT_NE(result->steps[0].description.find("select"), std::string::npos);
+  EXPECT_EQ(result->result_tuples, 200u);
+  auto rel = catalog_.Get("answer");
+  ASSERT_TRUE(rel.ok());
+  // Projected inner schema (2 fields) + full outer schema (16 fields).
+  EXPECT_EQ((*rel)->schema().num_fields(), 18u);
+  EXPECT_TRUE(catalog_.Drop("answer").ok());
+}
+
+TEST_F(PlanTest, AggregateOverJoin) {
+  Plan plan = Plan::Aggregate(
+      Plan::Join(Plan::Scan("Bprime"), Plan::Scan("A"), wf::kUnique1,
+                 wf::kUnique1, {}),
+      /*group_by=*/wf::kTen, AggFunction::kCount, /*value=*/0);
+  auto result = ExecutePlan(machine_, catalog_, plan, "per_ten");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->steps.size(), 2u);
+  EXPECT_EQ(result->result_tuples, 10u);
+  auto rel = catalog_.Get("per_ten");
+  ASSERT_TRUE(rel.ok());
+  int64_t total = 0;
+  for (const auto& t : (*rel)->PeekAllTuples()) {
+    total += t.GetInt32((*rel)->schema(), 1);
+  }
+  EXPECT_EQ(total, 200);  // counts sum to the join cardinality
+  // No temporary relations leaked.
+  EXPECT_EQ(catalog_.Names().size(), 3u);  // A, Bprime, per_ten
+  EXPECT_TRUE(catalog_.Drop("per_ten").ok());
+}
+
+TEST_F(PlanTest, JoinOfJoins) {
+  // (Bprime ⋈ A) ⋈ Bprime on unique1: each result row matches once.
+  Plan inner_join = Plan::Join(Plan::Scan("Bprime"), Plan::Scan("A"),
+                               wf::kUnique1, wf::kUnique1, {});
+  Plan plan = Plan::Join(Plan::Scan("Bprime"), inner_join, wf::kUnique1,
+                         /*outer_field=*/wf::kUnique1, {});
+  auto result = ExecutePlan(machine_, catalog_, plan, "twice");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->steps.size(), 2u);
+  EXPECT_EQ(result->result_tuples, 200u);
+  EXPECT_EQ(catalog_.Names().size(), 3u);  // temporaries dropped
+  EXPECT_TRUE(catalog_.Drop("twice").ok());
+}
+
+TEST_F(PlanTest, FailureCleansUpTemporaries) {
+  Plan plan = Plan::Join(Plan::Scan("missing"), Plan::Scan("A"),
+                         wf::kUnique1, wf::kUnique1, {});
+  EXPECT_FALSE(ExecutePlan(machine_, catalog_, plan, "answer").ok());
+  EXPECT_EQ(catalog_.Names().size(), 2u);
+  EXPECT_FALSE(catalog_.Get("answer").ok());
+}
+
+TEST_F(PlanTest, EmptyResultNameRejected) {
+  Plan plan = Plan::Scan("A");
+  EXPECT_EQ(ExecutePlan(machine_, catalog_, plan, "").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --- Planner rule tests --------------------------------------------------
+
+TEST_F(PlanTest, AnalyzeColumnComputesExactStats) {
+  auto rel = catalog_.Get("A");
+  ASSERT_TRUE(rel.ok());
+  auto unique = AnalyzeColumn(**rel, wf::kUnique1);
+  ASSERT_TRUE(unique.ok());
+  EXPECT_EQ(unique->cardinality, 2000u);
+  EXPECT_EQ(unique->distinct, 2000u);
+  EXPECT_EQ(unique->max_duplicates, 1u);
+  EXPECT_EQ(unique->min_value, 0);
+  EXPECT_EQ(unique->max_value, 1999);
+  EXPECT_FALSE(unique->HighlySkewed());
+
+  auto ten = AnalyzeColumn(**rel, wf::kTen);
+  ASSERT_TRUE(ten.ok());
+  EXPECT_EQ(ten->distinct, 10u);
+  EXPECT_EQ(ten->max_duplicates, 200u);
+  // Uniform duplicates: heavy but not skewed (max == average).
+  EXPECT_FALSE(ten->HighlySkewed());
+
+  EXPECT_FALSE(AnalyzeColumn(**rel, 99).ok());
+  EXPECT_FALSE(AnalyzeColumn(**rel, wf::kStringU1).ok());
+}
+
+TEST_F(PlanTest, ChooserFollowsSectionFiveRule) {
+  ColumnStats uniform;
+  uniform.cardinality = 10000;
+  uniform.distinct = 10000;
+  uniform.max_duplicates = 1;
+  ColumnStats skewed;
+  skewed.cardinality = 10000;
+  skewed.distinct = 3000;       // avg 3.3 duplicates...
+  skewed.max_duplicates = 77;   // ...max 77: the paper's NU column
+  EXPECT_TRUE(skewed.HighlySkewed());
+
+  // Uniform inner: Hybrid at any memory.
+  EXPECT_EQ(ChooseJoinAlgorithm(uniform, 1.0),
+            join::Algorithm::kHybridHash);
+  EXPECT_EQ(ChooseJoinAlgorithm(uniform, 0.1),
+            join::Algorithm::kHybridHash);
+  // Skewed inner with plenty of memory: still Hybrid ("we find it very
+  // encouraging that Hybrid still performs best...").
+  EXPECT_EQ(ChooseJoinAlgorithm(skewed, 1.0), join::Algorithm::kHybridHash);
+  // Skewed inner and limited memory: sort-merge (Section 5).
+  EXPECT_EQ(ChooseJoinAlgorithm(skewed, 0.17), join::Algorithm::kSortMerge);
+}
+
+TEST_F(PlanTest, PlannerPicksSortMergeForSkewedLowMemoryJoin) {
+  // Build a skewed inner relation and let the plan choose.
+  wisconsin::GenOptions gen;
+  gen.cardinality = 2000;
+  gen.seed = 18;
+  gen.with_normal_attr = true;
+  gen.normal_mean = 1000;
+  gen.normal_stddev = 30;
+  gen.normal_max = 1999;
+  auto rel = catalog_.Create(machine_, "Skewed", wisconsin::WisconsinSchema());
+  ASSERT_TRUE(rel.ok());
+  LoadOptions load;
+  load.strategy = PartitionStrategy::kRangeUniform;
+  load.partition_field = wf::kNormal;
+  ASSERT_TRUE(LoadRelation(*rel, wisconsin::Generate(gen), load).ok());
+
+  Plan::JoinOptions options;
+  options.memory_ratio = 0.15;
+  Plan plan = Plan::Join(Plan::Scan("Skewed"), Plan::Scan("A"), wf::kNormal,
+                         wf::kUnique1, options);
+  auto result = ExecutePlan(machine_, catalog_, plan, "skew_answer");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NE(result->steps[0].description.find("sort-merge"),
+            std::string::npos)
+      << result->steps[0].description;
+  EXPECT_TRUE(catalog_.Drop("skew_answer").ok());
+}
+
+}  // namespace
+}  // namespace gammadb::db

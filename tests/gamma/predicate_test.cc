@@ -1,0 +1,50 @@
+#include "gamma/predicate.h"
+
+#include <gtest/gtest.h>
+
+namespace gammadb::db {
+namespace {
+
+class PredicateTest : public ::testing::Test {
+ protected:
+  PredicateTest() : schema_({storage::Field::Int32("x"),
+                             storage::Field::Int32("y")}) {}
+
+  storage::Tuple MakeTuple(int32_t x, int32_t y) {
+    storage::Tuple t(schema_.tuple_bytes());
+    t.SetInt32(schema_, 0, x);
+    t.SetInt32(schema_, 1, y);
+    return t;
+  }
+
+  storage::Schema schema_;
+};
+
+TEST_F(PredicateTest, AllOperators) {
+  const auto t = MakeTuple(10, 20);
+  using Op = Predicate::Op;
+  EXPECT_TRUE((Predicate{0, Op::kLt, 11}).Eval(schema_, t));
+  EXPECT_FALSE((Predicate{0, Op::kLt, 10}).Eval(schema_, t));
+  EXPECT_TRUE((Predicate{0, Op::kLe, 10}).Eval(schema_, t));
+  EXPECT_TRUE((Predicate{0, Op::kEq, 10}).Eval(schema_, t));
+  EXPECT_FALSE((Predicate{0, Op::kEq, 11}).Eval(schema_, t));
+  EXPECT_TRUE((Predicate{0, Op::kNe, 11}).Eval(schema_, t));
+  EXPECT_TRUE((Predicate{0, Op::kGe, 10}).Eval(schema_, t));
+  EXPECT_FALSE((Predicate{0, Op::kGt, 10}).Eval(schema_, t));
+  EXPECT_TRUE((Predicate{1, Op::kGt, 10}).Eval(schema_, t));
+}
+
+TEST_F(PredicateTest, ConjunctionSemantics) {
+  using Op = Predicate::Op;
+  const PredicateList both = {{0, Op::kGe, 5}, {1, Op::kLt, 25}};
+  EXPECT_TRUE(EvalAll(both, schema_, MakeTuple(10, 20)));
+  EXPECT_FALSE(EvalAll(both, schema_, MakeTuple(4, 20)));
+  EXPECT_FALSE(EvalAll(both, schema_, MakeTuple(10, 30)));
+}
+
+TEST_F(PredicateTest, EmptyListAcceptsEverything) {
+  EXPECT_TRUE(EvalAll({}, schema_, MakeTuple(-1, -1)));
+}
+
+}  // namespace
+}  // namespace gammadb::db

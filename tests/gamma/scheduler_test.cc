@@ -1,0 +1,57 @@
+#include "gamma/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+
+namespace gammadb::db {
+namespace {
+
+TEST(SchedulerTest, ChargesTwoControlMessagesPerProcess) {
+  sim::Machine machine(sim::MachineConfig{2, 0, sim::CostModel{}, 1});
+  machine.BeginPhase("p");
+  ChargeOperatorPhase(machine, /*producers=*/3, /*consumers=*/5,
+                      /*split_table_bytes=*/100);  // fits one packet
+  machine.EndPhase();
+  const auto m = machine.Metrics();
+  EXPECT_EQ(m.counters.control_messages, 2 * (3 + 5));
+  EXPECT_DOUBLE_EQ(m.response_seconds,
+                   16 * machine.cost().sched_control_message_seconds);
+}
+
+TEST(SchedulerTest, OversizedSplitTableCostsExtraPackets) {
+  sim::Machine machine(sim::MachineConfig{2, 0, sim::CostModel{}, 1});
+  machine.BeginPhase("small");
+  ChargeOperatorPhase(machine, 8, 8, 2048);  // exactly one packet
+  machine.EndPhase();
+  const int64_t small_messages = machine.Metrics().counters.control_messages;
+
+  machine.ResetMetrics();
+  machine.BeginPhase("big");
+  ChargeOperatorPhase(machine, 8, 8, 2049);  // two pieces
+  machine.EndPhase();
+  const int64_t big_messages = machine.Metrics().counters.control_messages;
+  // One extra packet per producer.
+  EXPECT_EQ(big_messages, small_messages + 8);
+}
+
+TEST(SchedulerTest, FilterDistributionGathersAndBroadcasts) {
+  sim::Machine machine(sim::MachineConfig{2, 0, sim::CostModel{}, 1});
+  machine.BeginPhase("p");
+  ChargeFilterDistribution(machine, /*join_sites=*/8, /*producers=*/4);
+  machine.EndPhase();
+  EXPECT_EQ(machine.Metrics().counters.control_messages, 12);
+}
+
+TEST(SchedulerTest, SplitTablePacketThresholds) {
+  sim::CostModel cost;
+  EXPECT_EQ(cost.SplitTablePackets(0), 0);
+  EXPECT_EQ(cost.SplitTablePackets(1), 1);
+  EXPECT_EQ(cost.SplitTablePackets(2048), 1);
+  EXPECT_EQ(cost.SplitTablePackets(2049), 2);
+  EXPECT_EQ(cost.SplitTablePackets(4096), 2);
+  EXPECT_EQ(cost.SplitTablePackets(4097), 3);
+}
+
+}  // namespace
+}  // namespace gammadb::db

@@ -1,0 +1,121 @@
+// Split-table layout tests, including the worked examples of the
+// paper's Appendix A.
+#include "gamma/split_table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+
+namespace gammadb::db {
+namespace {
+
+TEST(SplitTableTest, LoadingTableRoutesByMod) {
+  const SplitTable table = SplitTable::Loading({0, 1, 2});
+  ASSERT_EQ(table.size(), 3u);
+  for (uint64_t h = 0; h < 30; ++h) {
+    EXPECT_EQ(table.Route(h).node, static_cast<int>(h % 3));
+    EXPECT_EQ(table.Route(h).bucket, 0);
+  }
+}
+
+TEST(SplitTableTest, JoiningTablePreservesNodeOrder) {
+  const SplitTable table = SplitTable::Joining({8, 9, 10, 11});
+  ASSERT_EQ(table.size(), 4u);
+  EXPECT_EQ(table.Route(5).node, 9);  // 5 mod 4 = 1 -> second entry
+  EXPECT_TRUE(table.HasImmediateBucket());
+  EXPECT_EQ(table.MaxBucket(), 0);
+}
+
+// Appendix A, Table 1: a three-bucket Grace join on two disk nodes.
+// Entries alternate destination nodes 1,2 with buckets 1,1,2,2,3,3.
+TEST(SplitTableTest, AppendixTable1GraceLayout) {
+  const SplitTable table = SplitTable::GracePartitioning({1, 2}, 3);
+  ASSERT_EQ(table.size(), 6u);
+  const int expected_node[] = {1, 2, 1, 2, 1, 2};
+  const int expected_bucket[] = {1, 1, 2, 2, 3, 3};
+  for (size_t e = 0; e < 6; ++e) {
+    EXPECT_EQ(table.entry(e).node, expected_node[e]) << "entry " << e;
+    EXPECT_EQ(table.entry(e).bucket, expected_bucket[e]) << "entry " << e;
+  }
+  EXPECT_FALSE(table.HasImmediateBucket());
+  EXPECT_EQ(table.MaxBucket(), 3);
+}
+
+// Appendix A, Table 2: three-bucket Hybrid join, disk nodes {1,2},
+// joining processes on nodes {3,4}.
+TEST(SplitTableTest, AppendixTable2HybridLayout) {
+  const SplitTable table = SplitTable::HybridPartitioning({3, 4}, {1, 2}, 3);
+  ASSERT_EQ(table.size(), 6u);
+  const int expected_node[] = {3, 4, 1, 2, 1, 2};
+  const int expected_bucket[] = {0, 0, 1, 1, 2, 2};
+  for (size_t e = 0; e < 6; ++e) {
+    EXPECT_EQ(table.entry(e).node, expected_node[e]) << "entry " << e;
+    EXPECT_EQ(table.entry(e).bucket, expected_bucket[e]) << "entry " << e;
+  }
+}
+
+// Appendix A, Table 3/4: three-bucket Hybrid with two disk nodes and
+// FOUR joining processes. Bucket-2 tuples stored on disk 1 all have
+// hash = 8n+4; re-splitting them mod 4 maps every one to join entry 0
+// — the starvation pathology the bucket analyzer exists to fix.
+TEST(SplitTableTest, AppendixTable4SkewPathology) {
+  const SplitTable partitioning =
+      SplitTable::HybridPartitioning({1, 2, 3, 4}, {1, 2}, 3);
+  ASSERT_EQ(partitioning.size(), 8u);
+  const SplitTable joining = SplitTable::Joining({1, 2, 3, 4});
+
+  // Hash values 8n+4 route to partitioning entry 4: disk 1, first
+  // STORED bucket (the paper's "bucket 2" — it numbers the immediate
+  // bucket as bucket 1, while the code tags it bucket 0).
+  for (uint64_t n = 0; n < 16; ++n) {
+    const uint64_t h = 8 * n + 4;
+    EXPECT_EQ(partitioning.IndexOf(h), 4u);
+    EXPECT_EQ(partitioning.Route(h).node, 1);
+    EXPECT_EQ(partitioning.Route(h).bucket, 1);
+    // Re-split for joining: ALL map to entry 0 (node 1).
+    EXPECT_EQ(joining.Route(h).node, 1);
+  }
+  // Likewise 8n+5 -> disk 2, and all re-map to join entry 1.
+  for (uint64_t n = 0; n < 16; ++n) {
+    const uint64_t h = 8 * n + 5;
+    EXPECT_EQ(partitioning.Route(h).node, 2);
+    EXPECT_EQ(joining.Route(h).node, 2);
+  }
+}
+
+// Section 4.1, Table 1: 3-bucket Grace with 4 disk nodes — every
+// fragment's tuples return a constant index under the joining mod, and
+// that index maps them back to the same disk node ("all tuples in all
+// fragments on an individual disk will return the same index value").
+TEST(SplitTableTest, Section41Table1FragmentsRemapLocally) {
+  const std::vector<int> disks = {0, 1, 2, 3};
+  const SplitTable partitioning = SplitTable::GracePartitioning(disks, 3);
+  const SplitTable joining = SplitTable::Joining(disks);
+  for (uint64_t h = 0; h < 36; ++h) {
+    const SplitEntry& stored = partitioning.Route(h);
+    // After bucket-forming, the tuple sits on disk `stored.node`; the
+    // joining split table must route it back to the same node.
+    EXPECT_EQ(joining.Route(h).node, stored.node) << "hash " << h;
+  }
+}
+
+// The paper's packet-size threshold: 6 buckets x 8 disks fits in one
+// 2 KB packet, 7 buckets does not (Section 4.4, Table 4 discussion).
+TEST(SplitTableTest, SerializedBytesPacketThreshold) {
+  const std::vector<int> disks = {0, 1, 2, 3, 4, 5, 6, 7};
+  const SplitTable six = SplitTable::GracePartitioning(disks, 6);
+  const SplitTable seven = SplitTable::GracePartitioning(disks, 7);
+  EXPECT_LE(six.SerializedBytes(), 2048u);
+  EXPECT_GT(seven.SerializedBytes(), 2048u);
+}
+
+TEST(SplitTableTest, HybridWithOneBucketIsJoiningTable) {
+  const SplitTable table = SplitTable::HybridPartitioning({5, 6}, {0, 1}, 1);
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.MaxBucket(), 0);
+  EXPECT_EQ(table.entry(0).node, 5);
+  EXPECT_EQ(table.entry(1).node, 6);
+}
+
+}  // namespace
+}  // namespace gammadb::db

@@ -1,0 +1,83 @@
+// Executor-parallelism equivalence: running the simulated nodes on a
+// real thread pool must not change the simulation.
+//
+// Without hash-table overflow the entire execution is order-independent
+// (insert/probe/charge operations commute), so even the METRICS must be
+// bit-identical between the serial and multi-threaded executors. With
+// overflow, eviction cutoffs depend on tuple arrival order, so only the
+// RESULTS are required to match.
+#include <gtest/gtest.h>
+
+#include "gamma/catalog.h"
+#include "join/driver.h"
+#include "sim/machine.h"
+#include "testing/test_util.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb {
+namespace {
+
+join::JoinOutput RunWith(int threads, join::Algorithm algorithm,
+                         double ratio,
+                         std::vector<std::string>* result_rows) {
+  sim::MachineConfig config = testing::SmallConfig(4);
+  config.num_threads = threads;
+  sim::Machine machine(config);
+  db::Catalog catalog;
+  wisconsin::DatasetOptions options;
+  options.outer_cardinality = 3000;
+  options.inner_cardinality = 300;
+  options.seed = 53;
+  auto loaded = wisconsin::LoadJoinABprime(machine, catalog, options);
+  GAMMA_CHECK(loaded.ok());
+
+  join::JoinSpec spec;
+  spec.inner_relation = "Bprime";
+  spec.outer_relation = "A";
+  spec.algorithm = algorithm;
+  spec.memory_ratio = ratio;
+  spec.use_bit_filters = true;
+  spec.result_name = "result";
+  auto output = join::ExecuteJoin(machine, catalog, spec);
+  GAMMA_CHECK(output.ok()) << output.status().ToString();
+  if (result_rows != nullptr) {
+    auto rel = catalog.Get("result");
+    GAMMA_CHECK(rel.ok());
+    *result_rows = testing::Canonical((*rel)->PeekAllTuples());
+  }
+  return std::move(output).value();
+}
+
+TEST(ParallelEquivalenceTest, NoOverflowRunsAreBitIdentical) {
+  for (join::Algorithm algorithm :
+       {join::Algorithm::kSortMerge, join::Algorithm::kGraceHash,
+        join::Algorithm::kHybridHash}) {
+    std::vector<std::string> serial_rows, parallel_rows;
+    auto serial = RunWith(1, algorithm, 1.0, &serial_rows);
+    auto parallel = RunWith(4, algorithm, 1.0, &parallel_rows);
+    EXPECT_DOUBLE_EQ(serial.response_seconds(), parallel.response_seconds())
+        << join::AlgorithmName(algorithm);
+    EXPECT_EQ(serial.metrics.counters.pages_read,
+              parallel.metrics.counters.pages_read);
+    EXPECT_EQ(serial.metrics.counters.packets_remote,
+              parallel.metrics.counters.packets_remote);
+    EXPECT_EQ(serial.metrics.counters.bytes_local,
+              parallel.metrics.counters.bytes_local);
+    EXPECT_EQ(serial.stats.filter_drops, parallel.stats.filter_drops);
+    EXPECT_EQ(serial_rows, parallel_rows);
+  }
+}
+
+TEST(ParallelEquivalenceTest, OverflowRunsAgreeOnResults) {
+  for (join::Algorithm algorithm :
+       {join::Algorithm::kSimpleHash, join::Algorithm::kHybridHash}) {
+    std::vector<std::string> serial_rows, parallel_rows;
+    auto serial = RunWith(1, algorithm, 0.2, &serial_rows);
+    auto parallel = RunWith(4, algorithm, 0.2, &parallel_rows);
+    EXPECT_EQ(serial.stats.result_tuples, 300u);
+    EXPECT_EQ(serial_rows, parallel_rows) << join::AlgorithmName(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace gammadb

@@ -1,0 +1,78 @@
+// Unit tests for the hash-join engine's building blocks (the whole
+// engine is exercised end-to-end by the correctness/property suites).
+#include "join/hash_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb::join {
+namespace {
+
+class BucketFileSetTest : public ::testing::Test {
+ protected:
+  BucketFileSetTest()
+      : machine_(sim::MachineConfig{3, 0, sim::CostModel{}, 1}),
+        schema_(wisconsin::WisconsinSchema()) {
+    machine_.BeginPhase("test");
+  }
+  ~BucketFileSetTest() override { machine_.EndPhase(); }
+
+  storage::Tuple MakeTuple(int32_t k) {
+    storage::Tuple t(schema_.tuple_bytes());
+    t.SetInt32(schema_, 0, k);
+    return t;
+  }
+
+  sim::Machine machine_;
+  storage::Schema schema_;
+};
+
+TEST_F(BucketFileSetTest, MatrixShape) {
+  BucketFileSet files(&machine_, {0, 1, 2}, &schema_, 4, "t");
+  EXPECT_EQ(files.num_buckets(), 4);
+  EXPECT_EQ(files.num_disks(), 3u);
+  // Fragment (b, d) lives on disk node d.
+  for (int b = 1; b <= 4; ++b) {
+    for (size_t d = 0; d < 3; ++d) {
+      EXPECT_EQ(files.file(b, d).node()->id(), static_cast<int>(d));
+      EXPECT_EQ(files.file(b, d).tuple_count(), 0u);
+    }
+  }
+}
+
+TEST_F(BucketFileSetTest, FlushByOwnerAndCounts) {
+  BucketFileSet files(&machine_, {0, 1, 2}, &schema_, 2, "t");
+  files.file(1, 0).Append(MakeTuple(1));
+  files.file(1, 0).Append(MakeTuple(2));
+  files.file(2, 1).Append(MakeTuple(3));
+  files.FlushFilesOwnedBy(0);
+  // Node 0's fragments are on disk; node 1's bucket-2 fragment is not
+  // yet flushed.
+  EXPECT_EQ(files.file(1, 0).page_count(), 1u);
+  EXPECT_EQ(files.file(2, 1).page_count(), 0u);
+  files.FlushFilesOwnedBy(1);
+  EXPECT_EQ(files.file(2, 1).page_count(), 1u);
+  EXPECT_EQ(files.BucketTuples(1), 2u);
+  EXPECT_EQ(files.BucketTuples(2), 1u);
+}
+
+TEST_F(BucketFileSetTest, FreeBucketReleasesPages) {
+  BucketFileSet files(&machine_, {0, 1, 2}, &schema_, 1, "t");
+  for (int i = 0; i < 100; ++i) files.file(1, 0).Append(MakeTuple(i));
+  files.FlushFilesOwnedBy(0);
+  EXPECT_GT(machine_.node(0).disk().live_pages(), 0u);
+  files.FreeBucket(1);
+  EXPECT_EQ(machine_.node(0).disk().live_pages(), 0u);
+  EXPECT_EQ(files.BucketTuples(1), 0u);
+}
+
+TEST_F(BucketFileSetTest, ZeroBucketsIsValid) {
+  BucketFileSet files(&machine_, {0, 1, 2}, &schema_, 0, "t");
+  EXPECT_EQ(files.num_buckets(), 0);
+  EXPECT_EQ(files.num_disks(), 0u);
+}
+
+}  // namespace
+}  // namespace gammadb::join

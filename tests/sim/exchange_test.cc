@@ -1,0 +1,55 @@
+#include "sim/exchange.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gammadb::sim {
+namespace {
+
+TEST(ExchangeTest, DeliversToInboxAndAccountsNetwork) {
+  Machine machine(MachineConfig{2, 0, CostModel{}, 1});
+  Exchange<std::string> exchange(&machine);
+  machine.BeginPhase("p");
+  exchange.Send(0, 1, "hello", 5);
+  exchange.Send(0, 1, "world", 5);
+  exchange.Send(1, 1, "self", 4);
+  auto inbox1 = exchange.TakeInbox(1);
+  ASSERT_EQ(inbox1.size(), 3u);
+  EXPECT_EQ(inbox1[0], "hello");
+  EXPECT_TRUE(exchange.AllEmpty());
+  machine.EndPhase();
+  const Counters& c = machine.Metrics().counters;
+  EXPECT_EQ(c.tuples_sent_remote, 2);
+  EXPECT_EQ(c.tuples_sent_local, 1);
+}
+
+TEST(ExchangeTest, TakeInboxDrains) {
+  Machine machine(MachineConfig{1, 0, CostModel{}, 1});
+  Exchange<int> exchange(&machine);
+  machine.BeginPhase("p");
+  exchange.Send(0, 0, 42, 4);
+  EXPECT_EQ(exchange.TakeInbox(0).size(), 1u);
+  EXPECT_EQ(exchange.TakeInbox(0).size(), 0u);
+  machine.EndPhase();
+}
+
+TEST(ExchangeTest, ConcurrentSendersAllDeliver) {
+  Machine machine(MachineConfig{8, 0, CostModel{}, 4});
+  Exchange<int> exchange(&machine);
+  machine.BeginPhase("p");
+  machine.RunOnNodes({0, 1, 2, 3, 4, 5, 6, 7}, [&](Node& n) {
+    for (int i = 0; i < 1000; ++i) {
+      exchange.Send(n.id(), i % 8, n.id() * 10000 + i, 8);
+    }
+  });
+  size_t total = 0;
+  for (int node = 0; node < 8; ++node) {
+    total += exchange.TakeInbox(node).size();
+  }
+  EXPECT_EQ(total, 8000u);
+  machine.EndPhase();
+}
+
+}  // namespace
+}  // namespace gammadb::sim

@@ -1,0 +1,62 @@
+#include "sim/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace gammadb::sim {
+namespace {
+
+TEST(ExecutorTest, SerialRunsInSubmissionOrder) {
+  Executor executor(1);
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([&order, i] { order.push_back(i); });
+  }
+  executor.Run(std::move(tasks));
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ExecutorTest, ParallelRunsAllTasks) {
+  Executor executor(4);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&count] { count.fetch_add(1); });
+  }
+  executor.Run(std::move(tasks));
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ExecutorTest, RunBlocksUntilCompletion) {
+  Executor executor(3);
+  std::atomic<int> sum{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 1; i <= 50; ++i) {
+    tasks.push_back([&sum, i] { sum.fetch_add(i); });
+  }
+  executor.Run(std::move(tasks));
+  EXPECT_EQ(sum.load(), 50 * 51 / 2);  // visible only if Run waited
+}
+
+TEST(ExecutorTest, SequentialBatchesReuseWorkers) {
+  Executor executor(2);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 5; ++i) tasks.push_back([&count] { ++count; });
+    executor.Run(std::move(tasks));
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ExecutorTest, EmptyBatchIsANoOp) {
+  Executor serial(1), pooled(2);
+  serial.Run({});
+  pooled.Run({});
+}
+
+}  // namespace
+}  // namespace gammadb::sim

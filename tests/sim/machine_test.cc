@@ -1,0 +1,93 @@
+#include "sim/machine.h"
+
+#include <gtest/gtest.h>
+
+namespace gammadb::sim {
+namespace {
+
+TEST(MachineTest, NodeTopology) {
+  Machine machine(MachineConfig{8, 8, CostModel{}, 1});
+  EXPECT_EQ(machine.num_nodes(), 16);
+  EXPECT_EQ(machine.DiskNodeIds(), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(machine.DisklessNodeIds(),
+            (std::vector<int>{8, 9, 10, 11, 12, 13, 14, 15}));
+  for (int id = 0; id < 8; ++id) EXPECT_TRUE(machine.node(id).has_disk());
+  for (int id = 8; id < 16; ++id) EXPECT_FALSE(machine.node(id).has_disk());
+}
+
+TEST(MachineTest, PhaseElapsedIsSlowestNode) {
+  Machine machine(MachineConfig{3, 0, CostModel{}, 1});
+  machine.BeginPhase("p");
+  machine.node(0).ChargeCpu(1.0);
+  machine.node(1).ChargeCpu(5.0);
+  machine.node(2).ChargeCpu(2.0);
+  machine.EndPhase();
+  EXPECT_DOUBLE_EQ(machine.response_seconds(), 5.0);
+}
+
+TEST(MachineTest, CpuAndDiskOverlapWithinANode) {
+  Machine machine(MachineConfig{1, 0, CostModel{}, 1});
+  machine.BeginPhase("p");
+  machine.node(0).ChargeCpu(3.0);
+  machine.node(0).ChargeDisk(7.0);  // overlapped: max, not sum
+  machine.EndPhase();
+  EXPECT_DOUBLE_EQ(machine.response_seconds(), 7.0);
+}
+
+TEST(MachineTest, PhasesAreSerial) {
+  Machine machine(MachineConfig{2, 0, CostModel{}, 1});
+  machine.BeginPhase("a");
+  machine.node(0).ChargeCpu(2.0);
+  machine.EndPhase();
+  machine.BeginPhase("b");
+  machine.node(1).ChargeCpu(3.0);
+  machine.EndPhase();
+  EXPECT_DOUBLE_EQ(machine.response_seconds(), 5.0);
+  const RunMetrics m = machine.Metrics();
+  ASSERT_EQ(m.phases.size(), 2u);
+  EXPECT_EQ(m.phases[0].label, "a");
+  EXPECT_DOUBLE_EQ(m.phases[1].elapsed_seconds, 3.0);
+}
+
+TEST(MachineTest, SchedulerTimeSerializesOnTopOfNodeWork) {
+  Machine machine(MachineConfig{1, 0, CostModel{}, 1});
+  machine.BeginPhase("p");
+  machine.node(0).ChargeCpu(1.0);
+  machine.ChargeScheduler(0.5, 4);
+  machine.EndPhase();
+  EXPECT_DOUBLE_EQ(machine.response_seconds(), 1.5);
+  EXPECT_EQ(machine.Metrics().counters.control_messages, 4);
+}
+
+TEST(MachineTest, ResetMetricsClearsEverything) {
+  Machine machine(MachineConfig{1, 0, CostModel{}, 1});
+  machine.BeginPhase("p");
+  machine.node(0).ChargeCpu(1.0);
+  ++machine.node(0).counters().ht_inserts;
+  machine.EndPhase();
+  machine.ResetMetrics();
+  EXPECT_DOUBLE_EQ(machine.response_seconds(), 0.0);
+  const RunMetrics m = machine.Metrics();
+  EXPECT_TRUE(m.phases.empty());
+  EXPECT_EQ(m.counters.ht_inserts, 0);
+}
+
+TEST(MachineTest, RunOnNodesVisitsExactlyTheGivenNodes) {
+  Machine machine(MachineConfig{4, 0, CostModel{}, 1});
+  std::vector<int> visited;
+  machine.RunOnNodes({1, 3}, [&](Node& n) { visited.push_back(n.id()); });
+  EXPECT_EQ(visited, (std::vector<int>{1, 3}));
+}
+
+TEST(MachineTest, MetricsMergeNodeCounters) {
+  Machine machine(MachineConfig{2, 0, CostModel{}, 1});
+  machine.node(0).counters().ht_inserts = 5;
+  machine.node(1).counters().ht_inserts = 7;
+  machine.node(1).counters().result_tuples = 3;
+  const RunMetrics m = machine.Metrics();
+  EXPECT_EQ(m.counters.ht_inserts, 12);
+  EXPECT_EQ(m.counters.result_tuples, 3);
+}
+
+}  // namespace
+}  // namespace gammadb::sim

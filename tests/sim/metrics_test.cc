@@ -1,0 +1,65 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace gammadb::sim {
+namespace {
+
+RunMetrics TwoPhaseMetrics() {
+  RunMetrics m;
+  PhaseRecord a;
+  a.label = "a";
+  a.usage = {NodeUsage{2.0, 1.0}, NodeUsage{1.0, 4.0}};
+  a.elapsed_seconds = 4.0;
+  PhaseRecord b;
+  b.label = "b";
+  b.usage = {NodeUsage{3.0, 0.0}, NodeUsage{0.5, 0.5}};
+  b.elapsed_seconds = 3.0;
+  m.phases = {a, b};
+  m.response_seconds = 7.0;
+  return m;
+}
+
+TEST(MetricsTest, NodeUsageElapsedIsMax) {
+  EXPECT_DOUBLE_EQ((NodeUsage{2.0, 5.0}).Elapsed(), 5.0);
+  EXPECT_DOUBLE_EQ((NodeUsage{6.0, 1.0}).Elapsed(), 6.0);
+  EXPECT_DOUBLE_EQ(NodeUsage{}.Elapsed(), 0.0);
+}
+
+TEST(MetricsTest, TotalsSumAcrossPhasesAndNodes) {
+  const RunMetrics m = TwoPhaseMetrics();
+  EXPECT_DOUBLE_EQ(m.TotalCpuSeconds(), 2.0 + 1.0 + 3.0 + 0.5);
+  EXPECT_DOUBLE_EQ(m.TotalDiskSeconds(), 1.0 + 4.0 + 0.5);
+}
+
+TEST(MetricsTest, NodeCpuSecondsPerNode) {
+  const auto busy = TwoPhaseMetrics().NodeCpuSeconds();
+  ASSERT_EQ(busy.size(), 2u);
+  EXPECT_DOUBLE_EQ(busy[0], 5.0);
+  EXPECT_DOUBLE_EQ(busy[1], 1.5);
+}
+
+TEST(MetricsTest, UtilizationDividesByResponse) {
+  const auto util = TwoPhaseMetrics().NodeCpuUtilization();
+  ASSERT_EQ(util.size(), 2u);
+  EXPECT_DOUBLE_EQ(util[0], 5.0 / 7.0);
+  EXPECT_DOUBLE_EQ(util[1], 1.5 / 7.0);
+}
+
+TEST(MetricsTest, ShortCircuitFraction) {
+  Counters c;
+  EXPECT_DOUBLE_EQ(c.ShortCircuitFraction(), 0.0);  // no traffic
+  c.tuples_sent_local = 3;
+  c.tuples_sent_remote = 1;
+  EXPECT_DOUBLE_EQ(c.ShortCircuitFraction(), 0.75);
+}
+
+TEST(MetricsTest, EmptyMetricsAreZero) {
+  RunMetrics m;
+  EXPECT_DOUBLE_EQ(m.TotalCpuSeconds(), 0.0);
+  EXPECT_TRUE(m.NodeCpuSeconds().empty());
+  EXPECT_TRUE(m.NodeCpuUtilization().empty());
+}
+
+}  // namespace
+}  // namespace gammadb::sim

@@ -1,0 +1,78 @@
+#include "sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+
+namespace gammadb::sim {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : machine_(MachineConfig{2, 2, CostModel{}, 1}) {}
+  Machine machine_;
+};
+
+TEST_F(NetworkTest, LocalTrafficShortCircuits) {
+  machine_.BeginPhase("p");
+  // 3 tuples of 208 bytes node 0 -> node 0: one local packet.
+  for (int i = 0; i < 3; ++i) machine_.network().AccountTuple(0, 0, 208);
+  machine_.EndPhase();
+  const Counters& c = machine_.Metrics().counters;
+  EXPECT_EQ(c.tuples_sent_local, 3);
+  EXPECT_EQ(c.tuples_sent_remote, 0);
+  EXPECT_EQ(c.packets_local, 1);
+  EXPECT_EQ(c.packets_remote, 0);
+  EXPECT_EQ(c.bytes_local, 3 * 208);
+  EXPECT_DOUBLE_EQ(c.ShortCircuitFraction(), 1.0);
+  // Ring never occupied by local traffic.
+  EXPECT_DOUBLE_EQ(machine_.Metrics().phases[0].ring_seconds, 0.0);
+}
+
+TEST_F(NetworkTest, RemoteTrafficChargesAsymmetrically) {
+  const CostModel& cost = machine_.cost();
+  machine_.BeginPhase("p");
+  machine_.network().AccountTuple(0, 1, 2048);  // exactly one packet
+  machine_.EndPhase();
+  const RunMetrics m = machine_.Metrics();
+  EXPECT_EQ(m.counters.packets_remote, 1);
+  EXPECT_DOUBLE_EQ(m.phases[0].usage[0].cpu_seconds,
+                   cost.net_remote_packet_send_cpu_seconds);
+  EXPECT_DOUBLE_EQ(m.phases[0].usage[1].cpu_seconds,
+                   cost.net_remote_packet_recv_cpu_seconds +
+                       cost.cpu_receive_tuple_seconds);
+  EXPECT_DOUBLE_EQ(m.phases[0].ring_seconds,
+                   2048 * cost.net_wire_seconds_per_byte);
+}
+
+TEST_F(NetworkTest, PacketizationRoundsUpPerDestination) {
+  machine_.BeginPhase("p");
+  // 2049 bytes to node 1 -> 2 packets; 1 byte to node 2 -> 1 packet.
+  machine_.network().AccountBytes(0, 1, 2049);
+  machine_.network().AccountBytes(0, 2, 1);
+  machine_.EndPhase();
+  EXPECT_EQ(machine_.Metrics().counters.packets_remote, 3);
+}
+
+TEST_F(NetworkTest, TrafficMatrixClearsBetweenPhases) {
+  machine_.BeginPhase("a");
+  machine_.network().AccountTuple(0, 1, 100);
+  machine_.EndPhase();
+  machine_.BeginPhase("b");
+  machine_.EndPhase();
+  const RunMetrics m = machine_.Metrics();
+  EXPECT_DOUBLE_EQ(m.phases[1].ring_seconds, 0.0);
+  EXPECT_EQ(m.counters.packets_remote, 1);  // not double counted
+}
+
+TEST_F(NetworkTest, RingTimeAccumulatesAcrossSenders) {
+  machine_.BeginPhase("p");
+  machine_.network().AccountBytes(0, 1, 10000);
+  machine_.network().AccountBytes(1, 2, 10000);
+  machine_.EndPhase();
+  EXPECT_DOUBLE_EQ(machine_.Metrics().phases[0].ring_seconds,
+                   20000 * machine_.cost().net_wire_seconds_per_byte);
+}
+
+}  // namespace
+}  // namespace gammadb::sim

@@ -1,0 +1,74 @@
+#include "sim/throughput.h"
+
+#include <gtest/gtest.h>
+
+namespace gammadb::sim {
+namespace {
+
+RunMetrics ProfileWith(double response, std::vector<double> cpu,
+                       std::vector<double> disk) {
+  RunMetrics m;
+  m.response_seconds = response;
+  PhaseRecord phase;
+  for (size_t i = 0; i < cpu.size(); ++i) {
+    phase.usage.push_back(NodeUsage{cpu[i], disk[i]});
+  }
+  phase.elapsed_seconds = response;
+  m.phases.push_back(std::move(phase));
+  return m;
+}
+
+TEST(ThroughputTest, BottleneckIsBusiestResource) {
+  const auto e =
+      EstimateThroughput(ProfileWith(10.0, {4.0, 6.0}, {5.0, 1.0}));
+  EXPECT_DOUBLE_EQ(e.bottleneck_cpu_seconds, 6.0);
+  EXPECT_DOUBLE_EQ(e.bottleneck_disk_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(e.BottleneckSeconds(), 6.0);
+  EXPECT_DOUBLE_EQ(e.MaxThroughput(), 1.0 / 6.0);
+}
+
+TEST(ThroughputTest, BottleneckSumsAcrossPhases) {
+  RunMetrics m = ProfileWith(8.0, {3.0}, {1.0});
+  PhaseRecord second;
+  second.usage = {NodeUsage{2.5, 0.5}};
+  m.phases.push_back(second);
+  const auto e = EstimateThroughput(m);
+  EXPECT_DOUBLE_EQ(e.bottleneck_cpu_seconds, 5.5);
+}
+
+TEST(ThroughputTest, ThroughputRampsThenSaturates) {
+  // R0 = 10 s, bottleneck 5 s/query: pipeline bound up to MPL 2, then
+  // flat at 0.2 q/s.
+  const auto e = EstimateThroughput(ProfileWith(10.0, {5.0, 2.0}, {1.0, 1.0}));
+  EXPECT_DOUBLE_EQ(e.ThroughputAtMpl(1), 0.1);
+  EXPECT_DOUBLE_EQ(e.ThroughputAtMpl(2), 0.2);
+  EXPECT_DOUBLE_EQ(e.ThroughputAtMpl(4), 0.2);  // saturated
+  EXPECT_EQ(e.SaturationMpl(), 2);
+}
+
+TEST(ThroughputTest, ResponseGrowsLinearlyPastSaturation) {
+  const auto e = EstimateThroughput(ProfileWith(10.0, {5.0}, {0.0}));
+  EXPECT_DOUBLE_EQ(e.ResponseAtMpl(1), 10.0);
+  EXPECT_DOUBLE_EQ(e.ResponseAtMpl(2), 10.0);  // still pipeline-bound
+  EXPECT_DOUBLE_EQ(e.ResponseAtMpl(4), 20.0);  // 4 * 5 s of bottleneck
+}
+
+TEST(ThroughputTest, LowerBottleneckMeansMoreThroughputAtSameResponse) {
+  // The paper's argument: remote execution may be slower single-query
+  // but sustains more throughput because the per-node demand is lower.
+  const auto local = EstimateThroughput(ProfileWith(10.0, {9.0}, {3.0}));
+  const auto remote =
+      EstimateThroughput(ProfileWith(12.0, {5.0, 6.0}, {3.0, 0.0}));
+  EXPECT_LT(local.single_query_seconds, remote.single_query_seconds);
+  EXPECT_GT(remote.MaxThroughput(), local.MaxThroughput());
+}
+
+TEST(ThroughputTest, EmptyProfileIsSafe) {
+  const auto e = EstimateThroughput(RunMetrics{});
+  EXPECT_DOUBLE_EQ(e.MaxThroughput(), 0.0);
+  EXPECT_DOUBLE_EQ(e.ThroughputAtMpl(3), 0.0);
+  EXPECT_EQ(e.SaturationMpl(), 1);
+}
+
+}  // namespace
+}  // namespace gammadb::sim

@@ -1,0 +1,116 @@
+// Parameterized B+-tree sweep: insert orders x sizes x duplicate
+// densities, validated against a reference multimap.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "common/random.h"
+#include "sim/machine.h"
+#include "storage/btree.h"
+
+namespace gammadb::storage {
+namespace {
+
+enum class InsertOrder { kAscending, kDescending, kRandom, kZigZag };
+
+const char* OrderName(InsertOrder o) {
+  switch (o) {
+    case InsertOrder::kAscending:
+      return "asc";
+    case InsertOrder::kDescending:
+      return "desc";
+    case InsertOrder::kRandom:
+      return "random";
+    case InsertOrder::kZigZag:
+      return "zigzag";
+  }
+  return "?";
+}
+
+using BTreeParam = std::tuple<InsertOrder, int /*n*/, int /*key_space*/>;
+
+class BPlusTreePropertyTest : public ::testing::TestWithParam<BTreeParam> {
+ protected:
+  BPlusTreePropertyTest()
+      : machine_(sim::MachineConfig{1, 0, sim::CostModel{}, 1}) {
+    machine_.BeginPhase("btree");
+  }
+  ~BPlusTreePropertyTest() override { machine_.EndPhase(); }
+
+  sim::Machine machine_;
+};
+
+std::string BTreeParamName(const ::testing::TestParamInfo<BTreeParam>& info) {
+  const auto& [order, n, space] = info.param;
+  return std::string(OrderName(order)) + "_n" + std::to_string(n) + "_k" +
+         std::to_string(space);
+}
+
+TEST_P(BPlusTreePropertyTest, MatchesReferenceMultimap) {
+  const auto& [order, n, key_space] = GetParam();
+  std::vector<int32_t> keys(static_cast<size_t>(n));
+  Rng rng(static_cast<uint64_t>(n) * 7 + key_space);
+  for (int i = 0; i < n; ++i) {
+    switch (order) {
+      case InsertOrder::kAscending:
+        keys[static_cast<size_t>(i)] = i % key_space;
+        break;
+      case InsertOrder::kDescending:
+        keys[static_cast<size_t>(i)] = (n - i) % key_space;
+        break;
+      case InsertOrder::kRandom:
+        keys[static_cast<size_t>(i)] =
+            static_cast<int32_t>(rng.Uniform(static_cast<uint64_t>(key_space)));
+        break;
+      case InsertOrder::kZigZag:
+        keys[static_cast<size_t>(i)] =
+            (i % 2 == 0 ? i / 2 : key_space - i / 2) % key_space;
+        break;
+    }
+  }
+
+  BPlusTree tree(&machine_.node(0));
+  std::multimap<int32_t, uint64_t> reference;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    tree.Insert(keys[i], i);
+    reference.emplace(keys[i], i);
+  }
+  tree.ValidateInvariants();
+  EXPECT_EQ(tree.size(), static_cast<size_t>(n));
+
+  // Point lookups on a sample of keys (hits and misses).
+  for (int32_t key = -2; key < key_space + 2; key += std::max(1, key_space / 37)) {
+    auto hits = tree.Search(key);
+    auto [lo, hi] = reference.equal_range(key);
+    std::vector<uint64_t> expected;
+    for (auto it = lo; it != hi; ++it) expected.push_back(it->second);
+    std::sort(hits.begin(), hits.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(hits, expected) << "key " << key;
+  }
+
+  // A range scan over the middle third.
+  const int32_t lo = key_space / 3;
+  const int32_t hi = 2 * key_space / 3;
+  const auto scanned = tree.RangeScan(lo, hi);
+  size_t expected_count = 0;
+  for (const auto& [key, value] : reference) {
+    if (key >= lo && key <= hi) ++expected_count;
+  }
+  EXPECT_EQ(scanned.size(), expected_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BPlusTreePropertyTest,
+    ::testing::Combine(::testing::Values(InsertOrder::kAscending,
+                                         InsertOrder::kDescending,
+                                         InsertOrder::kRandom,
+                                         InsertOrder::kZigZag),
+                       ::testing::Values(100, 3000, 20000),
+                       ::testing::Values(10, 1000, 1000000)),
+    BTreeParamName);
+
+}  // namespace
+}  // namespace gammadb::storage

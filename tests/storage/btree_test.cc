@@ -1,0 +1,137 @@
+#include "storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "sim/machine.h"
+
+namespace gammadb::storage {
+namespace {
+
+class BPlusTreeTest : public ::testing::Test {
+ protected:
+  BPlusTreeTest() : machine_(sim::MachineConfig{1, 0, sim::CostModel{}, 1}) {
+    machine_.BeginPhase("btree");
+  }
+  ~BPlusTreeTest() override { machine_.EndPhase(); }
+
+  sim::Machine machine_;
+};
+
+TEST_F(BPlusTreeTest, EmptySearch) {
+  BPlusTree tree(&machine_.node(0));
+  EXPECT_TRUE(tree.Search(42).empty());
+  EXPECT_TRUE(tree.RangeScan(0, 100).empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+}
+
+TEST_F(BPlusTreeTest, InsertAndSearchSequential) {
+  BPlusTree tree(&machine_.node(0));
+  for (int32_t k = 0; k < 5000; ++k) {
+    tree.Insert(k, static_cast<uint64_t>(k) * 10);
+  }
+  EXPECT_EQ(tree.size(), 5000u);
+  for (int32_t k = 0; k < 5000; k += 37) {
+    const auto hits = tree.Search(k);
+    ASSERT_EQ(hits.size(), 1u) << k;
+    EXPECT_EQ(hits[0], static_cast<uint64_t>(k) * 10);
+  }
+  EXPECT_TRUE(tree.Search(5001).empty());
+  EXPECT_TRUE(tree.Search(-1).empty());
+  tree.ValidateInvariants();
+}
+
+TEST_F(BPlusTreeTest, RandomInsertOrderMatchesReferenceMap) {
+  BPlusTree tree(&machine_.node(0));
+  std::multimap<int32_t, uint64_t> reference;
+  Rng rng(8);
+  for (int i = 0; i < 20000; ++i) {
+    const int32_t key = static_cast<int32_t>(rng.Uniform(3000));
+    const uint64_t value = rng.Next();
+    tree.Insert(key, value);
+    reference.emplace(key, value);
+  }
+  tree.ValidateInvariants();
+  EXPECT_GE(tree.height(), 2);
+  for (int32_t key = 0; key < 3000; key += 101) {
+    auto hits = tree.Search(key);
+    auto [lo, hi] = reference.equal_range(key);
+    std::vector<uint64_t> expected;
+    for (auto it = lo; it != hi; ++it) expected.push_back(it->second);
+    std::sort(hits.begin(), hits.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(hits, expected) << "key " << key;
+  }
+}
+
+TEST_F(BPlusTreeTest, HeavyDuplicates) {
+  BPlusTree tree(&machine_.node(0));
+  // 2000 copies of one key — spans multiple leaves.
+  for (uint64_t i = 0; i < 2000; ++i) tree.Insert(77, i);
+  for (uint64_t i = 0; i < 50; ++i) tree.Insert(76, 1000 + i);
+  for (uint64_t i = 0; i < 50; ++i) tree.Insert(78, 2000 + i);
+  EXPECT_EQ(tree.Search(77).size(), 2000u);
+  EXPECT_EQ(tree.Search(76).size(), 50u);
+  EXPECT_EQ(tree.Search(78).size(), 50u);
+  tree.ValidateInvariants();
+}
+
+TEST_F(BPlusTreeTest, RangeScanOrderedAndBounded) {
+  BPlusTree tree(&machine_.node(0));
+  Rng rng(9);
+  std::vector<int32_t> keys;
+  for (int i = 0; i < 10000; ++i) {
+    const int32_t k = static_cast<int32_t>(rng.Uniform(100000));
+    keys.push_back(k);
+    tree.Insert(k, static_cast<uint64_t>(i));
+  }
+  const auto hits = tree.RangeScan(20000, 30000);
+  size_t expected = 0;
+  for (int32_t k : keys) {
+    if (k >= 20000 && k <= 30000) ++expected;
+  }
+  EXPECT_EQ(hits.size(), expected);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i].first, 20000);
+    EXPECT_LE(hits[i].first, 30000);
+    if (i > 0) {
+      EXPECT_LE(hits[i - 1].first, hits[i].first);
+    }
+  }
+}
+
+TEST_F(BPlusTreeTest, RangeScanEdgeCases) {
+  BPlusTree tree(&machine_.node(0));
+  tree.Insert(10, 1);
+  tree.Insert(20, 2);
+  EXPECT_TRUE(tree.RangeScan(11, 19).empty());
+  EXPECT_TRUE(tree.RangeScan(30, 20).empty());  // lo > hi
+  EXPECT_EQ(tree.RangeScan(10, 10).size(), 1u);
+  EXPECT_EQ(tree.RangeScan(INT32_MIN, INT32_MAX).size(), 2u);
+}
+
+TEST_F(BPlusTreeTest, NegativeKeys) {
+  BPlusTree tree(&machine_.node(0));
+  for (int32_t k = -1000; k <= 1000; ++k) {
+    tree.Insert(k, static_cast<uint64_t>(k + 1000));
+  }
+  EXPECT_EQ(tree.Search(-1000).size(), 1u);
+  EXPECT_EQ(tree.RangeScan(-10, 10).size(), 21u);
+  tree.ValidateInvariants();
+}
+
+TEST_F(BPlusTreeTest, LookupsChargeRandomIo) {
+  BPlusTree tree(&machine_.node(0));
+  for (int32_t k = 0; k < 1000; ++k) tree.Insert(k, 0);
+  machine_.node(0).ResetCounters();
+  (void)tree.Search(500);
+  EXPECT_GE(machine_.node(0).counters().pages_read,
+            static_cast<int64_t>(tree.height()));
+}
+
+}  // namespace
+}  // namespace gammadb::storage

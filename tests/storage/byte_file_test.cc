@@ -1,0 +1,122 @@
+#include "storage/byte_file.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sim/machine.h"
+
+namespace gammadb::storage {
+namespace {
+
+class ByteFileTest : public ::testing::Test {
+ protected:
+  ByteFileTest() : machine_(sim::MachineConfig{1, 0, sim::CostModel{}, 1}) {
+    machine_.BeginPhase("bytefile");
+  }
+  ~ByteFileTest() override { machine_.EndPhase(); }
+
+  sim::Machine machine_;
+};
+
+TEST_F(ByteFileTest, AppendReadRoundTrip) {
+  ByteFile file(&machine_.node(0), "bf");
+  std::vector<uint8_t> data(30000);
+  Rng rng(1);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  file.Append(data.data(), data.size());
+  file.FlushAppends();
+  EXPECT_EQ(file.size(), 30000u);
+  EXPECT_EQ(file.page_count(), 4u);  // ceil(30000/8192)
+
+  std::vector<uint8_t> out(30000);
+  ASSERT_TRUE(file.ReadAt(0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(ByteFileTest, PositionedReadsAcrossPageBoundaries) {
+  ByteFile file(&machine_.node(0));
+  std::vector<uint8_t> data(20000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  file.Append(data.data(), data.size());
+  file.FlushAppends();
+  std::vector<uint8_t> out(100);
+  // Straddles the first page boundary (8192).
+  ASSERT_TRUE(file.ReadAt(8150, out.size(), out.data()).ok());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<uint8_t>(8150 + i));
+  }
+}
+
+TEST_F(ByteFileTest, ReadPastEndRejected) {
+  ByteFile file(&machine_.node(0));
+  uint8_t byte = 7;
+  file.Append(&byte, 1);
+  file.FlushAppends();
+  std::vector<uint8_t> out(2);
+  EXPECT_EQ(file.ReadAt(0, 2, out.data()).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(file.ReadAt(0, 1, out.data()).ok());
+  EXPECT_EQ(out[0], 7);
+}
+
+TEST_F(ByteFileTest, UnflushedTailRejectedThenReadable) {
+  ByteFile file(&machine_.node(0));
+  std::vector<uint8_t> data(100, 0xAA);
+  file.Append(data.data(), data.size());
+  std::vector<uint8_t> out(100);
+  EXPECT_EQ(file.ReadAt(0, 100, out.data()).code(),
+            StatusCode::kFailedPrecondition);
+  file.FlushAppends();
+  EXPECT_TRUE(file.ReadAt(0, 100, out.data()).ok());
+}
+
+TEST_F(ByteFileTest, AppendAfterFlushRetractsSnapshot) {
+  ByteFile file(&machine_.node(0));
+  std::vector<uint8_t> first(100, 0x11), second(100, 0x22);
+  file.Append(first.data(), first.size());
+  file.FlushAppends();
+  file.Append(second.data(), second.size());
+  file.FlushAppends();
+  EXPECT_EQ(file.size(), 200u);
+  EXPECT_EQ(file.page_count(), 1u);  // everything still fits one page
+  std::vector<uint8_t> out(200);
+  ASSERT_TRUE(file.ReadAt(0, 200, out.data()).ok());
+  EXPECT_EQ(out[0], 0x11);
+  EXPECT_EQ(out[150], 0x22);
+}
+
+TEST_F(ByteFileTest, SequentialReadsCheaperThanRandom) {
+  ByteFile file(&machine_.node(0));
+  std::vector<uint8_t> data(8192 * 4, 1);
+  file.Append(data.data(), data.size());
+
+  std::vector<uint8_t> out(8192);
+  machine_.node(0).ResetPhaseUsage();
+  for (int p = 0; p < 4; ++p) {
+    ASSERT_TRUE(
+        file.ReadAt(static_cast<uint64_t>(p) * 8192, 8192, out.data()).ok());
+  }
+  const double sequential = machine_.node(0).phase_usage().disk_seconds;
+
+  machine_.node(0).ResetPhaseUsage();
+  for (int p = 3; p >= 0; --p) {
+    ASSERT_TRUE(
+        file.ReadAt(static_cast<uint64_t>(p) * 8192, 8192, out.data()).ok());
+  }
+  const double random = machine_.node(0).phase_usage().disk_seconds;
+  EXPECT_LT(sequential, random);
+}
+
+TEST_F(ByteFileTest, FreeReleasesPages) {
+  ByteFile file(&machine_.node(0));
+  std::vector<uint8_t> data(50000, 3);
+  file.Append(data.data(), data.size());
+  file.FlushAppends();
+  const size_t live = machine_.node(0).disk().live_pages();
+  EXPECT_GT(live, 0u);
+  file.Free();
+  EXPECT_EQ(machine_.node(0).disk().live_pages(), 0u);
+  EXPECT_EQ(file.size(), 0u);
+}
+
+}  // namespace
+}  // namespace gammadb::storage

@@ -1,0 +1,155 @@
+#include "storage/external_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "sim/machine.h"
+#include "storage/schema.h"
+
+namespace gammadb::storage {
+namespace {
+
+class ExternalSortTest : public ::testing::Test {
+ protected:
+  ExternalSortTest()
+      : machine_(sim::MachineConfig{1, 0, sim::CostModel{}, 1}),
+        schema_({Field::Int32("k"), Field::Char("pad", 200)}) {}
+
+  Tuple MakeTuple(int32_t k) {
+    Tuple t(schema_.tuple_bytes());
+    t.SetInt32(schema_, 0, k);
+    return t;
+  }
+
+  std::vector<int32_t> SortValues(std::vector<int32_t> values,
+                                  uint32_t memory_pages,
+                                  ExternalSort* sort_out = nullptr) {
+    machine_.BeginPhase("sort");
+    ExternalSort sort(&machine_.node(0), &schema_, 0, memory_pages);
+    for (int32_t v : values) sort.Add(MakeTuple(v));
+    sort.FinishInput();
+    std::vector<int32_t> out;
+    auto stream = sort.OpenStream();
+    Tuple t;
+    while (stream->Next(&t)) out.push_back(t.GetInt32(schema_, 0));
+    machine_.EndPhase();
+    if (sort_out != nullptr) {
+      // Note: runs are freed by the sort's destructor.
+    }
+    return out;
+  }
+
+  sim::Machine machine_;
+  Schema schema_;  // 40 tuples / page
+};
+
+TEST_F(ExternalSortTest, InMemorySortWhenInputFits) {
+  machine_.BeginPhase("p");
+  ExternalSort sort(&machine_.node(0), &schema_, 0, 8);
+  for (int32_t v : {5, 1, 4, 2, 3}) sort.Add(MakeTuple(v));
+  sort.FinishInput();
+  EXPECT_EQ(sort.run_count(), 0u);  // no spill
+  auto stream = sort.OpenStream();
+  Tuple t;
+  std::vector<int32_t> out;
+  while (stream->Next(&t)) out.push_back(t.GetInt32(schema_, 0));
+  machine_.EndPhase();
+  EXPECT_EQ(out, (std::vector<int32_t>{1, 2, 3, 4, 5}));
+  // In-memory sort touches no disk.
+  EXPECT_EQ(machine_.Metrics().counters.pages_written, 0);
+}
+
+TEST_F(ExternalSortTest, ExternalSortProducesSortedOutput) {
+  Rng rng(4);
+  std::vector<int32_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(static_cast<int32_t>(rng.Uniform(100000)));
+  }
+  auto expected = values;
+  std::sort(expected.begin(), expected.end());
+  // 3 memory pages = 120-tuple buffer: heavily external.
+  EXPECT_EQ(SortValues(values, 3), expected);
+}
+
+TEST_F(ExternalSortTest, DuplicatesSurvive) {
+  std::vector<int32_t> values(500, 7);
+  values.push_back(3);
+  values.push_back(9);
+  const auto out = SortValues(values, 3);
+  ASSERT_EQ(out.size(), 502u);
+  EXPECT_EQ(out.front(), 3);
+  EXPECT_EQ(out.back(), 9);
+  EXPECT_EQ(std::count(out.begin(), out.end(), 7), 500);
+}
+
+TEST_F(ExternalSortTest, IntermediatePassesStepWithMemory) {
+  Rng rng(5);
+  std::vector<int32_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    values.push_back(static_cast<int32_t>(rng.Uniform(1000000)));
+  }
+  // Plenty of memory: single-pass mergeable, zero intermediate passes.
+  machine_.BeginPhase("a");
+  ExternalSort big(&machine_.node(0), &schema_, 0, 32);
+  for (int32_t v : values) big.Add(MakeTuple(v));
+  big.FinishInput();
+  machine_.EndPhase();
+  EXPECT_EQ(big.intermediate_passes(), 0);
+
+  // Tiny memory: must merge intermediately.
+  machine_.BeginPhase("b");
+  ExternalSort small(&machine_.node(0), &schema_, 0, 3);
+  for (int32_t v : values) small.Add(MakeTuple(v));
+  small.FinishInput();
+  machine_.EndPhase();
+  EXPECT_GT(small.intermediate_passes(), 0);
+  EXPECT_GT(small.intermediate_merged_tuples(), 0u);
+  // Still 2-way mergeable at the end.
+  EXPECT_LE(small.run_count(), 2u);
+}
+
+TEST_F(ExternalSortTest, AlreadySortedAndReverseSortedInputs) {
+  std::vector<int32_t> ascending, descending;
+  for (int32_t i = 0; i < 3000; ++i) {
+    ascending.push_back(i);
+    descending.push_back(2999 - i);
+  }
+  EXPECT_EQ(SortValues(ascending, 4), ascending);
+  EXPECT_EQ(SortValues(descending, 4), ascending);
+}
+
+TEST_F(ExternalSortTest, EmptyInput) {
+  machine_.BeginPhase("p");
+  ExternalSort sort(&machine_.node(0), &schema_, 0, 4);
+  sort.FinishInput();
+  auto stream = sort.OpenStream();
+  Tuple t;
+  EXPECT_FALSE(stream->Next(&t));
+  machine_.EndPhase();
+}
+
+TEST_F(ExternalSortTest, NegativeKeysSortCorrectly) {
+  EXPECT_EQ(SortValues({3, -1, 0, -100, 50}, 3),
+            (std::vector<int32_t>{-100, -1, 0, 3, 50}));
+}
+
+TEST_F(ExternalSortTest, RunsFreedOnDestruction) {
+  const size_t live_before = machine_.node(0).disk().live_pages();
+  {
+    machine_.BeginPhase("p");
+    ExternalSort sort(&machine_.node(0), &schema_, 0, 3);
+    Rng rng(6);
+    for (int i = 0; i < 2000; ++i) {
+      sort.Add(MakeTuple(static_cast<int32_t>(rng.Uniform(1000))));
+    }
+    sort.FinishInput();
+    machine_.EndPhase();
+    EXPECT_GT(machine_.node(0).disk().live_pages(), live_before);
+  }
+  EXPECT_EQ(machine_.node(0).disk().live_pages(), live_before);
+}
+
+}  // namespace
+}  // namespace gammadb::storage

@@ -1,0 +1,125 @@
+#include "storage/heap_file.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "storage/schema.h"
+
+namespace gammadb::storage {
+namespace {
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  HeapFileTest()
+      : machine_(sim::MachineConfig{1, 0, sim::CostModel{}, 1}),
+        schema_({Field::Int32("k"), Field::Char("pad", 200)}) {}
+
+  Tuple MakeTuple(int32_t k) {
+    Tuple t(schema_.tuple_bytes());
+    t.SetInt32(schema_, 0, k);
+    t.SetChars(schema_, 1, "pad");
+    return t;
+  }
+
+  sim::Machine machine_;
+  Schema schema_;  // 204 bytes -> 40 tuples per 8 KB page
+};
+
+TEST_F(HeapFileTest, AppendScanRoundTrip) {
+  HeapFile file(&machine_.node(0), &schema_, "t");
+  machine_.BeginPhase("w");
+  for (int32_t i = 0; i < 1000; ++i) file.Append(MakeTuple(i));
+  file.FlushAppends();
+  machine_.EndPhase();
+  EXPECT_EQ(file.tuple_count(), 1000u);
+  EXPECT_EQ(file.page_count(), (1000 + 39) / 40);
+
+  machine_.BeginPhase("r");
+  auto scanner = file.Scan();
+  Tuple t;
+  int32_t expected = 0;
+  while (scanner.Next(&t)) {
+    EXPECT_EQ(t.GetInt32(schema_, 0), expected++);
+  }
+  EXPECT_EQ(expected, 1000);
+  machine_.EndPhase();
+  EXPECT_EQ(machine_.node(0).counters().pages_read,
+            static_cast<int64_t>(file.page_count()));
+}
+
+TEST_F(HeapFileTest, FlushIsIdempotentAndPartialPageStored) {
+  HeapFile file(&machine_.node(0), &schema_, "t");
+  machine_.BeginPhase("w");
+  file.Append(MakeTuple(7));
+  file.FlushAppends();
+  file.FlushAppends();
+  machine_.EndPhase();
+  EXPECT_EQ(file.page_count(), 1u);
+  EXPECT_EQ(file.PeekAll().size(), 1u);
+}
+
+TEST_F(HeapFileTest, EarlyAbandonedScanChargesOnlyPagesReached) {
+  HeapFile file(&machine_.node(0), &schema_, "t");
+  machine_.BeginPhase("w");
+  for (int32_t i = 0; i < 400; ++i) file.Append(MakeTuple(i));  // 10 pages
+  file.FlushAppends();
+  machine_.EndPhase();
+
+  machine_.BeginPhase("r");
+  auto scanner = file.Scan();
+  Tuple t;
+  for (int i = 0; i < 45; ++i) ASSERT_TRUE(scanner.Next(&t));  // 2 pages
+  machine_.EndPhase();
+  EXPECT_EQ(machine_.node(0).counters().pages_read, 2);
+  EXPECT_EQ(scanner.pages_read(), 2u);
+}
+
+TEST_F(HeapFileTest, FreeReturnsPagesToDisk) {
+  HeapFile file(&machine_.node(0), &schema_, "t");
+  machine_.BeginPhase("w");
+  for (int32_t i = 0; i < 100; ++i) file.Append(MakeTuple(i));
+  file.FlushAppends();
+  machine_.EndPhase();
+  const size_t live_before = machine_.node(0).disk().live_pages();
+  file.Free();
+  EXPECT_EQ(machine_.node(0).disk().live_pages(),
+            live_before - 3);  // 100/40 -> 3 pages
+  EXPECT_EQ(file.tuple_count(), 0u);
+  EXPECT_EQ(file.page_count(), 0u);
+}
+
+TEST_F(HeapFileTest, PeekAllDoesNotCharge) {
+  HeapFile file(&machine_.node(0), &schema_, "t");
+  machine_.BeginPhase("w");
+  for (int32_t i = 0; i < 50; ++i) file.Append(MakeTuple(i));
+  file.FlushAppends();
+  machine_.EndPhase();
+  machine_.ResetMetrics();
+  machine_.BeginPhase("peek");
+  EXPECT_EQ(file.PeekAll().size(), 50u);
+  EXPECT_EQ(machine_.node(0).phase_usage().cpu_seconds, 0.0);
+  machine_.EndPhase();
+  EXPECT_EQ(machine_.Metrics().counters.pages_read, 0);
+}
+
+TEST_F(HeapFileTest, DataBytesMatchesCount) {
+  HeapFile file(&machine_.node(0), &schema_, "t");
+  machine_.BeginPhase("w");
+  for (int32_t i = 0; i < 10; ++i) file.Append(MakeTuple(i));
+  file.FlushAppends();
+  machine_.EndPhase();
+  EXPECT_EQ(file.data_bytes(), 10u * schema_.tuple_bytes());
+}
+
+TEST_F(HeapFileTest, EmptyFileScansNothing) {
+  HeapFile file(&machine_.node(0), &schema_, "t");
+  file.FlushAppends();
+  machine_.BeginPhase("r");
+  auto scanner = file.Scan();
+  Tuple t;
+  EXPECT_FALSE(scanner.Next(&t));
+  machine_.EndPhase();
+}
+
+}  // namespace
+}  // namespace gammadb::storage

@@ -1,0 +1,88 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/tuple.h"
+#include "wisconsin/wisconsin.h"
+
+namespace gammadb::storage {
+namespace {
+
+Schema TwoFieldSchema() {
+  return Schema({Field::Int32("id"), Field::Char("name", 12)});
+}
+
+TEST(SchemaTest, OffsetsAndSize) {
+  const Schema s = TwoFieldSchema();
+  EXPECT_EQ(s.num_fields(), 2u);
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 4u);
+  EXPECT_EQ(s.tuple_bytes(), 16u);
+}
+
+TEST(SchemaTest, FieldIndexLookup) {
+  const Schema s = TwoFieldSchema();
+  EXPECT_EQ(s.FieldIndex("id"), 0);
+  EXPECT_EQ(s.FieldIndex("name"), 1);
+  EXPECT_EQ(s.FieldIndex("missing"), -1);
+}
+
+TEST(SchemaTest, Int32RoundTrip) {
+  const Schema s = TwoFieldSchema();
+  Tuple t(s.tuple_bytes());
+  t.SetInt32(s, 0, -123456);
+  EXPECT_EQ(t.GetInt32(s, 0), -123456);
+  t.SetInt32(s, 0, INT32_MAX);
+  EXPECT_EQ(t.GetInt32(s, 0), INT32_MAX);
+  t.SetInt32(s, 0, INT32_MIN);
+  EXPECT_EQ(t.GetInt32(s, 0), INT32_MIN);
+}
+
+TEST(SchemaTest, CharsPadAndTruncate) {
+  const Schema s = TwoFieldSchema();
+  Tuple t(s.tuple_bytes());
+  t.SetChars(s, 1, "abc");
+  EXPECT_EQ(t.GetChars(s, 1), "abc         ");  // space padded to 12
+  t.SetChars(s, 1, "averylongstringthatoverflows");
+  EXPECT_EQ(t.GetChars(s, 1), "averylongstr");  // truncated to 12
+}
+
+TEST(SchemaTest, ConcatRenamesCollisions) {
+  const Schema a = TwoFieldSchema();
+  const Schema b = TwoFieldSchema();
+  const Schema joined = Schema::Concat(a, b);
+  EXPECT_EQ(joined.num_fields(), 4u);
+  EXPECT_EQ(joined.tuple_bytes(), 32u);
+  EXPECT_EQ(joined.FieldIndex("id"), 0);
+  EXPECT_EQ(joined.FieldIndex("id_2"), 2);
+  EXPECT_EQ(joined.FieldIndex("name_2"), 3);
+}
+
+TEST(SchemaTest, ConcatPreservesFieldAccess) {
+  const Schema a = TwoFieldSchema();
+  const Schema joined = Schema::Concat(a, a);
+  Tuple left(a.tuple_bytes()), right(a.tuple_bytes());
+  left.SetInt32(a, 0, 11);
+  right.SetInt32(a, 0, 22);
+  const Tuple both = Tuple::Concat(left, right);
+  EXPECT_EQ(both.GetInt32(joined, 0), 11);
+  EXPECT_EQ(both.GetInt32(joined, 2), 22);
+}
+
+TEST(SchemaTest, EqualityComparesFields) {
+  EXPECT_TRUE(TwoFieldSchema() == TwoFieldSchema());
+  const Schema other({Field::Int32("id"), Field::Char("name", 13)});
+  EXPECT_FALSE(TwoFieldSchema() == other);
+}
+
+TEST(SchemaTest, WisconsinIs208Bytes) {
+  const Schema w = wisconsin::WisconsinSchema();
+  EXPECT_EQ(w.tuple_bytes(), 208u);
+  EXPECT_EQ(w.num_fields(), 16u);
+  EXPECT_EQ(w.FieldIndex("unique1"), wisconsin::fields::kUnique1);
+  EXPECT_EQ(w.FieldIndex("unique2"), wisconsin::fields::kUnique2);
+  EXPECT_EQ(w.FieldIndex("stringu1"), wisconsin::fields::kStringU1);
+}
+
+}  // namespace
+}  // namespace gammadb::storage

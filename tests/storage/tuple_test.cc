@@ -1,0 +1,64 @@
+#include "storage/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace gammadb::storage {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Field::Int32("a"), Field::Char("s", 8), Field::Int32("b")});
+}
+
+TEST(TupleTest, ZeroInitialized) {
+  const Schema schema = TestSchema();
+  Tuple t(schema.tuple_bytes());
+  EXPECT_EQ(t.size(), 16u);
+  EXPECT_EQ(t.GetInt32(schema, 0), 0);
+  EXPECT_EQ(t.GetInt32(schema, 2), 0);
+}
+
+TEST(TupleTest, FieldWritesDoNotOverlap) {
+  const Schema schema = TestSchema();
+  Tuple t(schema.tuple_bytes());
+  t.SetInt32(schema, 0, -1);
+  t.SetChars(schema, 1, "xyz");
+  t.SetInt32(schema, 2, 77);
+  EXPECT_EQ(t.GetInt32(schema, 0), -1);
+  EXPECT_EQ(t.GetChars(schema, 1), "xyz     ");
+  EXPECT_EQ(t.GetInt32(schema, 2), 77);
+}
+
+TEST(TupleTest, CopyFromRawBytes) {
+  const Schema schema = TestSchema();
+  Tuple original(schema.tuple_bytes());
+  original.SetInt32(schema, 0, 1234);
+  Tuple copy(original.data(), original.size());
+  EXPECT_EQ(copy, original);
+  copy.SetInt32(schema, 0, 5678);
+  EXPECT_NE(copy, original);  // deep copy
+  EXPECT_EQ(original.GetInt32(schema, 0), 1234);
+}
+
+TEST(TupleTest, ConcatLaysOutLeftThenRight) {
+  const Schema schema = TestSchema();
+  Tuple left(schema.tuple_bytes()), right(schema.tuple_bytes());
+  left.SetInt32(schema, 0, 1);
+  right.SetInt32(schema, 0, 2);
+  const Tuple joined = Tuple::Concat(left, right);
+  EXPECT_EQ(joined.size(), 32u);
+  const Schema joined_schema = Schema::Concat(schema, schema);
+  EXPECT_EQ(joined.GetInt32(joined_schema, 0), 1);
+  EXPECT_EQ(joined.GetInt32(joined_schema, 3), 2);
+}
+
+TEST(TupleTest, EmptyAndMove) {
+  Tuple empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  Tuple filled(8);
+  Tuple moved = std::move(filled);
+  EXPECT_EQ(moved.size(), 8u);
+}
+
+}  // namespace
+}  // namespace gammadb::storage

@@ -1,0 +1,104 @@
+#include "wisconsin/queries.h"
+
+#include <gtest/gtest.h>
+
+#include "gamma/catalog.h"
+#include "join/driver.h"
+#include "sim/machine.h"
+#include "testing/test_util.h"
+
+namespace gammadb::wisconsin {
+namespace {
+
+class QueriesTest : public ::testing::Test {
+ protected:
+  QueriesTest() : machine_(gammadb::testing::SmallConfig(4)) {
+    DatasetOptions options;
+    options.outer_cardinality = 3000;
+    options.inner_cardinality = 300;
+    options.seed = 33;
+    auto loaded = LoadJoinABprime(machine_, catalog_, options);
+    GAMMA_CHECK(loaded.ok());
+  }
+
+  join::JoinOutput MustRun(join::JoinSpec spec) {
+    spec.result_name = "q_result";
+    auto output = join::ExecuteJoin(machine_, catalog_, spec);
+    GAMMA_CHECK(output.ok()) << output.status().ToString();
+    GAMMA_CHECK_OK(catalog_.Drop("q_result"));
+    return std::move(output).value();
+  }
+
+  sim::Machine machine_;
+  db::Catalog catalog_;
+};
+
+TEST_F(QueriesTest, JoinABprimeProducesInnerCardinality) {
+  QueryOptions options;
+  auto output = MustRun(JoinABprimeSpec(options));
+  EXPECT_EQ(output.stats.result_tuples, 300u);
+}
+
+TEST_F(QueriesTest, HpjaFlagSwitchesJoinAttribute) {
+  QueryOptions options;
+  options.hpja = false;
+  const join::JoinSpec spec = JoinABprimeSpec(options);
+  EXPECT_EQ(spec.inner_field, fields::kUnique2);
+  EXPECT_EQ(spec.outer_field, fields::kUnique2);
+  EXPECT_EQ(MustRun(spec).stats.result_tuples, 300u);
+}
+
+TEST_F(QueriesTest, JoinAselBSelectsATenth) {
+  // The inner sample's ten==3 population for this seed.
+  size_t expected = 0;
+  auto inner = catalog_.Get("Bprime");
+  ASSERT_TRUE(inner.ok());
+  for (const auto& t : (*inner)->PeekAllTuples()) {
+    if (t.GetInt32((*inner)->schema(), fields::kTen) == 3) ++expected;
+  }
+  QueryOptions options;
+  options.memory_ratio = 0.5;
+  auto output = MustRun(JoinAselBSpec(options, expected));
+  EXPECT_EQ(output.stats.result_tuples, expected);
+  // Bucket count derives from the post-selection size: one bucket
+  // suffices at ratio 0.5 of ~30 tuples... the hint keeps it small.
+  EXPECT_LE(output.stats.num_buckets, 2);
+}
+
+TEST_F(QueriesTest, JoinCselAselBSelectsBothSides) {
+  size_t expected_inner = 0;
+  auto inner = catalog_.Get("Bprime");
+  ASSERT_TRUE(inner.ok());
+  for (const auto& t : (*inner)->PeekAllTuples()) {
+    if (t.GetInt32((*inner)->schema(), fields::kFiftyPercent) == 0) {
+      ++expected_inner;
+    }
+  }
+  QueryOptions options;
+  auto output = MustRun(JoinCselAselBSpec(options, expected_inner));
+  // Every selected inner tuple (even unique1) matches exactly its own
+  // outer row, which also passes the outer selection.
+  EXPECT_EQ(output.stats.result_tuples, expected_inner);
+}
+
+TEST_F(QueriesTest, AllAlgorithmsAgreeOnJoinAselB) {
+  size_t expected = 0;
+  auto inner = catalog_.Get("Bprime");
+  ASSERT_TRUE(inner.ok());
+  for (const auto& t : (*inner)->PeekAllTuples()) {
+    if (t.GetInt32((*inner)->schema(), fields::kTen) == 3) ++expected;
+  }
+  for (join::Algorithm algorithm :
+       {join::Algorithm::kSortMerge, join::Algorithm::kSimpleHash,
+        join::Algorithm::kGraceHash, join::Algorithm::kHybridHash}) {
+    QueryOptions options;
+    options.algorithm = algorithm;
+    options.memory_ratio = 0.4;
+    auto output = MustRun(JoinAselBSpec(options, expected));
+    EXPECT_EQ(output.stats.result_tuples, expected)
+        << join::AlgorithmName(algorithm);
+  }
+}
+
+}  // namespace
+}  // namespace gammadb::wisconsin
