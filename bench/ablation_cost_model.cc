@@ -22,13 +22,14 @@ namespace {
 
 double Run(Workload& w, Algorithm a, double ratio, bool remote) {
   auto output = w.Run(a, ratio, false, remote);
-  gammadb::bench::CheckResultCount(output, 10000);
+  gammadb::bench::CheckResultCount(output, gammadb::bench::ExpectedJoinABprimeResult());
   return output.response_seconds();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "ablation_cost_model");
   // --- 1. Protocol asymmetry ---
   {
     gammadb::bench::WorkloadOptions options;

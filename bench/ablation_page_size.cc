@@ -11,7 +11,8 @@ using gammadb::bench::RemoteConfig;
 using gammadb::bench::Workload;
 using gammadb::join::Algorithm;
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "ablation_page_size");
   for (uint32_t page_bytes : {4096u, 8192u, 16384u}) {
     auto config = RemoteConfig();
     config.cost.page_bytes = page_bytes;
@@ -21,7 +22,7 @@ int main() {
 
     const auto seconds = [&](Algorithm a, double ratio, bool remote) {
       auto out = workload.Run(a, ratio, false, remote);
-      gammadb::bench::CheckResultCount(out, 10000);
+      gammadb::bench::CheckResultCount(out, gammadb::bench::ExpectedJoinABprimeResult());
       return out.response_seconds();
     };
 

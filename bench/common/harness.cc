@@ -1,11 +1,180 @@
 #include "common/harness.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "sim/metrics_json.h"
 
 namespace gammadb::bench {
+
+namespace {
+
+/// Process-wide benchmark state set up by InitBench().
+struct BenchState {
+  std::string benchmark_name;
+  std::string json_path;                  // "" = JSON output disabled
+  std::optional<uint32_t> outer_override;
+  std::optional<uint32_t> inner_override;
+  JsonValue doc = JsonValue::MakeObject();
+};
+
+BenchState& State() {
+  static BenchState state;
+  return state;
+}
+
+bool JsonEnabled() { return !State().json_path.empty(); }
+
+void WriteBenchJson() {
+  BenchState& state = State();
+  if (state.json_path.empty()) return;
+  Status status = WriteJsonFile(state.json_path, state.doc);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", state.json_path.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "wrote benchmark JSON to %s\n",
+               state.json_path.c_str());
+}
+
+[[noreturn]] void Usage(const char* argv0, const std::string& error) {
+  std::fprintf(stderr,
+               "%s\nusage: %s [--json <path>] [--smoke] [--outer <n>] "
+               "[--inner <n>]\n",
+               error.c_str(), argv0);
+  std::exit(2);
+}
+
+JsonValue MachineConfigToJson(const sim::MachineConfig& config) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("num_disk_nodes", config.num_disk_nodes);
+  out.Set("num_diskless_nodes", config.num_diskless_nodes);
+  out.Set("num_threads", config.num_threads);
+  return out;
+}
+
+JsonValue JoinStatsToJson(const join::JoinStats& stats) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("num_buckets", stats.num_buckets);
+  out.Set("overflow_levels", stats.overflow_levels);
+  out.Set("overflow_events", stats.overflow_events);
+  out.Set("avg_chain_length", stats.avg_chain_length);
+  out.Set("max_chain_length", stats.max_chain_length);
+  out.Set("inner_sort_passes", stats.inner_sort_passes);
+  out.Set("outer_sort_passes", stats.outer_sort_passes);
+  out.Set("result_tuples", stats.result_tuples);
+  out.Set("filter_drops", stats.filter_drops);
+  return out;
+}
+
+/// Appends one executed join to the document's "runs" array: enough
+/// spec fields to identify the run plus the full metrics tree.
+void RecordJoinRun(const join::JoinSpec& spec, const join::JoinOutput& output) {
+  if (!JsonEnabled()) return;
+  JsonValue run = JsonValue::MakeObject();
+  run.Set("algorithm", join::AlgorithmName(spec.algorithm));
+  run.Set("inner_relation", spec.inner_relation);
+  run.Set("outer_relation", spec.outer_relation);
+  run.Set("inner_field", spec.inner_field);
+  run.Set("outer_field", spec.outer_field);
+  run.Set("memory_ratio", spec.memory_ratio);
+  run.Set("bit_filters", spec.use_bit_filters);
+  run.Set("forming_bit_filters", spec.use_forming_bit_filters);
+  run.Set("remote_join_nodes", !spec.join_nodes.empty());
+  run.Set("response_seconds", output.response_seconds());
+  run.Set("stats", JoinStatsToJson(output.stats));
+  run.Set("metrics", sim::RunMetricsToJson(output.metrics));
+  JsonValue* runs = State().doc.Find("runs");
+  GAMMA_CHECK(runs != nullptr);
+  runs->Append(std::move(run));
+}
+
+void RecordWorkload(const sim::MachineConfig& machine_config,
+                    const WorkloadOptions& options) {
+  if (!JsonEnabled()) return;
+  JsonValue workload = JsonValue::MakeObject();
+  workload.Set("machine", MachineConfigToJson(machine_config));
+  JsonValue opts = JsonValue::MakeObject();
+  opts.Set("hpja", options.hpja);
+  opts.Set("with_normal", options.with_normal);
+  opts.Set("outer_cardinality", options.outer_cardinality);
+  opts.Set("inner_cardinality", options.inner_cardinality);
+  opts.Set("seed", static_cast<int64_t>(options.seed));
+  workload.Set("options", std::move(opts));
+  JsonValue* workloads = State().doc.Find("workloads");
+  GAMMA_CHECK(workloads != nullptr);
+  workloads->Append(std::move(workload));
+}
+
+/// Applies --smoke / --outer / --inner to a workload's options.
+void ApplyScaleOverrides(WorkloadOptions& options) {
+  if (options.fixed_scale) return;
+  const BenchState& state = State();
+  if (state.outer_override) options.outer_cardinality = *state.outer_override;
+  if (state.inner_override) options.inner_cardinality = *state.inner_override;
+}
+
+}  // namespace
+
+void InitBench(int argc, char** argv, const std::string& benchmark_name) {
+  BenchState& state = State();
+  state.benchmark_name = benchmark_name;
+  if (const char* env = std::getenv("GAMMA_BENCH_JSON");
+      env != nullptr && env[0] != '\0') {
+    state.json_path = env;
+  }
+  const auto next_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) Usage(argv[0], StrFormat("%s requires a value", flag));
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      state.json_path = next_value(i, "--json");
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      state.json_path = arg + 7;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      state.outer_override = 10000;
+      state.inner_override = 1000;
+    } else if (std::strcmp(arg, "--outer") == 0) {
+      state.outer_override =
+          static_cast<uint32_t>(std::atoi(next_value(i, "--outer")));
+    } else if (std::strcmp(arg, "--inner") == 0) {
+      state.inner_override =
+          static_cast<uint32_t>(std::atoi(next_value(i, "--inner")));
+    } else {
+      Usage(argv[0], StrFormat("unknown flag '%s'", arg));
+    }
+  }
+  if (JsonEnabled()) {
+    state.doc.Set("schema_version", sim::kMetricsSchemaVersion);
+    state.doc.Set("benchmark", benchmark_name);
+    state.doc.Set("smoke", BenchScaleOverridden());
+    state.doc.Set("workloads", JsonValue::MakeArray());
+    state.doc.Set("runs", JsonValue::MakeArray());
+    state.doc.Set("figures", JsonValue::MakeArray());
+    std::atexit(WriteBenchJson);
+  }
+}
+
+bool BenchScaleOverridden() {
+  return State().outer_override.has_value() ||
+         State().inner_override.has_value();
+}
+
+size_t ExpectedJoinABprimeResult() {
+  return State().inner_override.value_or(10000);
+}
+
+void RecordBenchExtra(const std::string& key, JsonValue value) {
+  if (!JsonEnabled()) return;
+  State().doc.Set(key, std::move(value));
+}
 
 sim::MachineConfig LocalConfig() {
   sim::MachineConfig config;
@@ -29,13 +198,15 @@ std::vector<double> IntegralBucketRatios() {
 Workload::Workload(sim::MachineConfig machine_config,
                    const WorkloadOptions& options)
     : options_(options), machine_(std::make_unique<sim::Machine>(machine_config)) {
+  ApplyScaleOverrides(options_);
+  RecordWorkload(machine_config, options_);
   wisconsin::DatasetOptions dataset;
-  dataset.outer_cardinality = options.outer_cardinality;
-  dataset.inner_cardinality = options.inner_cardinality;
-  dataset.seed = options.seed;
-  dataset.with_normal_attr = options.with_normal;
-  dataset.strategy = options.strategy;
-  dataset.partition_field = options.partition_field;
+  dataset.outer_cardinality = options_.outer_cardinality;
+  dataset.inner_cardinality = options_.inner_cardinality;
+  dataset.seed = options_.seed;
+  dataset.with_normal_attr = options_.with_normal;
+  dataset.strategy = options_.strategy;
+  dataset.partition_field = options_.partition_field;
   auto loaded = wisconsin::LoadJoinABprime(*machine_, catalog_, dataset);
   GAMMA_CHECK(loaded.ok()) << loaded.status().ToString();
 }
@@ -64,6 +235,7 @@ join::JoinOutput Workload::RunCustom(
   auto output = join::ExecuteJoin(*machine_, catalog_, spec);
   GAMMA_CHECK(output.ok()) << output.status().ToString();
   GAMMA_CHECK_OK(catalog_.Drop(spec.result_name));
+  RecordJoinRun(spec, *output);
   return std::move(output).value();
 }
 
@@ -95,6 +267,28 @@ void PrintFigure(const std::string& title,
     std::printf("\n");
   }
   std::fflush(stdout);
+
+  if (!JsonEnabled()) return;
+  JsonValue figure = JsonValue::MakeObject();
+  figure.Set("title", title);
+  JsonValue names = JsonValue::MakeArray();
+  for (const auto& name : series_names) names.Append(name);
+  figure.Set("series", std::move(names));
+  JsonValue ratio_values = JsonValue::MakeArray();
+  for (double ratio : ratios) ratio_values.Append(ratio);
+  figure.Set("ratios", std::move(ratio_values));
+  JsonValue table = JsonValue::MakeArray();
+  for (const auto& series : seconds_by_series) {
+    JsonValue column = JsonValue::MakeArray();
+    for (double v : series) column.Append(v);
+    table.Append(std::move(column));
+  }
+  // Key ends in "seconds" so bench_diff applies the time-metric
+  // tolerance to every nested value.
+  figure.Set("series_seconds", std::move(table));
+  JsonValue* figures = State().doc.Find("figures");
+  GAMMA_CHECK(figures != nullptr);
+  figures->Append(std::move(figure));
 }
 
 void RunFilterComparisonFigure(const std::string& title,
@@ -110,8 +304,8 @@ void RunFilterComparisonFigure(const std::string& title,
                               /*remote_join_nodes=*/false);
     auto filtered = workload.Run(algorithm, ratio, /*bit_filters=*/true,
                                  /*remote_join_nodes=*/false);
-    CheckResultCount(plain, 10000);
-    CheckResultCount(filtered, 10000);
+    CheckResultCount(plain, ExpectedJoinABprimeResult());
+    CheckResultCount(filtered, ExpectedJoinABprimeResult());
     without.push_back(plain.response_seconds());
     with.push_back(filtered.response_seconds());
     drops.push_back(static_cast<double>(filtered.stats.filter_drops));
@@ -192,6 +386,7 @@ join::JoinOutput SkewBench::Run(join::Algorithm algorithm, JoinType type,
   auto output = join::ExecuteJoin(*machine_, catalog_, spec);
   GAMMA_CHECK(output.ok()) << output.status().ToString();
   GAMMA_CHECK_OK(catalog_.Drop(spec.result_name));
+  RecordJoinRun(spec, *output);
   return std::move(output).value();
 }
 

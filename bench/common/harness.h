@@ -9,12 +9,49 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "gamma/catalog.h"
 #include "join/driver.h"
 #include "sim/machine.h"
 #include "wisconsin/wisconsin.h"
 
 namespace gammadb::bench {
+
+// --- Structured output & CLI ----------------------------------------------
+//
+// Every benchmark driver calls InitBench() first thing in main(). It
+// parses the shared flags and, when JSON output is requested, arranges
+// for one schema-versioned document (docs/benchmarking.md) to be
+// written when the process exits cleanly: machine/workload config,
+// every executed join (full sim::RunMetrics including per-phase
+// per-node cpu/disk seconds) and every printed figure table.
+//
+// Shared flags:
+//   --json <path>   write the JSON document to <path> (also honoured
+//                    via the GAMMA_BENCH_JSON environment variable;
+//                    the flag wins when both are given)
+//   --smoke         CI-scale run: 10k x 1k joinABprime instead of the
+//                    paper's 100k x 10k (the figures keep their shape,
+//                    the run finishes in seconds)
+//   --outer <n>     override the outer (probing) cardinality
+//   --inner <n>     override the inner (building) cardinality
+//
+/// Parses shared benchmark flags. Aborts with a usage message on
+/// unknown flags. Call once, before constructing any Workload.
+void InitBench(int argc, char** argv, const std::string& benchmark_name);
+
+/// True when --smoke (or --outer/--inner) reduced the dataset scale.
+bool BenchScaleOverridden();
+
+/// joinABprime result cardinality under the active scale: every inner
+/// tuple joins exactly one outer tuple, so this is the (possibly
+/// overridden) inner cardinality.
+size_t ExpectedJoinABprimeResult();
+
+/// Appends an extra top-level key to the JSON document (no-op when JSON
+/// output is disabled). Benchmarks use this for driver-specific results
+/// that fit neither the per-run records nor a figure table.
+void RecordBenchExtra(const std::string& key, JsonValue value);
 
 /// The paper's "local" configuration: 8 processors with disks. (The
 /// scheduling/deadlock processor is not modeled as a node; its cost
@@ -31,6 +68,10 @@ std::vector<double> IntegralBucketRatios();
 struct WorkloadOptions {
   bool hpja = true;        // join attribute == declustering attribute
   bool with_normal = false;
+  /// The cardinalities below are intrinsic to the experiment (scaleup
+  /// sweeps, seed-dependent expected counts): exempt this workload from
+  /// the --smoke / --outer / --inner scale overrides.
+  bool fixed_scale = false;
   db::PartitionStrategy strategy = db::PartitionStrategy::kHashed;
   int partition_field = wisconsin::fields::kUnique1;
   uint32_t outer_cardinality = 100000;

@@ -31,7 +31,7 @@ struct UtilReport {
 UtilReport Measure(Workload& workload, bool remote) {
   auto output =
       workload.Run(Algorithm::kHybridHash, 1.0, false, remote);
-  gammadb::bench::CheckResultCount(output, 10000);
+  gammadb::bench::CheckResultCount(output, gammadb::bench::ExpectedJoinABprimeResult());
   const auto util = output.metrics.NodeCpuUtilization();
   const auto busy = output.metrics.NodeCpuSeconds();
   UtilReport report{};
@@ -48,7 +48,8 @@ UtilReport Measure(Workload& workload, bool remote) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "ext_cpu_utilization");
   gammadb::bench::WorkloadOptions options;
   options.hpja = false;  // non-HPJA: the case where offloading pays
   Workload workload(RemoteConfig(), options);

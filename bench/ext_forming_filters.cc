@@ -17,7 +17,8 @@ using gammadb::bench::PrintFigure;
 using gammadb::bench::Workload;
 using gammadb::join::Algorithm;
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "ext_forming_filters");
   gammadb::bench::WorkloadOptions options;
   options.hpja = false;
   Workload workload(LocalConfig(), options);
@@ -33,7 +34,7 @@ int main() {
           [](gammadb::join::JoinSpec& spec) {
             spec.use_forming_bit_filters = true;
           });
-      gammadb::bench::CheckResultCount(forming, 10000);
+      gammadb::bench::CheckResultCount(forming, gammadb::bench::ExpectedJoinABprimeResult());
       plain.push_back(none.response_seconds());
       joining_only.push_back(joining.response_seconds());
       with_forming.push_back(forming.response_seconds());

@@ -25,7 +25,8 @@ using gammadb::bench::RemoteConfig;
 using gammadb::bench::Workload;
 using gammadb::join::Algorithm;
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "ext_mixed_config");
   gammadb::bench::WorkloadOptions options;
   options.hpja = false;
   Workload workload(RemoteConfig(), options);
@@ -40,7 +41,7 @@ int main() {
         [](gammadb::join::JoinSpec& spec) {
           spec.join_nodes = {0, 1, 2, 3, 8, 9, 10, 11};  // 4 disk + 4 not
         });
-    gammadb::bench::CheckResultCount(m, 10000);
+    gammadb::bench::CheckResultCount(m, gammadb::bench::ExpectedJoinABprimeResult());
     local.push_back(l.response_seconds());
     mixed.push_back(m.response_seconds());
     remote.push_back(r.response_seconds());

@@ -18,15 +18,16 @@ using gammadb::join::Algorithm;
 using gammadb::sim::EstimateThroughput;
 using gammadb::sim::ThroughputEstimate;
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "ext_multiuser");
   gammadb::bench::WorkloadOptions options;
   options.hpja = false;  // the configuration-sensitive case
   Workload workload(RemoteConfig(), options);
 
   auto local_run = workload.Run(Algorithm::kHybridHash, 0.5, false, false);
   auto remote_run = workload.Run(Algorithm::kHybridHash, 0.5, false, true);
-  gammadb::bench::CheckResultCount(local_run, 10000);
-  gammadb::bench::CheckResultCount(remote_run, 10000);
+  gammadb::bench::CheckResultCount(local_run, gammadb::bench::ExpectedJoinABprimeResult());
+  gammadb::bench::CheckResultCount(remote_run, gammadb::bench::ExpectedJoinABprimeResult());
   const ThroughputEstimate local = EstimateThroughput(local_run.metrics);
   const ThroughputEstimate remote = EstimateThroughput(remote_run.metrics);
 

@@ -54,9 +54,13 @@ void RunQuery(const char* title, Workload& workload,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "ext_other_queries");
   gammadb::bench::WorkloadOptions options;
   options.hpja = true;
+  // The expected result cardinalities below are seed- and
+  // scale-specific; exempt this workload from --smoke overrides.
+  options.fixed_scale = true;
   Workload workload(LocalConfig(), options);
 
   // joinAselB: select 10% of the inner relation at the scan.

@@ -25,7 +25,8 @@ gammadb::sim::MachineConfig ConfigWithDisks(int disks) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "ext_speedup");
   const Algorithm algorithms[] = {Algorithm::kHybridHash,
                                   Algorithm::kGraceHash,
                                   Algorithm::kSimpleHash,
@@ -43,7 +44,7 @@ int main() {
     std::printf("%-8d", disks);
     for (int a = 0; a < 4; ++a) {
       auto out = workload.Run(algorithms[a], 0.5, false, false);
-      gammadb::bench::CheckResultCount(out, 10000);
+      gammadb::bench::CheckResultCount(out, gammadb::bench::ExpectedJoinABprimeResult());
       if (disks == 2) base[a] = out.response_seconds();
       std::printf("%9.2f(%3.1fx)", out.response_seconds(),
                   base[a] / out.response_seconds());
@@ -58,6 +59,7 @@ int main() {
   for (int disks : {2, 4, 8, 16}) {
     gammadb::bench::WorkloadOptions options;
     options.hpja = true;
+    options.fixed_scale = true;  // cardinality is the experiment variable
     options.outer_cardinality = static_cast<uint32_t>(12500 * disks);
     options.inner_cardinality = options.outer_cardinality / 10;
     Workload workload(ConfigWithDisks(disks), options);

@@ -14,7 +14,8 @@ using gammadb::bench::PrintFigure;
 using gammadb::bench::Workload;
 using gammadb::join::Algorithm;
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "fig05_local_hpja");
   gammadb::bench::WorkloadOptions options;
   options.hpja = true;
   Workload workload(LocalConfig(), options);
@@ -31,7 +32,7 @@ int main() {
     for (double ratio : ratios) {
       auto output = workload.Run(algorithms[a], ratio, /*bit_filters=*/false,
                                  /*remote_join_nodes=*/false);
-      gammadb::bench::CheckResultCount(output, 10000);
+      gammadb::bench::CheckResultCount(output, gammadb::bench::ExpectedJoinABprimeResult());
       series[a].push_back(output.response_seconds());
     }
   }

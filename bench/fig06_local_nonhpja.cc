@@ -13,7 +13,8 @@ using gammadb::bench::PrintFigure;
 using gammadb::bench::Workload;
 using gammadb::join::Algorithm;
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "fig06_local_nonhpja");
   gammadb::bench::WorkloadOptions options;
   options.hpja = false;
   Workload workload(LocalConfig(), options);
@@ -30,7 +31,7 @@ int main() {
     for (double ratio : ratios) {
       auto output = workload.Run(algorithms[a], ratio, /*bit_filters=*/false,
                                  /*remote_join_nodes=*/false);
-      gammadb::bench::CheckResultCount(output, 10000);
+      gammadb::bench::CheckResultCount(output, gammadb::bench::ExpectedJoinABprimeResult());
       series[a].push_back(output.response_seconds());
     }
   }

@@ -22,7 +22,8 @@ using gammadb::bench::PrintFigure;
 using gammadb::bench::Workload;
 using gammadb::join::Algorithm;
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "fig07_hybrid_overflow");
   gammadb::bench::WorkloadOptions options;
   options.hpja = true;
   Workload workload(LocalConfig(), options);
@@ -45,7 +46,7 @@ int main() {
     auto pessimistic = workload.RunCustom(
         Algorithm::kHybridHash, ratio, false, false,
         [](gammadb::join::JoinSpec& spec) { spec.num_buckets = 2; });
-    gammadb::bench::CheckResultCount(pessimistic, 10000);
+    gammadb::bench::CheckResultCount(pessimistic, gammadb::bench::ExpectedJoinABprimeResult());
     two_bucket.push_back(pessimistic.response_seconds());
 
     auto optimistic = workload.RunCustom(
@@ -58,7 +59,7 @@ int main() {
           // below it.
           spec.memory_slack = 0.08;
         });
-    gammadb::bench::CheckResultCount(optimistic, 10000);
+    gammadb::bench::CheckResultCount(optimistic, gammadb::bench::ExpectedJoinABprimeResult());
     overflow.push_back(optimistic.response_seconds());
   }
 

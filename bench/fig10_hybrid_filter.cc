@@ -2,7 +2,8 @@
 // (paper Section 4.2; see Figures 10-13.)
 #include "common/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "fig10_hybrid_filter");
   gammadb::bench::RunFilterComparisonFigure(
       "Figure 10: Hybrid with vs without bit filters (seconds)",
       gammadb::join::Algorithm::kHybridHash);

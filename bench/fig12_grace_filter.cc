@@ -2,7 +2,8 @@
 // (paper Section 4.2; see Figures 10-13.)
 #include "common/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "fig12_grace_filter");
   gammadb::bench::RunFilterComparisonFigure(
       "Figure 12: Grace with vs without bit filters (seconds)",
       gammadb::join::Algorithm::kGraceHash);

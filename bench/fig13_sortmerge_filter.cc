@@ -2,7 +2,8 @@
 // (paper Section 4.2; see Figures 10-13.)
 #include "common/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "fig13_sortmerge_filter");
   gammadb::bench::RunFilterComparisonFigure(
       "Figure 13: Sort-merge with vs without bit filters (seconds)",
       gammadb::join::Algorithm::kSortMerge);

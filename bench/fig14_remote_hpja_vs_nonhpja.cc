@@ -15,7 +15,8 @@ using gammadb::bench::RemoteConfig;
 using gammadb::bench::Workload;
 using gammadb::join::Algorithm;
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "fig14_remote_hpja_vs_nonhpja");
   gammadb::bench::WorkloadOptions hpja_options;
   hpja_options.hpja = true;
   Workload hpja(RemoteConfig(), hpja_options);
@@ -36,8 +37,8 @@ int main() {
     for (double ratio : ratios) {
       auto h = hpja.Run(algorithms[a], ratio, false, /*remote=*/true);
       auto n = nonhpja.Run(algorithms[a], ratio, false, /*remote=*/true);
-      gammadb::bench::CheckResultCount(h, 10000);
-      gammadb::bench::CheckResultCount(n, 10000);
+      gammadb::bench::CheckResultCount(h, gammadb::bench::ExpectedJoinABprimeResult());
+      gammadb::bench::CheckResultCount(n, gammadb::bench::ExpectedJoinABprimeResult());
       series[2 * a].push_back(h.response_seconds());
       series[2 * a + 1].push_back(n.response_seconds());
     }

@@ -12,7 +12,8 @@ using gammadb::bench::RemoteConfig;
 using gammadb::bench::Workload;
 using gammadb::join::Algorithm;
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "fig15_local_vs_remote_hpja");
   gammadb::bench::WorkloadOptions options;
   options.hpja = true;
   // One 16-node machine; "local" runs join on the disk nodes, "remote"
@@ -31,8 +32,8 @@ int main() {
     for (double ratio : ratios) {
       auto local = workload.Run(algorithms[a], ratio, false, /*remote=*/false);
       auto remote = workload.Run(algorithms[a], ratio, false, /*remote=*/true);
-      gammadb::bench::CheckResultCount(local, 10000);
-      gammadb::bench::CheckResultCount(remote, 10000);
+      gammadb::bench::CheckResultCount(local, gammadb::bench::ExpectedJoinABprimeResult());
+      gammadb::bench::CheckResultCount(remote, gammadb::bench::ExpectedJoinABprimeResult());
       series[2 * a].push_back(local.response_seconds());
       series[2 * a + 1].push_back(remote.response_seconds());
     }

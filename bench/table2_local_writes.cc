@@ -26,7 +26,8 @@ double LocalWritePercent(const gammadb::join::JoinOutput& output) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "table2_local_writes");
   gammadb::bench::WorkloadOptions hpja_options;
   hpja_options.hpja = true;
   Workload hpja(RemoteConfig(), hpja_options);
@@ -44,8 +45,8 @@ int main() {
     auto h = hpja.Run(Algorithm::kHybridHash, ratio, false, /*remote=*/true);
     auto n =
         nonhpja.Run(Algorithm::kHybridHash, ratio, false, /*remote=*/true);
-    gammadb::bench::CheckResultCount(h, 10000);
-    gammadb::bench::CheckResultCount(n, 10000);
+    gammadb::bench::CheckResultCount(h, gammadb::bench::ExpectedJoinABprimeResult());
+    gammadb::bench::CheckResultCount(n, gammadb::bench::ExpectedJoinABprimeResult());
     std::printf("%8d%12.3f%16.1f%20.1f\n", buckets, ratio,
                 LocalWritePercent(h), LocalWritePercent(n));
   }

@@ -15,7 +15,8 @@
 using gammadb::bench::SkewBench;
 using gammadb::join::Algorithm;
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "table3_skew");
   SkewBench bench;
 
   const Algorithm algorithms[] = {Algorithm::kHybridHash,

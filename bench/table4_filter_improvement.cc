@@ -13,7 +13,8 @@
 using gammadb::bench::SkewBench;
 using gammadb::join::Algorithm;
 
-int main() {
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "table4_filter_improvement");
   SkewBench bench;
 
   const Algorithm algorithms[] = {Algorithm::kHybridHash,

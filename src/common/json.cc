@@ -1,0 +1,459 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace gammadb {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : AsObject()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue* JsonValue::Find(std::string_view key) {
+  return const_cast<JsonValue*>(
+      static_cast<const JsonValue*>(this)->Find(key));
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  if (!is_object()) rep_ = Object{};
+  if (JsonValue* existing = Find(key)) {
+    *existing = std::move(value);
+    return;
+  }
+  AsObject().emplace_back(std::move(key), std::move(value));
+}
+
+void JsonValue::Append(JsonValue value) {
+  if (!is_array()) rep_ = Array{};
+  AsArray().push_back(std::move(value));
+}
+
+namespace {
+
+// Shortest round-trip double formatting via std::to_chars; JSON has no
+// Inf/NaN, so those serialize as null.
+void AppendDouble(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";
+    return;
+  }
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  out.append(buf, ptr);
+  // Ensure a double never reads back as an integer.
+  std::string_view written(buf, static_cast<size_t>(ptr - buf));
+  if (written.find_first_of(".eE") == std::string_view::npos) {
+    out += ".0";
+  }
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const auto newline_at = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<size_t>(indent * d), ' ');
+  };
+  switch (type()) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += AsBool() ? "true" : "false";
+      break;
+    case Type::kInt: {
+      char buf[32];
+      auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), AsInt());
+      out.append(buf, ptr);
+      break;
+    }
+    case Type::kDouble:
+      AppendDouble(out, std::get<double>(rep_));
+      break;
+    case Type::kString:
+      out += '"';
+      out += JsonEscape(AsString());
+      out += '"';
+      break;
+    case Type::kArray: {
+      const Array& items = AsArray();
+      if (items.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_at(depth + 1);
+        items[i].DumpTo(out, indent, depth + 1);
+      }
+      newline_at(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      const Object& members = AsObject();
+      if (members.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_at(depth + 1);
+        out += '"';
+        out += JsonEscape(members[i].first);
+        out += "\":";
+        if (pretty) out += ' ';
+        members[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline_at(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  if (indent >= 0) out += '\n';
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    GAMMA_ASSIGN_OR_RETURN(JsonValue value, ParseValue(/*depth=*/0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 200;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument(
+        StrFormat("JSON parse error at offset %zu: %s", pos_, what.c_str()));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) return Error(StrFormat("expected '%c'", c));
+    return Status::OK();
+  }
+
+  bool ConsumeLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<JsonValue> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      GAMMA_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return JsonValue(std::move(s));
+    }
+    if (ConsumeLiteral("true")) return JsonValue(true);
+    if (ConsumeLiteral("false")) return JsonValue(false);
+    if (ConsumeLiteral("null")) return JsonValue(nullptr);
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return Error(StrFormat("unexpected character '%c'", c));
+  }
+
+  Result<JsonValue> ParseObject(int depth) {
+    GAMMA_RETURN_NOT_OK(Expect('{'));
+    JsonValue::Object members;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue(std::move(members));
+    for (;;) {
+      SkipWhitespace();
+      GAMMA_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      GAMMA_RETURN_NOT_OK(Expect(':'));
+      GAMMA_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      GAMMA_RETURN_NOT_OK(Expect('}'));
+      return JsonValue(std::move(members));
+    }
+  }
+
+  Result<JsonValue> ParseArray(int depth) {
+    GAMMA_RETURN_NOT_OK(Expect('['));
+    JsonValue::Array items;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue(std::move(items));
+    for (;;) {
+      GAMMA_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      GAMMA_RETURN_NOT_OK(Expect(']'));
+      return JsonValue(std::move(items));
+    }
+  }
+
+  // Appends `cp` to `out` as UTF-8.
+  static void AppendCodepoint(std::string& out, uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  Result<std::string> ParseString() {
+    GAMMA_RETURN_NOT_OK(Expect('"'));
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          GAMMA_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: must be followed by \uDC00..\uDFFF.
+            if (!ConsumeLiteral("\\u")) {
+              return Error("unpaired high surrogate");
+            }
+            GAMMA_ASSIGN_OR_RETURN(uint32_t low, ParseHex4());
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendCodepoint(out, cp);
+          break;
+        }
+        default:
+          return Error(StrFormat("invalid escape '\\%c'", e));
+      }
+    }
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    Consume('-');
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (Consume('.')) {
+      is_double = true;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      int64_t value = 0;
+      auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec == std::errc() && ptr == token.data() + token.size()) {
+        return JsonValue(value);
+      }
+      // Integer overflow: fall through to double.
+    }
+    double value = 0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return Error("malformed number");
+    }
+    return JsonValue(value);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+Result<JsonValue> ReadJsonFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open JSON file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseJson(buffer.str());
+}
+
+Status WriteJsonFile(const std::string& path, const JsonValue& value) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open JSON file for writing: " + path);
+  }
+  out << value.Dump(2);
+  out.flush();
+  if (!out) {
+    return Status::Internal("failed writing JSON file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace gammadb

@@ -1,0 +1,121 @@
+// Minimal JSON value / writer / parser — no third-party dependencies.
+//
+// The benchmark pipeline serializes every run into a schema-versioned
+// JSON document (see docs/benchmarking.md) and tools/bench_diff reads
+// those documents back to gate regressions in CI. The implementation is
+// deliberately small: a tagged value type with ordered objects (so
+// emitted documents diff cleanly), round-trip-exact number formatting,
+// full string escaping (including \uXXXX with surrogate pairs), and a
+// recursive-descent parser returning Result<JsonValue>.
+#ifndef GAMMA_COMMON_JSON_H_
+#define GAMMA_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gammadb {
+
+class JsonValue;
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included): ", \ and control characters; non-ASCII bytes pass through
+/// (documents are UTF-8).
+std::string JsonEscape(std::string_view s);
+
+/// A JSON document node. Objects preserve insertion order so that a
+/// serialized document is stable across runs (required for clean
+/// baseline diffs).
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : rep_(nullptr) {}
+  JsonValue(std::nullptr_t) : rep_(nullptr) {}      // NOLINT
+  JsonValue(bool b) : rep_(b) {}                    // NOLINT
+  JsonValue(int v) : rep_(static_cast<int64_t>(v))  // NOLINT
+  {}
+  JsonValue(int64_t v) : rep_(v) {}                  // NOLINT
+  JsonValue(uint32_t v) : rep_(static_cast<int64_t>(v))  // NOLINT
+  {}
+  JsonValue(size_t v) : rep_(static_cast<int64_t>(v))    // NOLINT
+  {}
+  JsonValue(double v) : rep_(v) {}                   // NOLINT
+  JsonValue(const char* s) : rep_(std::string(s)) {} // NOLINT
+  JsonValue(std::string s) : rep_(std::move(s)) {}   // NOLINT
+  JsonValue(Array a) : rep_(std::move(a)) {}         // NOLINT
+  JsonValue(Object o) : rep_(std::move(o)) {}        // NOLINT
+
+  static JsonValue MakeObject() { return JsonValue(Object{}); }
+  static JsonValue MakeArray() { return JsonValue(Array{}); }
+
+  Type type() const { return static_cast<Type>(rep_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  /// Any JSON number (integer- or double-typed).
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  /// Accessors require the matching type (checked via std::get).
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  /// Numeric value as double, whichever of the two number types holds.
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(std::get<int64_t>(rep_))
+                    : std::get<double>(rep_);
+  }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+  const Array& AsArray() const { return std::get<Array>(rep_); }
+  Array& AsArray() { return std::get<Array>(rep_); }
+  const Object& AsObject() const { return std::get<Object>(rep_); }
+  Object& AsObject() { return std::get<Object>(rep_); }
+
+  /// Object lookup; nullptr when absent (or when not an object).
+  const JsonValue* Find(std::string_view key) const;
+  JsonValue* Find(std::string_view key);
+
+  /// Object: appends, or replaces an existing key in place.
+  void Set(std::string key, JsonValue value);
+  /// Array: appends.
+  void Append(JsonValue value);
+
+  /// Serializes. indent < 0: compact single line; indent >= 0: pretty,
+  /// that many spaces per level, trailing newline at top level only.
+  std::string Dump(int indent = -1) const;
+
+  bool operator==(const JsonValue& other) const { return rep_ == other.rep_; }
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, Array,
+               Object>
+      rep_;
+};
+
+/// Parses one JSON document (surrounding whitespace allowed; trailing
+/// garbage is an error). Numbers without '.', 'e' or 'E' that fit in
+/// int64 parse as integers, everything else as doubles.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Reads and parses a JSON file.
+Result<JsonValue> ReadJsonFile(const std::string& path);
+
+/// Writes `value.Dump(2)` to `path`.
+Status WriteJsonFile(const std::string& path, const JsonValue& value);
+
+}  // namespace gammadb
+
+#endif  // GAMMA_COMMON_JSON_H_

@@ -1,5 +1,7 @@
 #include "sim/executor.h"
 
+#include <utility>
+
 #include "common/logging.h"
 
 namespace gammadb::sim {
@@ -27,7 +29,15 @@ Executor::~Executor() {
 
 void Executor::Run(std::vector<std::function<void()>> tasks) {
   if (num_threads_ == 1) {
-    for (auto& task : tasks) task();
+    std::exception_ptr first_error;
+    for (auto& task : tasks) {
+      try {
+        task();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
     return;
   }
   {
@@ -38,8 +48,13 @@ void Executor::Run(std::vector<std::function<void()>> tasks) {
     }
   }
   work_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  std::exception_ptr first_error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+    first_error = std::exchange(first_error_, nullptr);
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 void Executor::WorkerLoop() {
@@ -55,9 +70,18 @@ void Executor::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // A throwing task must still count as finished: swallowing the
+    // exception into first_error_ and decrementing outstanding_ on every
+    // exit path keeps Run()'s done_cv_ wait from deadlocking.
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (error && !first_error_) first_error_ = std::move(error);
       --outstanding_;
       if (outstanding_ == 0) done_cv_.notify_all();
     }

@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -27,7 +28,10 @@ class Executor {
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
-  /// Runs all tasks and blocks until every one has finished.
+  /// Runs all tasks and blocks until every one has finished. If any
+  /// task throws, every remaining task still runs (a phase barrier must
+  /// drain) and the first exception is rethrown to the caller once the
+  /// batch completes; the executor stays usable afterwards.
   void Run(std::vector<std::function<void()>> tasks);
 
   int num_threads() const { return num_threads_; }
@@ -44,6 +48,7 @@ class Executor {
   std::deque<std::function<void()>> queue_;
   int outstanding_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr first_error_;  // first exception of the current batch
 };
 
 }  // namespace gammadb::sim

@@ -1,0 +1,63 @@
+#include "sim/metrics_json.h"
+
+namespace gammadb::sim {
+
+JsonValue CountersToJson(const Counters& counters) {
+  // Serialization must stay in sync with the Counters struct: adding a
+  // field without emitting it would silently drop it from every
+  // baseline. The size check below fails the build until this function
+  // (and the schema test) are updated.
+  static_assert(sizeof(Counters) == 14 * sizeof(int64_t),
+                "Counters changed: update CountersToJson, "
+                "metrics_json_test.cc and docs/benchmarking.md");
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("pages_read", counters.pages_read);
+  out.Set("pages_written", counters.pages_written);
+  out.Set("tuples_sent_local", counters.tuples_sent_local);
+  out.Set("tuples_sent_remote", counters.tuples_sent_remote);
+  out.Set("bytes_local", counters.bytes_local);
+  out.Set("bytes_remote", counters.bytes_remote);
+  out.Set("packets_local", counters.packets_local);
+  out.Set("packets_remote", counters.packets_remote);
+  out.Set("control_messages", counters.control_messages);
+  out.Set("ht_inserts", counters.ht_inserts);
+  out.Set("ht_probes", counters.ht_probes);
+  out.Set("ht_overflows", counters.ht_overflows);
+  out.Set("filter_drops", counters.filter_drops);
+  out.Set("result_tuples", counters.result_tuples);
+  out.Set("short_circuit_fraction", counters.ShortCircuitFraction());
+  return out;
+}
+
+JsonValue PhaseRecordToJson(const PhaseRecord& phase) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("label", phase.label);
+  out.Set("sched_seconds", phase.sched_seconds);
+  out.Set("ring_seconds", phase.ring_seconds);
+  out.Set("elapsed_seconds", phase.elapsed_seconds);
+  JsonValue nodes = JsonValue::MakeArray();
+  for (const NodeUsage& usage : phase.usage) {
+    JsonValue node = JsonValue::MakeObject();
+    node.Set("cpu_seconds", usage.cpu_seconds);
+    node.Set("disk_seconds", usage.disk_seconds);
+    nodes.Append(std::move(node));
+  }
+  out.Set("nodes", std::move(nodes));
+  return out;
+}
+
+JsonValue RunMetricsToJson(const RunMetrics& metrics) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("response_seconds", metrics.response_seconds);
+  out.Set("total_cpu_seconds", metrics.TotalCpuSeconds());
+  out.Set("total_disk_seconds", metrics.TotalDiskSeconds());
+  out.Set("counters", CountersToJson(metrics.counters));
+  JsonValue phases = JsonValue::MakeArray();
+  for (const PhaseRecord& phase : metrics.phases) {
+    phases.Append(PhaseRecordToJson(phase));
+  }
+  out.Set("phases", std::move(phases));
+  return out;
+}
+
+}  // namespace gammadb::sim

@@ -1,0 +1,163 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <string>
+
+namespace gammadb {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("hello world"), "hello world");
+  EXPECT_EQ(JsonEscape(""), "");
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  EXPECT_EQ(JsonEscape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+}
+
+TEST(JsonValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_TRUE(JsonValue(true).AsBool());
+  EXPECT_EQ(JsonValue(42).AsInt(), 42);
+  EXPECT_TRUE(JsonValue(42).is_number());
+  EXPECT_DOUBLE_EQ(JsonValue(42).AsDouble(), 42.0);
+  EXPECT_DOUBLE_EQ(JsonValue(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(JsonValue("s").AsString(), "s");
+}
+
+TEST(JsonValueTest, ObjectPreservesInsertionOrderAndReplaces) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("z", 1);
+  obj.Set("a", 2);
+  obj.Set("z", 3);  // replace in place, order unchanged
+  EXPECT_EQ(obj.Dump(), "{\"z\":3,\"a\":2}");
+  ASSERT_NE(obj.Find("a"), nullptr);
+  EXPECT_EQ(obj.Find("a")->AsInt(), 2);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, DumpCompactAndPretty) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("a", JsonValue::Array{1, 2});
+  EXPECT_EQ(obj.Dump(), "{\"a\":[1,2]}");
+  EXPECT_EQ(obj.Dump(2), "{\n  \"a\": [\n    1,\n    2\n  ]\n}\n");
+}
+
+TEST(JsonValueTest, DoublesNeverDumpAsIntegers) {
+  EXPECT_EQ(JsonValue(1.0).Dump(), "1.0");
+  EXPECT_EQ(JsonValue(0.5).Dump(), "0.5");
+  EXPECT_EQ(JsonValue(static_cast<int64_t>(1)).Dump(), "1");
+}
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->AsBool());
+  EXPECT_FALSE(ParseJson("false")->AsBool());
+  EXPECT_EQ(ParseJson("-17")->AsInt(), -17);
+  EXPECT_TRUE(ParseJson("-17")->is_int());
+  EXPECT_DOUBLE_EQ(ParseJson("2.5e3")->AsDouble(), 2500.0);
+  EXPECT_TRUE(ParseJson("2.5e3")->is_double());
+  EXPECT_EQ(ParseJson("\"hi\"")->AsString(), "hi");
+}
+
+TEST(JsonParseTest, IntegerOverflowFallsBackToDouble) {
+  auto v = ParseJson("123456789012345678901234567890");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_double());
+}
+
+TEST(JsonParseTest, ParsesNestedStructures) {
+  auto v = ParseJson(R"({"a": [1, {"b": null}], "c": "d"})");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v->is_object());
+  const JsonValue* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->AsArray()[0].AsInt(), 1);
+  EXPECT_TRUE(a->AsArray()[1].Find("b")->is_null());
+  EXPECT_EQ(v->Find("c")->AsString(), "d");
+}
+
+TEST(JsonParseTest, DecodesEscapes) {
+  auto v = ParseJson(R"("a\"\\\/\b\f\n\r\tb")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "a\"\\/\b\f\n\r\tb");
+}
+
+TEST(JsonParseTest, DecodesUnicodeEscapes) {
+  EXPECT_EQ(ParseJson(R"("\u0041")")->AsString(), "A");
+  EXPECT_EQ(ParseJson(R"("\u00e9")")->AsString(), "\xc3\xa9");      // é
+  EXPECT_EQ(ParseJson(R"("\u20ac")")->AsString(), "\xe2\x82\xac");  // €
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(ParseJson(R"("\ud83d\ude00")")->AsString(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("\"\\q\"").ok());
+  EXPECT_FALSE(ParseJson("\"\\ud83d\"").ok());  // unpaired surrogate
+  EXPECT_FALSE(ParseJson(std::string("\"\x01\"", 3)).ok());
+}
+
+TEST(JsonRoundTripTest, DumpThenParseIsIdentity) {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("name", "bench \"x\" \n tab\t");
+  doc.Set("count", static_cast<int64_t>(1) << 60);
+  doc.Set("ratio", 1.0 / 3.0);
+  doc.Set("flag", false);
+  doc.Set("nothing", nullptr);
+  JsonValue runs = JsonValue::MakeArray();
+  for (int i = 0; i < 3; ++i) {
+    JsonValue run = JsonValue::MakeObject();
+    run.Set("response_seconds", 0.1 * i);
+    run.Set("pages", i);
+    runs.Append(std::move(run));
+  }
+  doc.Set("runs", std::move(runs));
+
+  for (int indent : {-1, 0, 2, 4}) {
+    auto reparsed = ParseJson(doc.Dump(indent));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+    EXPECT_TRUE(*reparsed == doc) << "indent=" << indent;
+  }
+}
+
+TEST(JsonRoundTripTest, DoubleValuesRoundTripExactly) {
+  for (double value : {0.1, 1e-300, 1e300, -2.2250738585072014e-308,
+                       std::numeric_limits<double>::max(), 3.141592653589793}) {
+    auto reparsed = ParseJson(JsonValue(value).Dump());
+    ASSERT_TRUE(reparsed.ok());
+    EXPECT_EQ(reparsed->AsDouble(), value);
+  }
+}
+
+TEST(JsonFileTest, WriteThenReadRoundTrips) {
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("hello", "world");
+  const std::string path = testing::TempDir() + "/json_test_roundtrip.json";
+  ASSERT_TRUE(WriteJsonFile(path, doc).ok());
+  auto read = ReadJsonFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(*read == doc);
+  std::remove(path.c_str());
+}
+
+TEST(JsonFileTest, ReadMissingFileFails) {
+  EXPECT_FALSE(ReadJsonFile("/nonexistent/dir/nope.json").ok());
+}
+
+}  // namespace
+}  // namespace gammadb

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 namespace gammadb::sim {
 namespace {
@@ -56,6 +57,44 @@ TEST(ExecutorTest, EmptyBatchIsANoOp) {
   Executor serial(1), pooled(2);
   serial.Run({});
   pooled.Run({});
+}
+
+// A throwing task must not deadlock the completion wait: every task
+// still counts as finished, the first exception is rethrown, and the
+// executor remains usable for the next batch.
+TEST(ExecutorTest, ThrowingTaskDoesNotDeadlockPool) {
+  Executor executor(4);
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 32; ++i) {
+    tasks.push_back([&ran, i]() {
+      ran.fetch_add(1);
+      if (i % 2 == 0) throw std::runtime_error("task failed");
+    });
+  }
+  EXPECT_THROW(executor.Run(std::move(tasks)), std::runtime_error);
+  EXPECT_EQ(ran.load(), 32);  // the barrier drained the whole batch
+
+  // The executor is not poisoned: a clean follow-up batch succeeds.
+  std::atomic<int> follow_up{0};
+  std::vector<std::function<void()>> next;
+  for (int i = 0; i < 8; ++i) next.push_back([&follow_up] { ++follow_up; });
+  executor.Run(std::move(next));
+  EXPECT_EQ(follow_up.load(), 8);
+}
+
+TEST(ExecutorTest, ThrowingTaskPropagatesFromSerialExecutor) {
+  Executor executor(1);
+  int ran = 0;
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&ran] { ++ran; });
+  tasks.push_back([]() { throw std::runtime_error("boom"); });
+  tasks.push_back([&ran] { ++ran; });
+  EXPECT_THROW(executor.Run(std::move(tasks)), std::runtime_error);
+  EXPECT_EQ(ran, 2);  // remaining tasks still ran (barrier semantics)
+
+  executor.Run({[&ran] { ++ran; }});
+  EXPECT_EQ(ran, 3);
 }
 
 }  // namespace

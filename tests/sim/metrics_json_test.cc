@@ -1,0 +1,118 @@
+#include "sim/metrics_json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace gammadb::sim {
+namespace {
+
+Counters FilledCounters() {
+  Counters c;
+  c.pages_read = 1;
+  c.pages_written = 2;
+  c.tuples_sent_local = 3;
+  c.tuples_sent_remote = 4;
+  c.bytes_local = 5;
+  c.bytes_remote = 6;
+  c.packets_local = 7;
+  c.packets_remote = 8;
+  c.control_messages = 9;
+  c.ht_inserts = 10;
+  c.ht_probes = 11;
+  c.ht_overflows = 12;
+  c.filter_drops = 13;
+  c.result_tuples = 14;
+  return c;
+}
+
+TEST(CountersToJsonTest, EveryCountersFieldIsPresent) {
+  // The serialized schema every baseline and bench_diff run depends on:
+  // one key per Counters field plus the derived short-circuit fraction.
+  const std::vector<std::pair<std::string, int64_t>> expected = {
+      {"pages_read", 1},      {"pages_written", 2},
+      {"tuples_sent_local", 3}, {"tuples_sent_remote", 4},
+      {"bytes_local", 5},     {"bytes_remote", 6},
+      {"packets_local", 7},   {"packets_remote", 8},
+      {"control_messages", 9}, {"ht_inserts", 10},
+      {"ht_probes", 11},      {"ht_overflows", 12},
+      {"filter_drops", 13},   {"result_tuples", 14},
+  };
+  const JsonValue json = CountersToJson(FilledCounters());
+  ASSERT_TRUE(json.is_object());
+  for (const auto& [key, value] : expected) {
+    const JsonValue* field = json.Find(key);
+    ASSERT_NE(field, nullptr) << key;
+    EXPECT_EQ(field->AsInt(), value) << key;
+  }
+  const JsonValue* fraction = json.Find("short_circuit_fraction");
+  ASSERT_NE(fraction, nullptr);
+  EXPECT_DOUBLE_EQ(fraction->AsDouble(), 3.0 / 7.0);
+  // Nothing beyond the declared schema.
+  EXPECT_EQ(json.AsObject().size(), expected.size() + 1);
+}
+
+TEST(PhaseRecordToJsonTest, SerializesPerNodeUsage) {
+  PhaseRecord phase;
+  phase.label = "partition R / build";
+  phase.sched_seconds = 0.25;
+  phase.ring_seconds = 0.5;
+  phase.elapsed_seconds = 2.0;
+  phase.usage.push_back(NodeUsage{1.0, 2.0});
+  phase.usage.push_back(NodeUsage{0.5, 0.0});
+
+  const JsonValue json = PhaseRecordToJson(phase);
+  EXPECT_EQ(json.Find("label")->AsString(), "partition R / build");
+  EXPECT_DOUBLE_EQ(json.Find("sched_seconds")->AsDouble(), 0.25);
+  EXPECT_DOUBLE_EQ(json.Find("ring_seconds")->AsDouble(), 0.5);
+  EXPECT_DOUBLE_EQ(json.Find("elapsed_seconds")->AsDouble(), 2.0);
+  const JsonValue* nodes = json.Find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  ASSERT_EQ(nodes->AsArray().size(), 2u);
+  EXPECT_DOUBLE_EQ(nodes->AsArray()[0].Find("cpu_seconds")->AsDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(nodes->AsArray()[0].Find("disk_seconds")->AsDouble(), 2.0);
+  EXPECT_DOUBLE_EQ(nodes->AsArray()[1].Find("cpu_seconds")->AsDouble(), 0.5);
+}
+
+TEST(RunMetricsToJsonTest, SerializesResponsePhasesAndAggregates) {
+  RunMetrics metrics;
+  metrics.response_seconds = 12.5;
+  metrics.counters = FilledCounters();
+  PhaseRecord phase1;
+  phase1.label = "phase1";
+  phase1.usage.push_back(NodeUsage{1.0, 4.0});
+  PhaseRecord phase2;
+  phase2.label = "phase2";
+  phase2.usage.push_back(NodeUsage{2.0, 0.5});
+  metrics.phases = {phase1, phase2};
+
+  const JsonValue json = RunMetricsToJson(metrics);
+  EXPECT_DOUBLE_EQ(json.Find("response_seconds")->AsDouble(), 12.5);
+  EXPECT_DOUBLE_EQ(json.Find("total_cpu_seconds")->AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(json.Find("total_disk_seconds")->AsDouble(), 4.5);
+  ASSERT_NE(json.Find("counters"), nullptr);
+  EXPECT_EQ(json.Find("counters")->Find("result_tuples")->AsInt(), 14);
+  const JsonValue* phases = json.Find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_EQ(phases->AsArray().size(), 2u);
+  EXPECT_EQ(phases->AsArray()[1].Find("label")->AsString(), "phase2");
+}
+
+TEST(RunMetricsToJsonTest, DocumentParsesBackIdentically) {
+  RunMetrics metrics;
+  metrics.response_seconds = 1.0 / 3.0;
+  metrics.counters.pages_read = 123456789;
+  PhaseRecord phase;
+  phase.label = "join bucket 3";
+  phase.usage.push_back(NodeUsage{0.1, 0.2});
+  metrics.phases.push_back(phase);
+
+  const JsonValue json = RunMetricsToJson(metrics);
+  auto reparsed = ParseJson(json.Dump(2));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_TRUE(*reparsed == json);
+}
+
+}  // namespace
+}  // namespace gammadb::sim

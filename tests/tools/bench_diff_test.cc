@@ -1,0 +1,156 @@
+#include "bench_diff_lib.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gammadb::tools {
+namespace {
+
+JsonValue Doc(const std::string& text) {
+  auto parsed = ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+  return *parsed;
+}
+
+constexpr const char* kBaseline = R"({
+  "schema_version": 1,
+  "benchmark": "fig05",
+  "runs": [
+    {"algorithm": "Hybrid", "response_seconds": 10.0,
+     "metrics": {"counters": {"pages_read": 100}}},
+    {"algorithm": "Grace", "response_seconds": 20.0,
+     "metrics": {"counters": {"pages_read": 200}}}
+  ]
+})";
+
+TEST(BenchDiffTest, IdenticalDocumentsPass) {
+  const DiffReport report =
+      DiffBenchJson(Doc(kBaseline), Doc(kBaseline), DiffOptions{});
+  EXPECT_TRUE(report.Passed());
+  EXPECT_EQ(report.regressions(), 0);
+  EXPECT_EQ(report.missing(), 0);
+  EXPECT_GT(report.compared_metrics, 0);
+}
+
+TEST(BenchDiffTest, ResponseTimeWithinTolerancePasses) {
+  JsonValue candidate = Doc(kBaseline);
+  candidate.Find("runs")->AsArray()[0].Set("response_seconds", 10.4);
+  DiffOptions options;
+  options.seconds_tolerance = 0.05;
+  const DiffReport report =
+      DiffBenchJson(Doc(kBaseline), candidate, options);
+  EXPECT_TRUE(report.Passed());
+}
+
+TEST(BenchDiffTest, ResponseTimeRegressionBeyondToleranceFails) {
+  JsonValue candidate = Doc(kBaseline);
+  candidate.Find("runs")->AsArray()[0].Set("response_seconds", 11.0);
+  DiffOptions options;
+  options.seconds_tolerance = 0.05;
+  const DiffReport report =
+      DiffBenchJson(Doc(kBaseline), candidate, options);
+  EXPECT_FALSE(report.Passed());
+  EXPECT_EQ(report.regressions(), 1);
+  ASSERT_FALSE(report.entries.empty());
+  EXPECT_EQ(report.entries[0].path, "runs[0].response_seconds");
+}
+
+TEST(BenchDiffTest, ToleranceIsConfigurable) {
+  JsonValue candidate = Doc(kBaseline);
+  candidate.Find("runs")->AsArray()[0].Set("response_seconds", 11.0);
+  DiffOptions options;
+  options.seconds_tolerance = 0.25;  // +10% now within tolerance
+  EXPECT_TRUE(DiffBenchJson(Doc(kBaseline), candidate, options).Passed());
+}
+
+TEST(BenchDiffTest, ImprovementPasses) {
+  JsonValue candidate = Doc(kBaseline);
+  candidate.Find("runs")->AsArray()[0].Set("response_seconds", 5.0);
+  const DiffReport report =
+      DiffBenchJson(Doc(kBaseline), candidate, DiffOptions{});
+  EXPECT_TRUE(report.Passed());
+  EXPECT_EQ(report.CountOf(DiffKind::kImprovement), 1);
+}
+
+TEST(BenchDiffTest, MissingMetricFails) {
+  JsonValue candidate = Doc(kBaseline);
+  // Drop the counters object from the second run.
+  JsonValue& run = candidate.Find("runs")->AsArray()[1];
+  run.Find("metrics")->AsObject().clear();
+  const DiffReport report =
+      DiffBenchJson(Doc(kBaseline), candidate, DiffOptions{});
+  EXPECT_FALSE(report.Passed());
+  EXPECT_EQ(report.missing(), 1);
+  EXPECT_EQ(report.entries[0].path, "runs[1].metrics.counters");
+}
+
+TEST(BenchDiffTest, ExtraCandidateMetricsAreIgnored) {
+  JsonValue candidate = Doc(kBaseline);
+  candidate.Set("new_top_level_metric", 7);
+  candidate.Find("runs")->AsArray()[0].Set("new_per_run_metric", 1.5);
+  EXPECT_TRUE(
+      DiffBenchJson(Doc(kBaseline), candidate, DiffOptions{}).Passed());
+}
+
+TEST(BenchDiffTest, StrictCounterDriftFails) {
+  JsonValue candidate = Doc(kBaseline);
+  candidate.Find("runs")
+      ->AsArray()[0]
+      .Find("metrics")
+      ->Find("counters")
+      ->Set("pages_read", 101);
+  DiffOptions strict;
+  strict.strict_counters = true;
+  EXPECT_FALSE(DiffBenchJson(Doc(kBaseline), candidate, strict).Passed());
+  DiffOptions lenient;
+  lenient.strict_counters = false;
+  EXPECT_TRUE(DiffBenchJson(Doc(kBaseline), candidate, lenient).Passed());
+}
+
+TEST(BenchDiffTest, ConfigIdentityMismatchFails) {
+  JsonValue candidate = Doc(kBaseline);
+  candidate.Set("benchmark", "fig06");
+  EXPECT_FALSE(
+      DiffBenchJson(Doc(kBaseline), candidate, DiffOptions{}).Passed());
+}
+
+TEST(BenchDiffTest, ArrayLengthChangeFails) {
+  JsonValue candidate = Doc(kBaseline);
+  candidate.Find("runs")->AsArray().pop_back();
+  EXPECT_FALSE(
+      DiffBenchJson(Doc(kBaseline), candidate, DiffOptions{}).Passed());
+}
+
+TEST(BenchDiffTest, ZeroBaselineDoesNotDivideByZero) {
+  JsonValue baseline = Doc(R"({"idle_seconds": 0.0})");
+  JsonValue candidate = Doc(R"({"idle_seconds": 1.0})");
+  const DiffReport report =
+      DiffBenchJson(baseline, candidate, DiffOptions{});
+  EXPECT_FALSE(report.Passed());  // 0 -> 1s is a huge relative regression
+}
+
+TEST(BenchDiffTest, NestedFigureSecondsAreTimeMetrics) {
+  JsonValue baseline =
+      Doc(R"({"figures": [{"series_seconds": [[10.0, 20.0]]}]})");
+  JsonValue within =
+      Doc(R"({"figures": [{"series_seconds": [[10.2, 20.0]]}]})");
+  JsonValue beyond =
+      Doc(R"({"figures": [{"series_seconds": [[15.0, 20.0]]}]})");
+  EXPECT_TRUE(DiffBenchJson(baseline, within, DiffOptions{}).Passed());
+  EXPECT_FALSE(DiffBenchJson(baseline, beyond, DiffOptions{}).Passed());
+}
+
+TEST(BenchDiffTest, FormatReportSummarizes) {
+  JsonValue candidate = Doc(kBaseline);
+  candidate.Find("runs")->AsArray()[0].Set("response_seconds", 11.0);
+  const DiffReport report =
+      DiffBenchJson(Doc(kBaseline), candidate, DiffOptions{});
+  const std::string text = FormatReport(report);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  EXPECT_NE(text.find("runs[0].response_seconds"), std::string::npos);
+  EXPECT_NE(text.find("1 regressions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gammadb::tools

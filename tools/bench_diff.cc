@@ -1,0 +1,78 @@
+// bench_diff: CI regression gate over benchmark JSON documents.
+//
+//   bench_diff [--tolerance <rel>] [--lenient-counters]
+//              <baseline.json> <candidate.json>
+//
+// Compares every metric of the baseline against the candidate (schema:
+// docs/benchmarking.md). Exit status: 0 when the candidate passes, 1 on
+// regression or missing metric, 2 on usage/parse errors. Identical
+// documents always pass; time metrics (keys ending in "seconds") pass
+// within the relative tolerance; all other numeric metrics are
+// deterministic simulator counters and must match exactly unless
+// --lenient-counters is given.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_diff_lib.h"
+#include "common/json.h"
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0, const char* error) {
+  std::fprintf(stderr,
+               "%s\nusage: %s [--tolerance <rel>] [--lenient-counters] "
+               "<baseline.json> <candidate.json>\n",
+               error, argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gammadb::tools::DiffOptions options;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--tolerance") == 0) {
+      if (i + 1 >= argc) Usage(argv[0], "--tolerance requires a value");
+      options.seconds_tolerance = std::atof(argv[++i]);
+    } else if (std::strncmp(arg, "--tolerance=", 12) == 0) {
+      options.seconds_tolerance = std::atof(arg + 12);
+    } else if (std::strcmp(arg, "--lenient-counters") == 0) {
+      options.strict_counters = false;
+    } else if (arg[0] == '-') {
+      Usage(argv[0], "unknown flag");
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) {
+    Usage(argv[0], "expected exactly two JSON files");
+  }
+
+  auto baseline = gammadb::ReadJsonFile(files[0]);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "baseline: %s\n", baseline.status().ToString().c_str());
+    return 2;
+  }
+  auto candidate = gammadb::ReadJsonFile(files[1]);
+  if (!candidate.ok()) {
+    std::fprintf(stderr, "candidate: %s\n",
+                 candidate.status().ToString().c_str());
+    return 2;
+  }
+
+  const gammadb::tools::DiffReport report =
+      gammadb::tools::DiffBenchJson(*baseline, *candidate, options);
+  std::fputs(gammadb::tools::FormatReport(report).c_str(), stdout);
+  if (!report.Passed()) {
+    std::printf("FAIL: %s regressed against %s\n", files[1].c_str(),
+                files[0].c_str());
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

@@ -1,0 +1,167 @@
+#include "bench_diff_lib.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace gammadb::tools {
+
+namespace {
+
+bool IsTimeMetric(const std::string& key) {
+  return key.size() >= 7 && key.compare(key.size() - 7, 7, "seconds") == 0;
+}
+
+std::string DescribeValue(const JsonValue& v) {
+  return v.Dump();
+}
+
+class Differ {
+ public:
+  Differ(const DiffOptions& options, DiffReport& report)
+      : options_(options), report_(report) {}
+
+  void Walk(const std::string& path, const JsonValue& base,
+            const JsonValue& cand) {
+    if (base.is_object()) {
+      if (!cand.is_object()) {
+        Add(DiffKind::kRegression, path,
+            "type mismatch: baseline is an object, candidate is not");
+        return;
+      }
+      for (const auto& [key, value] : base.AsObject()) {
+        const std::string child =
+            path.empty() ? key : path + "." + key;
+        if (const JsonValue* other = cand.Find(key)) {
+          Walk(child, value, *other);
+        } else {
+          Add(DiffKind::kMissing, child, "metric missing from candidate");
+        }
+      }
+      return;
+    }
+    if (base.is_array()) {
+      if (!cand.is_array()) {
+        Add(DiffKind::kRegression, path,
+            "type mismatch: baseline is an array, candidate is not");
+        return;
+      }
+      const auto& base_items = base.AsArray();
+      const auto& cand_items = cand.AsArray();
+      if (base_items.size() != cand_items.size()) {
+        Add(DiffKind::kRegression, path,
+            StrFormat("array length %zu -> %zu", base_items.size(),
+                      cand_items.size()));
+      }
+      const size_t n = std::min(base_items.size(), cand_items.size());
+      for (size_t i = 0; i < n; ++i) {
+        Walk(StrFormat("%s[%zu]", path.c_str(), i), base_items[i],
+             cand_items[i]);
+      }
+      return;
+    }
+    if (base.is_number()) {
+      if (!cand.is_number()) {
+        Add(DiffKind::kRegression, path,
+            "type mismatch: baseline is a number, candidate is not");
+        return;
+      }
+      CompareNumbers(path, base.AsDouble(), cand.AsDouble());
+      return;
+    }
+    // Scalars: null / bool / string — configuration identity. Any
+    // difference means the two documents are not comparable runs.
+    ++report_.compared_metrics;
+    if (!(base == cand)) {
+      Add(DiffKind::kRegression, path,
+          StrFormat("value mismatch: %s -> %s", DescribeValue(base).c_str(),
+                    DescribeValue(cand).c_str()));
+    }
+  }
+
+ private:
+  void CompareNumbers(const std::string& path, double base, double cand) {
+    ++report_.compared_metrics;
+    if (base == cand) return;
+    // Leaf key: the last dotted component, with array indices stripped,
+    // so every element of e.g. "series_seconds[1][3]" counts as a time
+    // metric.
+    std::string leaf = path.substr(path.rfind('.') + 1);
+    if (const size_t bracket = leaf.find('['); bracket != std::string::npos) {
+      leaf.resize(bracket);
+    }
+    const double denom = std::max(std::abs(base), 1e-12);
+    const double rel = (cand - base) / denom;
+    const std::string delta =
+        StrFormat("%.6g -> %.6g (%+.2f%%)", base, cand, 100.0 * rel);
+    if (IsTimeMetric(leaf)) {
+      if (rel > options_.seconds_tolerance) {
+        Add(DiffKind::kRegression, path,
+            StrFormat("%s exceeds +%.1f%% tolerance", delta.c_str(),
+                      100.0 * options_.seconds_tolerance));
+      } else if (rel < -options_.seconds_tolerance) {
+        Add(DiffKind::kImprovement, path, delta);
+      } else {
+        Add(DiffKind::kInfo, path, delta + " within tolerance");
+      }
+      return;
+    }
+    Add(options_.strict_counters ? DiffKind::kRegression : DiffKind::kInfo,
+        path, delta);
+  }
+
+  void Add(DiffKind kind, const std::string& path, std::string message) {
+    report_.entries.push_back(DiffEntry{kind, path, std::move(message)});
+  }
+
+  const DiffOptions& options_;
+  DiffReport& report_;
+};
+
+const char* KindLabel(DiffKind kind) {
+  switch (kind) {
+    case DiffKind::kRegression:
+      return "REGRESSION";
+    case DiffKind::kImprovement:
+      return "improvement";
+    case DiffKind::kInfo:
+      return "info";
+    case DiffKind::kMissing:
+      return "MISSING";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int DiffReport::CountOf(DiffKind kind) const {
+  int count = 0;
+  for (const auto& entry : entries) {
+    if (entry.kind == kind) ++count;
+  }
+  return count;
+}
+
+DiffReport DiffBenchJson(const JsonValue& baseline, const JsonValue& candidate,
+                         const DiffOptions& options) {
+  DiffReport report;
+  Differ(options, report).Walk("", baseline, candidate);
+  return report;
+}
+
+std::string FormatReport(const DiffReport& report) {
+  std::string out;
+  for (const auto& entry : report.entries) {
+    if (entry.kind == DiffKind::kInfo) continue;  // keep the console quiet
+    out += StrFormat("%-12s %s: %s\n", KindLabel(entry.kind),
+                     entry.path.c_str(), entry.message.c_str());
+  }
+  out += StrFormat(
+      "%d metrics compared: %d regressions, %d missing, %d improvements\n",
+      report.compared_metrics, report.regressions(), report.missing(),
+      report.CountOf(DiffKind::kImprovement));
+  return out;
+}
+
+}  // namespace gammadb::tools

@@ -1,0 +1,63 @@
+// Comparison engine behind tools/bench_diff: walks a baseline and a
+// candidate benchmark JSON document (the schema emitted by
+// bench/common/harness via --json, see docs/benchmarking.md) and
+// classifies every leaf-level difference. Split from the binary so the
+// pass/regress/missing-metric logic is unit-testable.
+#ifndef GAMMA_TOOLS_BENCH_DIFF_LIB_H_
+#define GAMMA_TOOLS_BENCH_DIFF_LIB_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace gammadb::tools {
+
+struct DiffOptions {
+  /// Relative tolerance for time metrics (keys ending in "seconds"): a
+  /// candidate value above baseline * (1 + tolerance) is a regression.
+  double seconds_tolerance = 0.05;
+  /// When true, any difference in a non-time numeric metric (operation
+  /// counters, bucket counts, ...) is a regression; when false such
+  /// differences are reported informationally only. Counters are
+  /// deterministic in the simulator, so CI runs with strict mode on.
+  bool strict_counters = true;
+};
+
+enum class DiffKind {
+  kRegression,   // time metric above tolerance, or strict counter drift
+  kImprovement,  // time metric below baseline by more than tolerance
+  kInfo,         // non-gated difference
+  kMissing,      // metric present in baseline, absent in candidate
+};
+
+struct DiffEntry {
+  DiffKind kind;
+  std::string path;     // e.g. "runs[3].metrics.response_seconds"
+  std::string message;  // human-readable delta description
+};
+
+struct DiffReport {
+  std::vector<DiffEntry> entries;
+  int compared_metrics = 0;
+
+  int CountOf(DiffKind kind) const;
+  int regressions() const { return CountOf(DiffKind::kRegression); }
+  int missing() const { return CountOf(DiffKind::kMissing); }
+  /// The CI gate: regressions or missing metrics fail the build.
+  bool Passed() const { return regressions() == 0 && missing() == 0; }
+};
+
+/// Compares every metric of `baseline` against `candidate`. Metrics
+/// present only in the candidate are ignored (schema growth is backward
+/// compatible); metrics present only in the baseline are kMissing.
+DiffReport DiffBenchJson(const JsonValue& baseline, const JsonValue& candidate,
+                         const DiffOptions& options);
+
+/// Formats the report for the console: one line per entry plus a
+/// summary line.
+std::string FormatReport(const DiffReport& report);
+
+}  // namespace gammadb::tools
+
+#endif  // GAMMA_TOOLS_BENCH_DIFF_LIB_H_
