@@ -1,9 +1,11 @@
 #include "common/harness.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <optional>
+#include <thread>
 
 #include "common/logging.h"
 #include "common/strings.h"
@@ -13,12 +15,21 @@ namespace gammadb::bench {
 
 namespace {
 
+/// Threads per simulated machine when no override is given: one per
+/// hardware thread, clamped to the paper's largest node count.
+int DefaultBenchThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) return 1;
+  return static_cast<int>(hw > 16 ? 16 : hw);
+}
+
 /// Process-wide benchmark state set up by InitBench().
 struct BenchState {
   std::string benchmark_name;
   std::string json_path;                  // "" = JSON output disabled
   std::optional<uint32_t> outer_override;
   std::optional<uint32_t> inner_override;
+  int threads = DefaultBenchThreads();
   JsonValue doc = JsonValue::MakeObject();
 };
 
@@ -45,7 +56,7 @@ void WriteBenchJson() {
 [[noreturn]] void Usage(const char* argv0, const std::string& error) {
   std::fprintf(stderr,
                "%s\nusage: %s [--json <path>] [--smoke] [--outer <n>] "
-               "[--inner <n>]\n",
+               "[--inner <n>] [--threads <n>]\n",
                error.c_str(), argv0);
   std::exit(2);
 }
@@ -74,7 +85,11 @@ JsonValue JoinStatsToJson(const join::JoinStats& stats) {
 
 /// Appends one executed join to the document's "runs" array: enough
 /// spec fields to identify the run plus the full metrics tree.
-void RecordJoinRun(const join::JoinSpec& spec, const join::JoinOutput& output) {
+/// `real_seconds` is the measured host wall-clock time of the join —
+/// informational only (bench_diff never gates it), it tracks how fast
+/// the simulator itself runs at the configured thread count.
+void RecordJoinRun(const join::JoinSpec& spec, const join::JoinOutput& output,
+                   double real_seconds) {
   if (!JsonEnabled()) return;
   JsonValue run = JsonValue::MakeObject();
   run.Set("algorithm", join::AlgorithmName(spec.algorithm));
@@ -87,6 +102,8 @@ void RecordJoinRun(const join::JoinSpec& spec, const join::JoinOutput& output) {
   run.Set("forming_bit_filters", spec.use_forming_bit_filters);
   run.Set("remote_join_nodes", !spec.join_nodes.empty());
   run.Set("response_seconds", output.response_seconds());
+  run.Set("real_seconds", real_seconds);
+  run.Set("threads", State().threads);
   run.Set("stats", JoinStatsToJson(output.stats));
   run.Set("metrics", sim::RunMetricsToJson(output.metrics));
   JsonValue* runs = State().doc.Find("runs");
@@ -128,6 +145,10 @@ void InitBench(int argc, char** argv, const std::string& benchmark_name) {
       env != nullptr && env[0] != '\0') {
     state.json_path = env;
   }
+  if (const char* env = std::getenv("GAMMA_BENCH_THREADS");
+      env != nullptr && env[0] != '\0') {
+    state.threads = std::atoi(env);
+  }
   const auto next_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) Usage(argv[0], StrFormat("%s requires a value", flag));
     return argv[++i];
@@ -147,14 +168,20 @@ void InitBench(int argc, char** argv, const std::string& benchmark_name) {
     } else if (std::strcmp(arg, "--inner") == 0) {
       state.inner_override =
           static_cast<uint32_t>(std::atoi(next_value(i, "--inner")));
+    } else if (std::strcmp(arg, "--threads") == 0) {
+      state.threads = std::atoi(next_value(i, "--threads"));
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      state.threads = std::atoi(arg + 10);
     } else {
       Usage(argv[0], StrFormat("unknown flag '%s'", arg));
     }
   }
+  if (state.threads < 1) Usage(argv[0], "--threads must be >= 1");
   if (JsonEnabled()) {
     state.doc.Set("schema_version", sim::kMetricsSchemaVersion);
     state.doc.Set("benchmark", benchmark_name);
     state.doc.Set("smoke", BenchScaleOverridden());
+    state.doc.Set("threads", state.threads);
     state.doc.Set("workloads", JsonValue::MakeArray());
     state.doc.Set("runs", JsonValue::MakeArray());
     state.doc.Set("figures", JsonValue::MakeArray());
@@ -166,6 +193,8 @@ bool BenchScaleOverridden() {
   return State().outer_override.has_value() ||
          State().inner_override.has_value();
 }
+
+int BenchThreads() { return State().threads; }
 
 size_t ExpectedJoinABprimeResult() {
   return State().inner_override.value_or(10000);
@@ -180,7 +209,7 @@ sim::MachineConfig LocalConfig() {
   sim::MachineConfig config;
   config.num_disk_nodes = 8;
   config.num_diskless_nodes = 0;
-  config.num_threads = 1;
+  config.num_threads = BenchThreads();
   return config;
 }
 
@@ -232,10 +261,13 @@ join::JoinOutput Workload::RunCustom(
   }
   spec.result_name = "bench_result_" + std::to_string(run_counter_++);
   if (mutate) mutate(spec);
+  const auto start = std::chrono::steady_clock::now();
   auto output = join::ExecuteJoin(*machine_, catalog_, spec);
+  const std::chrono::duration<double> real =
+      std::chrono::steady_clock::now() - start;
   GAMMA_CHECK(output.ok()) << output.status().ToString();
   GAMMA_CHECK_OK(catalog_.Drop(spec.result_name));
-  RecordJoinRun(spec, *output);
+  RecordJoinRun(spec, *output, real.count());
   return std::move(output).value();
 }
 
@@ -383,10 +415,13 @@ join::JoinOutput SkewBench::Run(join::Algorithm algorithm, JoinType type,
         join::OptimizerBucketCount((*inner)->total_bytes(), memory_bytes) + 1;
   }
   spec.result_name = "skew_result_" + std::to_string(run_counter_++);
+  const auto start = std::chrono::steady_clock::now();
   auto output = join::ExecuteJoin(*machine_, catalog_, spec);
+  const std::chrono::duration<double> real =
+      std::chrono::steady_clock::now() - start;
   GAMMA_CHECK(output.ok()) << output.status().ToString();
   GAMMA_CHECK_OK(catalog_.Drop(spec.result_name));
-  RecordJoinRun(spec, *output);
+  RecordJoinRun(spec, *output, real.count());
   return std::move(output).value();
 }
 

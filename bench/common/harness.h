@@ -35,6 +35,11 @@ namespace gammadb::bench {
 //                    the run finishes in seconds)
 //   --outer <n>     override the outer (probing) cardinality
 //   --inner <n>     override the inner (building) cardinality
+//   --threads <n>   executor threads per machine (also honoured via
+//                    GAMMA_BENCH_THREADS; the flag wins). Default: the
+//                    host's hardware concurrency. Thread count never
+//                    changes simulated metrics (the determinism
+//                    contract, docs/benchmarking.md), only wall clock.
 //
 /// Parses shared benchmark flags. Aborts with a usage message on
 /// unknown flags. Call once, before constructing any Workload.
@@ -42,6 +47,11 @@ void InitBench(int argc, char** argv, const std::string& benchmark_name);
 
 /// True when --smoke (or --outer/--inner) reduced the dataset scale.
 bool BenchScaleOverridden();
+
+/// Executor threads per machine for this benchmark process (the
+/// --threads / GAMMA_BENCH_THREADS knob; defaults to the host's
+/// hardware concurrency, clamped to [1, 16]).
+int BenchThreads();
 
 /// joinABprime result cardinality under the active scale: every inner
 /// tuple joins exactly one outer tuple, so this is the (possibly

@@ -1,0 +1,64 @@
+// Extension experiment: host-side executor parallelism. The simulated
+// response times are thread-count invariant by construction (the
+// determinism contract, DESIGN.md); what the thread pool buys is WALL
+// CLOCK — the time a developer or CI job waits for a figure bench.
+//
+// Runs the full joinABprime workload once per thread count and reports
+// real seconds plus the speedup over the single-threaded executor. The
+// simulated response time is asserted identical across thread counts,
+// so this bench doubles as an end-to-end determinism check at
+// benchmark scale.
+#include <chrono>
+#include <cstdio>
+
+#include "common/harness.h"
+#include "common/logging.h"
+
+using gammadb::JsonValue;
+using gammadb::bench::Workload;
+using gammadb::join::Algorithm;
+
+int main(int argc, char** argv) {
+  gammadb::bench::InitBench(argc, argv, "ext_host_parallelism");
+
+  const int thread_counts[] = {1, 2, 4, 8};
+  double real_seconds[4] = {0, 0, 0, 0};
+  double simulated_seconds[4] = {0, 0, 0, 0};
+
+  std::printf("\nHost parallelism: joinABprime, Hybrid @ 0.5 memory\n");
+  std::printf("%-10s%14s%14s%12s\n", "threads", "real sec", "simulated sec",
+              "speedup");
+  for (int i = 0; i < 4; ++i) {
+    gammadb::sim::MachineConfig config = gammadb::bench::LocalConfig();
+    config.num_threads = thread_counts[i];
+    gammadb::bench::WorkloadOptions options;
+    options.hpja = true;
+    Workload workload(config, options);
+    const auto start = std::chrono::steady_clock::now();
+    auto out = workload.Run(Algorithm::kHybridHash, 0.5, false, false);
+    real_seconds[i] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    simulated_seconds[i] = out.response_seconds();
+    gammadb::bench::CheckResultCount(
+        out, gammadb::bench::ExpectedJoinABprimeResult());
+    // The determinism contract at benchmark scale: thread count must
+    // never leak into the simulated metrics.
+    GAMMA_CHECK(simulated_seconds[i] == simulated_seconds[0])
+        << "simulated response time varies with executor threads";
+    std::printf("%-10d%14.3f%14.2f%11.2fx\n", thread_counts[i],
+                real_seconds[i], simulated_seconds[i],
+                real_seconds[0] / real_seconds[i]);
+  }
+
+  JsonValue table = JsonValue::MakeArray();
+  for (int i = 0; i < 4; ++i) {
+    JsonValue row = JsonValue::MakeObject();
+    row.Set("threads", JsonValue(thread_counts[i]));
+    row.Set("real_seconds", JsonValue(real_seconds[i]));
+    row.Set("speedup", JsonValue(real_seconds[0] / real_seconds[i]));
+    table.Append(std::move(row));
+  }
+  gammadb::bench::RecordBenchExtra("host_parallelism", std::move(table));
+  return 0;
+}

@@ -4,11 +4,15 @@
 // benches report).
 #include <benchmark/benchmark.h>
 
+#include <utility>
+#include <vector>
+
 #include "common/histogram.h"
 #include "common/random.h"
 #include "gamma/bit_filter.h"
 #include "gamma/split_table.h"
 #include "join/hash_table.h"
+#include "sim/exchange.h"
 #include "sim/machine.h"
 #include "storage/btree.h"
 #include "storage/external_sort.h"
@@ -201,6 +205,85 @@ void BM_HeapFileAppendScan(benchmark::State& state) {
                           static_cast<int64_t>(tuples.size()) * 2);
 }
 BENCHMARK(BM_HeapFileAppendScan)->Arg(10000);
+
+// Per-(src, dst) exchange lanes under the executor: every node sends
+// its tuples round-robin, every node drains its inbox. Arg = executor
+// threads, so /1 vs /4 shows the pooled send path's wall-clock gain.
+void BM_ExchangeThroughput(benchmark::State& state) {
+  sim::MachineConfig config;
+  config.num_disk_nodes = 8;
+  config.num_threads = static_cast<int>(state.range(0));
+  sim::Machine machine(config);
+  const std::vector<int> nodes = machine.DiskNodeIds();
+  const auto tuples = BenchTuples(2000);
+  std::vector<size_t> received(nodes.size());
+  for (auto _ : state) {
+    sim::Exchange<storage::Tuple> exchange(&machine);
+    machine.RunOnNodes(nodes, [&](sim::Node& n) {
+      exchange.ReserveRow(n.id(), tuples.size());
+      size_t dest = static_cast<size_t>(n.id());
+      for (const auto& t : tuples) {
+        storage::Tuple copy = t;
+        const uint32_t bytes = copy.size();
+        exchange.Send(n.id(), nodes[dest++ % nodes.size()], std::move(copy),
+                      bytes);
+      }
+    });
+    machine.RunOnNodes(nodes, [&](sim::Node& n) {
+      received[static_cast<size_t>(n.id())] =
+          exchange.TakeInbox(n.id()).size();
+    });
+    benchmark::DoNotOptimize(received.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tuples.size()) *
+                          static_cast<int64_t>(nodes.size()));
+}
+BENCHMARK(BM_ExchangeThroughput)->Arg(1)->Arg(4);
+
+// Wisconsin tuples (208 bytes) live in the small-buffer-optimized
+// inline storage; join results (416 bytes) take the heap path.
+void BM_TupleCopyInline(benchmark::State& state) {
+  const auto tuples = BenchTuples(1000);
+  for (auto _ : state) {
+    for (const auto& t : tuples) {
+      storage::Tuple copy = t;
+      benchmark::DoNotOptimize(copy.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tuples.size()));
+}
+BENCHMARK(BM_TupleCopyInline);
+
+void BM_TupleCopyHeap(benchmark::State& state) {
+  const auto base = BenchTuples(1000);
+  std::vector<storage::Tuple> tuples;
+  tuples.reserve(base.size());
+  for (const auto& t : base) tuples.push_back(storage::Tuple::Concat(t, t));
+  for (auto _ : state) {
+    for (const auto& t : tuples) {
+      storage::Tuple copy = t;
+      benchmark::DoNotOptimize(copy.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(tuples.size()));
+}
+BENCHMARK(BM_TupleCopyHeap);
+
+void BM_TupleMoveInline(benchmark::State& state) {
+  auto pool = BenchTuples(1000);
+  for (auto _ : state) {
+    std::vector<storage::Tuple> sink;
+    sink.reserve(pool.size());
+    for (auto& t : pool) sink.push_back(std::move(t));
+    pool = std::move(sink);
+    benchmark::DoNotOptimize(pool.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_TupleMoveInline);
 
 void BM_WisconsinStringField(benchmark::State& state) {
   const auto tuples = BenchTuples(1000);

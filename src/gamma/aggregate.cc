@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/hash.h"
@@ -185,6 +186,7 @@ Result<AggregateOutput> ExecuteAggregate(sim::Machine& machine,
   std::vector<size_t> rr(agg_nodes.size());
   for (size_t i = 0; i < agg_nodes.size(); ++i) rr[i] = i;
   Status merge_status = Status::OK();
+  std::mutex merge_mu;  // several pooled node tasks may report at once
   machine.RunOnNodes(agg_nodes, [&](sim::Node& n) {
     size_t ai = 0;
     for (size_t i = 0; i < agg_nodes.size(); ++i) {
@@ -200,6 +202,7 @@ Result<AggregateOutput> ExecuteAggregate(sim::Machine& machine,
     for (const auto& [group, partial] : merged) {
       if (partial.accumulator < std::numeric_limits<int32_t>::min() ||
           partial.accumulator > std::numeric_limits<int32_t>::max()) {
+        std::lock_guard<std::mutex> lock(merge_mu);
         merge_status = Status::OutOfRange("aggregate exceeds int32 range");
         return;
       }

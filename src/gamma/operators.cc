@@ -144,6 +144,7 @@ Result<SelectOutput> ExecuteSelect(sim::Machine& machine, Catalog& catalog,
     for (size_t i = 0; i < disks.size(); ++i) {
       if (disks[i] == n.id()) di = i;
     }
+    store_exchange.ReserveRow(n.id(), input->fragment(di).tuple_count());
     const auto process = [&](const storage::Tuple& t) {
       ++input_counts[di];
       if (!spec.predicate.empty()) {

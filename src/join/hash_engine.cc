@@ -177,7 +177,9 @@ void HashJoinEngine::HandleBuildArrival(sim::Node& n, size_t ji,
     SpoolToOverflow(n, ji, /*is_inner=*/true, std::move(t));
     return;
   }
-  while (!st.table->Insert(t, hash)) {
+  // Insert only consumes the tuple on success; on overflow it is left
+  // intact for the eviction-and-retry protocol below.
+  while (!st.table->Insert(std::move(t), hash)) {
     // Overflow event: choose a cutoff clearing ~10% of memory and evict.
     ++n.counters().ht_overflows;
     const uint64_t new_cutoff =
@@ -484,6 +486,7 @@ Status HashJoinEngine::ResolveOverflows(const std::string& label,
                 inner_side ? taken[ji].r.get() : taken[ji].s.get();
             if (file == nullptr) continue;
             file->FlushAppends();
+            exchange_.ReserveRow(n.id(), file->tuple_count());
             auto scanner = file->Scan();
             storage::Tuple t;
             while (scanner.Next(&t)) yield(std::move(t));
@@ -529,10 +532,11 @@ std::vector<Producer> HashJoinEngine::BucketProducers(BucketFileSet* files,
   producers.reserve(config_.disk_nodes.size());
   for (size_t di = 0; di < config_.disk_nodes.size(); ++di) {
     producers.push_back(
-        [files, bucket, di](sim::Node&,
-                            const std::function<void(storage::Tuple&&)>&
-                                yield) {
+        [this, files, bucket, di](sim::Node& n,
+                                  const std::function<void(storage::Tuple&&)>&
+                                      yield) {
           storage::HeapFile& file = files->file(bucket, di);
+          exchange_.ReserveRow(n.id(), file.tuple_count());
           auto scanner = file.Scan();
           storage::Tuple t;
           while (scanner.Next(&t)) yield(std::move(t));
@@ -547,10 +551,11 @@ std::vector<Producer> HashJoinEngine::RelationProducers(
   std::vector<Producer> producers;
   producers.reserve(config_.disk_nodes.size());
   for (size_t di = 0; di < config_.disk_nodes.size(); ++di) {
-    producers.push_back([relation, predicate, di](
+    producers.push_back([this, relation, predicate, di](
                             sim::Node& n,
                             const std::function<void(storage::Tuple&&)>&
                                 yield) {
+      exchange_.ReserveRow(n.id(), relation->fragment(di).tuple_count());
       auto scanner = relation->fragment(di).Scan();
       storage::Tuple t;
       const bool has_predicate = predicate != nullptr && !predicate->empty();

@@ -23,7 +23,7 @@ JoinHashTable::JoinHashTable(sim::Node* node, const storage::Schema* schema,
   entries_.reserve(want_slots);
 }
 
-bool JoinHashTable::Insert(const storage::Tuple& tuple, uint64_t hash) {
+bool JoinHashTable::Insert(storage::Tuple&& tuple, uint64_t hash) {
   if (bytes_used_ + tuple.size() > capacity_bytes_) return false;
   node_->ChargeCpu(node_->cost().cpu_ht_insert_seconds);
   ++node_->counters().ht_inserts;
@@ -32,7 +32,7 @@ bool JoinHashTable::Insert(const storage::Tuple& tuple, uint64_t hash) {
   const int32_t key =
       tuple.GetInt32(*schema_, static_cast<size_t>(key_field_));
   const size_t slot = SlotOf(hash);
-  entries_.push_back(Entry{hash, key, heads_[slot], tuple});
+  entries_.push_back(Entry{hash, key, heads_[slot], std::move(tuple)});
   heads_[slot] = static_cast<uint32_t>(entries_.size() - 1);
   return true;
 }

@@ -26,10 +26,15 @@ class JoinHashTable {
   JoinHashTable(sim::Node* node, const storage::Schema* schema,
                 int key_field, uint64_t capacity_bytes);
 
-  /// Inserts a copy (charging insert CPU) unless the byte budget would
-  /// be exceeded; returns false on overflow WITHOUT inserting (the
-  /// caller runs the eviction protocol and retries or redirects).
-  bool Insert(const storage::Tuple& tuple, uint64_t hash);
+  /// Inserts the tuple (charging insert CPU) unless the byte budget
+  /// would be exceeded; returns false on overflow WITHOUT inserting or
+  /// consuming the tuple (the caller runs the eviction protocol and
+  /// retries or redirects the still-valid tuple).
+  bool Insert(storage::Tuple&& tuple, uint64_t hash);
+  /// Copying convenience overload (tests, reference workloads).
+  bool Insert(const storage::Tuple& tuple, uint64_t hash) {
+    return Insert(storage::Tuple(tuple), hash);
+  }
 
   /// Evicts every resident tuple with hash >= cutoff, charging the
   /// table-search CPU the paper blames for the overflow curve of

@@ -129,6 +129,7 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
       for (size_t i = 0; i < d; ++i) {
         if (disks[i] == n.id()) di = i;
       }
+      exchange.ReserveRow(n.id(), rel->fragment(di).tuple_count());
       auto scanner = rel->fragment(di).Scan();
       storage::Tuple t;
       const bool has_predicate = predicate != nullptr && !predicate->empty();

@@ -1,15 +1,25 @@
 // Exchange<T>: typed tuple transport between node processes within a
 // phase, with network cost accounting.
 //
-// Senders call Send() (routing cost is charged by the caller; wire and
-// protocol costs are accounted by the Network at phase end); receivers
-// drain their inbox with TakeInbox() after the sender barrier. Inboxes
-// are mutex-protected so the multi-threaded executor can run many
-// senders concurrently.
+// Determinism contract (the reason pooled execution is bit-identical to
+// serial execution):
+//
+//  * One lane per (src, dst) pair. Send(src, dst, ...) appends to lane
+//    [src][dst] WITHOUT locking: within a phase round, row `src` is only
+//    ever touched by the executor task running on behalf of node `src`
+//    (the same ownership contract Network::AccountTuple relies on), so
+//    no two threads write one lane concurrently.
+//  * TakeInbox(dst) drains the lanes for `dst` in ascending-src order,
+//    after the sender round's barrier. Arrival order is therefore a pure
+//    function of the query plan — every sender round iterates its node
+//    ids in ascending order, so the serial executor produces exactly
+//    this concatenation too — and never of thread interleaving.
+//  * A round must either send or drain a given exchange, never both
+//    (senders and drainers are separated by the RunOnNodes barrier).
 #ifndef GAMMA_SIM_EXCHANGE_H_
 #define GAMMA_SIM_EXCHANGE_H_
 
-#include <mutex>
+#include <iterator>
 #include <utility>
 #include <vector>
 
@@ -23,41 +33,79 @@ class Exchange {
  public:
   explicit Exchange(Machine* machine)
       : machine_(machine),
-        inboxes_(static_cast<size_t>(machine->num_nodes())) {}
+        num_nodes_(static_cast<size_t>(machine->num_nodes())),
+        lanes_(num_nodes_ * num_nodes_) {}
 
   /// Ships one item of `bytes` serialized size from node `src` to node
-  /// `dst`.
+  /// `dst`. Lock-free: must only be called by the task running on
+  /// behalf of node `src` (or outside any concurrent round).
   void Send(int src, int dst, T item, uint32_t bytes) {
     machine_->network().AccountTuple(src, dst, bytes);
-    Inbox& inbox = inboxes_[static_cast<size_t>(dst)];
-    std::lock_guard<std::mutex> lock(inbox.mu);
-    inbox.items.push_back(std::move(item));
+    Lane(src, dst).push_back(std::move(item));
   }
 
-  /// Removes and returns everything delivered to `node` so far.
+  /// Capacity hint: the sender expects to Send ~`expected` more items
+  /// from `src` to `dst`. Same ownership rule as Send.
+  void Reserve(int src, int dst, size_t expected) {
+    std::vector<T>& lane = Lane(src, dst);
+    lane.reserve(lane.size() + expected);
+  }
+
+  /// Row-wise hint: `expected_total` items from `src`, spread evenly
+  /// over all destinations (the common case for a hash split).
+  void ReserveRow(int src, size_t expected_total) {
+    const size_t per_lane = expected_total / num_nodes_ + 1;
+    for (size_t dst = 0; dst < num_nodes_; ++dst) {
+      Reserve(src, static_cast<int>(dst), per_lane);
+    }
+  }
+
+  /// Removes and returns everything delivered to `node`, in ascending
+  /// sender order. The first non-empty lane is moved wholesale (its
+  /// buffer becomes the result); later lanes are move-appended. Lane
+  /// capacity is retained for the next phase round.
   std::vector<T> TakeInbox(int node) {
-    Inbox& inbox = inboxes_[static_cast<size_t>(node)];
-    std::lock_guard<std::mutex> lock(inbox.mu);
-    return std::exchange(inbox.items, {});
+    size_t total = 0;
+    size_t first = num_nodes_;
+    for (size_t src = 0; src < num_nodes_; ++src) {
+      const size_t n = Lane(static_cast<int>(src), node).size();
+      total += n;
+      if (n != 0 && first == num_nodes_) first = src;
+    }
+    if (first == num_nodes_) return {};
+    std::vector<T>& first_lane = Lane(static_cast<int>(first), node);
+    std::vector<T> out = std::move(first_lane);
+    first_lane.clear();  // moved-from state is unspecified; make it empty
+    out.reserve(total);
+    for (size_t src = first + 1; src < num_nodes_; ++src) {
+      std::vector<T>& lane = Lane(static_cast<int>(src), node);
+      out.insert(out.end(), std::make_move_iterator(lane.begin()),
+                 std::make_move_iterator(lane.end()));
+      lane.clear();
+    }
+    return out;
   }
 
-  /// True if every inbox is empty (useful for invariant checks).
-  bool AllEmpty() {
-    for (auto& inbox : inboxes_) {
-      std::lock_guard<std::mutex> lock(inbox.mu);
-      if (!inbox.items.empty()) return false;
+  /// True if every lane is empty (invariant checks). Must not be called
+  /// concurrently with senders.
+  bool AllEmpty() const {
+    for (const std::vector<T>& lane : lanes_) {
+      if (!lane.empty()) return false;
     }
     return true;
   }
 
  private:
-  struct Inbox {
-    std::mutex mu;
-    std::vector<T> items;
-  };
+  std::vector<T>& Lane(int src, int dst) {
+    GAMMA_DCHECK(src >= 0 && static_cast<size_t>(src) < num_nodes_);
+    GAMMA_DCHECK(dst >= 0 && static_cast<size_t>(dst) < num_nodes_);
+    return lanes_[static_cast<size_t>(src) * num_nodes_ +
+                  static_cast<size_t>(dst)];
+  }
 
   Machine* machine_;
-  std::vector<Inbox> inboxes_;
+  size_t num_nodes_;
+  std::vector<std::vector<T>> lanes_;  // row-major [src][dst]
 };
 
 }  // namespace gammadb::sim

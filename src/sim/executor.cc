@@ -11,7 +11,7 @@ Executor::Executor(int num_threads) : num_threads_(num_threads) {
   if (num_threads_ > 1) {
     workers_.reserve(static_cast<size_t>(num_threads_));
     for (int i = 0; i < num_threads_; ++i) {
-      workers_.emplace_back([this] { WorkerLoop(); });
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
     }
   }
 }
@@ -27,63 +27,74 @@ Executor::~Executor() {
   }
 }
 
-void Executor::Run(std::vector<std::function<void()>> tasks) {
-  if (num_threads_ == 1) {
-    std::exception_ptr first_error;
-    for (auto& task : tasks) {
-      try {
-        task();
-      } catch (...) {
-        if (!first_error) first_error = std::current_exception();
+void Executor::RunStripe(const std::vector<std::function<void()>>& tasks,
+                         size_t start, size_t stride) {
+  for (size_t i = start; i < tasks.size(); i += stride) {
+    // A throwing task must still count the rest of its stripe as
+    // runnable: the phase barrier drains the whole batch, and the
+    // lowest-indexed exception wins so the error surfaced is identical
+    // to serial execution.
+    try {
+      tasks[i]();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (i < first_error_index_) {
+        first_error_index_ = i;
+        first_error_ = std::current_exception();
       }
     }
-    if (first_error) std::rethrow_exception(first_error);
-    return;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& task : tasks) {
-      queue_.push_back(std::move(task));
-      ++outstanding_;
-    }
-  }
-  work_cv_.notify_all();
-  std::exception_ptr first_error;
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return outstanding_ == 0; });
-    first_error = std::exchange(first_error_, nullptr);
-  }
-  if (first_error) std::rethrow_exception(first_error);
 }
 
-void Executor::WorkerLoop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutdown_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    // A throwing task must still count as finished: swallowing the
-    // exception into first_error_ and decrementing outstanding_ on every
-    // exit path keeps Run()'s done_cv_ wait from deadlocking.
+void Executor::Run(std::vector<std::function<void()>> tasks) {
+  if (num_threads_ == 1) {
+    RunStripe(tasks, 0, 1);
     std::exception_ptr error;
-    try {
-      task();
-    } catch (...) {
-      error = std::current_exception();
-    }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (error && !first_error_) first_error_ = std::move(error);
-      --outstanding_;
-      if (outstanding_ == 0) done_cv_.notify_all();
+      error = std::exchange(first_error_, nullptr);
+      first_error_index_ = SIZE_MAX;
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+  if (tasks.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = &tasks;
+    workers_remaining_ = num_threads_;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return workers_remaining_ == 0; });
+    batch_ = nullptr;
+    error = std::exchange(first_error_, nullptr);
+    first_error_index_ = SIZE_MAX;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void Executor::WorkerLoop(int worker_index) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::vector<std::function<void()>>* batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (generation_ == seen_generation) return;  // shutdown, no new work
+      seen_generation = generation_;
+      batch = batch_;
+    }
+    RunStripe(*batch, static_cast<size_t>(worker_index),
+              static_cast<size_t>(num_threads_));
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--workers_remaining_ == 0) done_cv_.notify_all();
     }
   }
 }

@@ -1,16 +1,19 @@
 // Executor: runs one task per participating node, optionally on a thread
 // pool, and waits for all of them (a phase barrier).
 //
-// With num_threads == 1 tasks run inline in submission order, which makes
-// tuple-arrival order — and therefore overflow behaviour — fully
-// deterministic. This is the default used by benchmarks and tests;
-// multi-threaded mode exercises the same code for correctness-style
-// invariants (results are order-independent).
+// Scheduling is DETERMINISTIC in both modes. With num_threads == 1 tasks
+// run inline in submission order. With num_threads > 1 the batch is
+// statically striped: worker w runs tasks w, w + T, w + 2T, ... — the
+// task-to-thread assignment is a pure function of (batch, num_threads),
+// never of runtime timing. Together with the per-(src, dst) exchange
+// lanes (sim/exchange.h) this makes pooled execution produce bit-identical
+// metrics to serial execution; benchmarks and tests run threaded by
+// default and diff clean against serial baselines.
 #ifndef GAMMA_SIM_EXECUTOR_H_
 #define GAMMA_SIM_EXECUTOR_H_
 
 #include <condition_variable>
-#include <deque>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -21,7 +24,7 @@ namespace gammadb::sim {
 
 class Executor {
  public:
-  /// num_threads == 1: inline serial execution (deterministic).
+  /// num_threads == 1: inline serial execution.
   explicit Executor(int num_threads);
   ~Executor();
 
@@ -30,14 +33,19 @@ class Executor {
 
   /// Runs all tasks and blocks until every one has finished. If any
   /// task throws, every remaining task still runs (a phase barrier must
-  /// drain) and the first exception is rethrown to the caller once the
+  /// drain) and the exception of the LOWEST-indexed throwing task — the
+  /// same one serial execution would surface — is rethrown once the
   /// batch completes; the executor stays usable afterwards.
   void Run(std::vector<std::function<void()>> tasks);
 
   int num_threads() const { return num_threads_; }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop(int worker_index);
+  /// Runs `tasks[index]` for index = start, start + stride, ...,
+  /// recording the lowest-indexed exception into first_error_.
+  void RunStripe(const std::vector<std::function<void()>>& tasks,
+                 size_t start, size_t stride);
 
   int num_threads_;
   std::vector<std::thread> workers_;
@@ -45,10 +53,12 @@ class Executor {
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  std::deque<std::function<void()>> queue_;
-  int outstanding_ = 0;
+  const std::vector<std::function<void()>>* batch_ = nullptr;
+  uint64_t generation_ = 0;  // bumped per batch; workers wait on it
+  int workers_remaining_ = 0;
   bool shutdown_ = false;
-  std::exception_ptr first_error_;  // first exception of the current batch
+  size_t first_error_index_ = SIZE_MAX;  // task index of first_error_
+  std::exception_ptr first_error_;       // lowest-index exception of the batch
 };
 
 }  // namespace gammadb::sim

@@ -34,6 +34,44 @@ TEST(ExchangeTest, TakeInboxDrains) {
   machine.EndPhase();
 }
 
+// The determinism contract: an inbox drains its per-source lanes in
+// ascending source order, each lane in send order — regardless of the
+// order the sends were interleaved across sources.
+TEST(ExchangeTest, DrainsLanesInAscendingSourceOrder) {
+  Machine machine(MachineConfig{3, 0, CostModel{}, 1});
+  Exchange<std::string> exchange(&machine);
+  machine.BeginPhase("p");
+  exchange.Send(2, 0, "c1", 2);
+  exchange.Send(0, 0, "a1", 2);
+  exchange.Send(2, 0, "c2", 2);
+  exchange.Send(1, 0, "b1", 2);
+  exchange.Send(0, 0, "a2", 2);
+  const auto inbox = exchange.TakeInbox(0);
+  ASSERT_EQ(inbox.size(), 5u);
+  EXPECT_EQ(inbox[0], "a1");
+  EXPECT_EQ(inbox[1], "a2");
+  EXPECT_EQ(inbox[2], "b1");
+  EXPECT_EQ(inbox[3], "c1");
+  EXPECT_EQ(inbox[4], "c2");
+  machine.EndPhase();
+}
+
+TEST(ExchangeTest, ReserveDoesNotAffectDelivery) {
+  Machine machine(MachineConfig{2, 0, CostModel{}, 1});
+  Exchange<int> exchange(&machine);
+  machine.BeginPhase("p");
+  exchange.Reserve(0, 1, 100);
+  exchange.ReserveRow(1, 100);
+  exchange.Send(0, 1, 7, 4);
+  exchange.Send(1, 1, 8, 4);
+  const auto inbox = exchange.TakeInbox(1);
+  ASSERT_EQ(inbox.size(), 2u);
+  EXPECT_EQ(inbox[0], 7);
+  EXPECT_EQ(inbox[1], 8);
+  EXPECT_TRUE(exchange.AllEmpty());
+  machine.EndPhase();
+}
+
 TEST(ExchangeTest, ConcurrentSendersAllDeliver) {
   Machine machine(MachineConfig{8, 0, CostModel{}, 4});
   Exchange<int> exchange(&machine);

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 namespace gammadb::sim {
 namespace {
@@ -81,6 +82,31 @@ TEST(ExecutorTest, ThrowingTaskDoesNotDeadlockPool) {
   for (int i = 0; i < 8; ++i) next.push_back([&follow_up] { ++follow_up; });
   executor.Run(std::move(next));
   EXPECT_EQ(follow_up.load(), 8);
+}
+
+// Task-to-worker assignment is static (worker w runs tasks w, w + T,
+// w + 2T, ...), so repeated batches schedule identically — no
+// work-stealing races leak into anything a task derives from its
+// execution context.
+TEST(ExecutorTest, StripingIsDeterministicAcrossBatches) {
+  constexpr int kThreads = 4;
+  constexpr size_t kTasks = 23;
+  Executor executor(kThreads);
+  std::vector<std::thread::id> first(kTasks), second(kTasks);
+  for (auto* assignment : {&first, &second}) {
+    std::vector<std::function<void()>> tasks;
+    for (size_t i = 0; i < kTasks; ++i) {
+      tasks.push_back([assignment, i] {
+        (*assignment)[i] = std::this_thread::get_id();
+      });
+    }
+    executor.Run(std::move(tasks));
+  }
+  EXPECT_EQ(first, second);
+  // Stride structure: tasks i and i + kThreads share a worker.
+  for (size_t i = 0; i + kThreads < kTasks; ++i) {
+    EXPECT_EQ(first[i], first[i + kThreads]) << i;
+  }
 }
 
 TEST(ExecutorTest, ThrowingTaskPropagatesFromSerialExecutor) {

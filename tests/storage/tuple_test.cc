@@ -60,5 +60,60 @@ TEST(TupleTest, EmptyAndMove) {
   EXPECT_EQ(moved.size(), 8u);
 }
 
+// Small-buffer-optimization boundary: kInlineBytes stays inline,
+// kInlineBytes + 1 goes to the heap. Copies and moves must be deep /
+// ownership-transferring on both sides of the threshold.
+TEST(TupleTest, InlineBoundarySizes) {
+  for (const uint32_t size :
+       {Tuple::kInlineBytes - 1, Tuple::kInlineBytes, Tuple::kInlineBytes + 1,
+        2 * Tuple::kInlineBytes}) {
+    Tuple t(size);
+    EXPECT_EQ(t.size(), size);
+    for (uint32_t i = 0; i < size; ++i) {
+      EXPECT_EQ(t.data()[i], 0u) << size << ":" << i;
+      t.data()[i] = static_cast<uint8_t>(i);
+    }
+    Tuple copy = t;
+    EXPECT_EQ(copy, t);
+    copy.data()[0] = 0xFF;
+    EXPECT_NE(copy, t);  // deep copy on both storage paths
+
+    Tuple moved = std::move(t);
+    EXPECT_EQ(moved.size(), size);
+    for (uint32_t i = 0; i < size; ++i) {
+      EXPECT_EQ(moved.data()[i], static_cast<uint8_t>(i)) << size << ":" << i;
+    }
+  }
+}
+
+TEST(TupleTest, AssignmentAcrossStorageClasses) {
+  const uint32_t small = 16;
+  const uint32_t large = Tuple::kInlineBytes + 16;
+  Tuple a(small), b(large);
+  a.data()[0] = 1;
+  b.data()[0] = 2;
+  a = b;  // inline -> heap
+  EXPECT_EQ(a.size(), large);
+  EXPECT_EQ(a.data()[0], 2);
+  Tuple c(small);
+  c.data()[0] = 3;
+  a = c;  // heap -> inline (releases the heap buffer)
+  EXPECT_EQ(a.size(), small);
+  EXPECT_EQ(a.data()[0], 3);
+  a = std::move(b);  // move-assign a heap tuple
+  EXPECT_EQ(a.size(), large);
+  EXPECT_EQ(a.data()[0], 2);
+}
+
+TEST(TupleTest, ConcatCrossesInlineThreshold) {
+  Tuple a(Tuple::kInlineBytes), b(Tuple::kInlineBytes);
+  a.data()[0] = 11;
+  b.data()[0] = 22;
+  const Tuple joined = Tuple::Concat(a, b);
+  EXPECT_EQ(joined.size(), 2 * Tuple::kInlineBytes);
+  EXPECT_EQ(joined.data()[0], 11);
+  EXPECT_EQ(joined.data()[Tuple::kInlineBytes], 22);
+}
+
 }  // namespace
 }  // namespace gammadb::storage

@@ -14,13 +14,16 @@
 
 namespace gammadb::testing {
 
-/// A small local configuration (disk nodes only).
+/// A small local configuration (disk nodes only). Tests run with a
+/// pooled executor by default: the determinism contract (DESIGN.md)
+/// guarantees metrics identical to num_threads = 1, and running the
+/// suite threaded keeps that contract continuously exercised.
 inline sim::MachineConfig SmallConfig(int disk_nodes = 4,
                                       int diskless_nodes = 0) {
   sim::MachineConfig config;
   config.num_disk_nodes = disk_nodes;
   config.num_diskless_nodes = diskless_nodes;
-  config.num_threads = 1;
+  config.num_threads = 4;
   return config;
 }
 

@@ -141,6 +141,45 @@ TEST(BenchDiffTest, NestedFigureSecondsAreTimeMetrics) {
   EXPECT_FALSE(DiffBenchJson(baseline, beyond, DiffOptions{}).Passed());
 }
 
+// Host metrics (wall clock, thread counts) describe the machine running
+// the benchmark, not the workload: a serial baseline must gate a
+// threaded candidate without noise from them.
+TEST(BenchDiffTest, HostMetricsAreNeverGated) {
+  JsonValue baseline = Doc(R"({
+    "threads": 1,
+    "runs": [{"real_seconds": 30.0, "threads": 1, "response_seconds": 10.0}],
+    "workloads": [{"machine": {"num_threads": 1}}]
+  })");
+  JsonValue candidate = Doc(R"({
+    "threads": 4,
+    "runs": [{"real_seconds": 9.0, "threads": 4, "response_seconds": 10.0}],
+    "workloads": [{"machine": {"num_threads": 4}}]
+  })");
+  DiffOptions strict;
+  strict.strict_counters = true;
+  const DiffReport report = DiffBenchJson(baseline, candidate, strict);
+  EXPECT_TRUE(report.Passed()) << FormatReport(report);
+  EXPECT_GT(report.CountOf(DiffKind::kInfo), 0);
+}
+
+TEST(BenchDiffTest, MissingHostMetricIsInformational) {
+  JsonValue baseline =
+      Doc(R"({"real_seconds": 30.0, "num_threads": 8, "wall_seconds": 1.0})");
+  JsonValue candidate = Doc(R"({})");
+  const DiffReport report =
+      DiffBenchJson(baseline, candidate, DiffOptions{});
+  EXPECT_TRUE(report.Passed()) << FormatReport(report);
+  EXPECT_EQ(report.missing(), 0);
+}
+
+TEST(BenchDiffTest, RealSecondsIsNotATimeGate) {
+  // +200% on real_seconds would trip the seconds tolerance if the
+  // host-metric carve-out were checked after the "seconds" suffix.
+  JsonValue baseline = Doc(R"({"runs": [{"real_seconds": 10.0}]})");
+  JsonValue candidate = Doc(R"({"runs": [{"real_seconds": 30.0}]})");
+  EXPECT_TRUE(DiffBenchJson(baseline, candidate, DiffOptions{}).Passed());
+}
+
 TEST(BenchDiffTest, FormatReportSummarizes) {
   JsonValue candidate = Doc(kBaseline);
   candidate.Find("runs")->AsArray()[0].Set("response_seconds", 11.0);

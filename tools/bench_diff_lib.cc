@@ -13,6 +13,25 @@ bool IsTimeMetric(const std::string& key) {
   return key.size() >= 7 && key.compare(key.size() - 7, 7, "seconds") == 0;
 }
 
+// Host-dependent metrics: wall-clock time and thread counts vary with
+// the machine running the benchmark, never with the simulated workload
+// (docs/benchmarking.md), so they are reported but never gated — and a
+// baseline recorded on a different host may lack them entirely.
+bool IsHostMetric(const std::string& key) {
+  return key == "real_seconds" || key == "wall_seconds" ||
+         key == "threads" || key == "num_threads";
+}
+
+// The last dotted path component with array indices stripped, so every
+// element of e.g. "series_seconds[1][3]" counts as a time metric.
+std::string LeafKey(const std::string& path) {
+  std::string leaf = path.substr(path.rfind('.') + 1);
+  if (const size_t bracket = leaf.find('['); bracket != std::string::npos) {
+    leaf.resize(bracket);
+  }
+  return leaf;
+}
+
 std::string DescribeValue(const JsonValue& v) {
   return v.Dump();
 }
@@ -35,6 +54,9 @@ class Differ {
             path.empty() ? key : path + "." + key;
         if (const JsonValue* other = cand.Find(key)) {
           Walk(child, value, *other);
+        } else if (IsHostMetric(key)) {
+          Add(DiffKind::kInfo, child,
+              "host metric missing from candidate (not gated)");
         } else {
           Add(DiffKind::kMissing, child, "metric missing from candidate");
         }
@@ -84,17 +106,15 @@ class Differ {
   void CompareNumbers(const std::string& path, double base, double cand) {
     ++report_.compared_metrics;
     if (base == cand) return;
-    // Leaf key: the last dotted component, with array indices stripped,
-    // so every element of e.g. "series_seconds[1][3]" counts as a time
-    // metric.
-    std::string leaf = path.substr(path.rfind('.') + 1);
-    if (const size_t bracket = leaf.find('['); bracket != std::string::npos) {
-      leaf.resize(bracket);
-    }
+    const std::string leaf = LeafKey(path);
     const double denom = std::max(std::abs(base), 1e-12);
     const double rel = (cand - base) / denom;
     const std::string delta =
         StrFormat("%.6g -> %.6g (%+.2f%%)", base, cand, 100.0 * rel);
+    if (IsHostMetric(leaf)) {
+      Add(DiffKind::kInfo, path, delta + " (host metric, not gated)");
+      return;
+    }
     if (IsTimeMetric(leaf)) {
       if (rel > options_.seconds_tolerance) {
         Add(DiffKind::kRegression, path,

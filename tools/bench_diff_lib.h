@@ -51,6 +51,9 @@ struct DiffReport {
 /// Compares every metric of `baseline` against `candidate`. Metrics
 /// present only in the candidate are ignored (schema growth is backward
 /// compatible); metrics present only in the baseline are kMissing.
+/// Host metrics ("real_seconds", "wall_seconds", "threads",
+/// "num_threads") describe the machine running the benchmark, not the
+/// simulated workload: they are always kInfo, never gated or missing.
 DiffReport DiffBenchJson(const JsonValue& baseline, const JsonValue& candidate,
                          const DiffOptions& options);
 
