@@ -22,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kNotImplemented:
       return "NotImplemented";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

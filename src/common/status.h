@@ -24,6 +24,8 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition,
   kInternal,
   kNotImplemented,
+  kUnavailable,  // transient failure that exhausted its retry budget
+  kAborted,      // operation aborted mid-flight (e.g. a node crash)
 };
 
 /// Returns the canonical spelling of a status code ("OK", "InvalidArgument"...).
@@ -66,6 +68,12 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -76,6 +84,10 @@ class Status {
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;
+
+  /// Documents a deliberate discard of the status (e.g. a phase abort
+  /// surfaced on a path that is outside the recovery scope).
+  void IgnoreError() const {}
 
   bool operator==(const Status& other) const {
     return code() == other.code() && message() == other.message();

@@ -223,11 +223,13 @@ Result<AggregateOutput> ExecuteAggregate(sim::Machine& machine,
       if (disks[i] == n.id()) di = i;
     }
     for (storage::Tuple& t : store_exchange.TakeInbox(n.id())) {
-      output->fragment(di).Append(t);
+      // Non-join operators are outside the fault-injection recovery
+      // scope (docs/fault_injection.md): hard write errors abort.
+      GAMMA_CHECK_OK(output->fragment(di).Append(t));
     }
-    output->fragment(di).FlushAppends();
+    GAMMA_CHECK_OK(output->fragment(di).FlushAppends());
   });
-  machine.EndPhase();
+  machine.EndPhase().IgnoreError();
 
   if (!merge_status.ok()) {
     GAMMA_CHECK_OK(catalog.Drop(spec.output_relation));

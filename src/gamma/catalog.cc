@@ -83,7 +83,7 @@ Status StoredRelation::BuildIndex(sim::Machine& machine, int field) {
     });
     indexes_[fi] = std::move(index);
   });
-  machine.EndPhase();
+  machine.EndPhase().IgnoreError();
   indexed_field_ = field;
   return Status::OK();
 }

@@ -189,11 +189,13 @@ Result<SelectOutput> ExecuteSelect(sim::Machine& machine, Catalog& catalog,
       if (disks[i] == n.id()) di = i;
     }
     for (storage::Tuple& t : store_exchange.TakeInbox(n.id())) {
-      output->fragment(di).Append(t);
+      // Non-join operators are outside the fault-injection recovery
+      // scope (docs/fault_injection.md): hard write errors abort.
+      GAMMA_CHECK_OK(output->fragment(di).Append(t));
     }
-    output->fragment(di).FlushAppends();
+    GAMMA_CHECK_OK(output->fragment(di).FlushAppends());
   });
-  machine.EndPhase();
+  machine.EndPhase().IgnoreError();
 
   output->strategy = spec.output_strategy;
   output->partition_field = spec.output_strategy == PartitionStrategy::kHashed

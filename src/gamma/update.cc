@@ -36,7 +36,7 @@ DmlOutput RunDmlPhase(sim::Machine& machine, StoredRelation* relation,
     }
     touched[di] = touch(n, relation->fragment(di));
   });
-  machine.EndPhase();
+  machine.EndPhase().IgnoreError();
   // In-place rewrites stale any B+ indices.
   relation->DropIndexes();
   DmlOutput output;

@@ -39,6 +39,11 @@ int OptimizerBucketCount(uint64_t inner_bytes, uint64_t memory_bytes) {
 
 namespace {
 
+/// Upper bound on operator restarts after recoverable faults (node
+/// crashes, hard I/O errors). A fault plan scheduling more consecutive
+/// aborts than this surfaces the last error to the caller.
+constexpr int kMaxOperatorRestarts = 8;
+
 Status ValidateField(const db::StoredRelation* rel, int field,
                      const char* which) {
   if (field < 0 || static_cast<size_t>(field) >= rel->schema().num_fields()) {
@@ -198,20 +203,22 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
   machine.ResetMetrics();
   JoinStats stats;
 
-  Status run_status = Status::OK();
-  if (spec.algorithm == Algorithm::kSortMerge) {
-    SortMergeParams params{inner,
-                           outer,
-                           spec.inner_field,
-                           spec.outer_field,
-                           &spec.inner_predicate,
-                           &spec.outer_predicate,
-                           memory_bytes,
-                           spec.use_bit_filters,
-                           spec.hash_seed,
-                           result};
-    run_status = RunSortMergeJoin(machine, params, &stats);
-  } else {
+  // One attempt of the chosen algorithm, writing through `result` and
+  // `stats`. Restartable: every attempt builds fresh engine state.
+  const auto run_attempt = [&]() -> Status {
+    if (spec.algorithm == Algorithm::kSortMerge) {
+      SortMergeParams params{inner,
+                             outer,
+                             spec.inner_field,
+                             spec.outer_field,
+                             &spec.inner_predicate,
+                             &spec.outer_predicate,
+                             memory_bytes,
+                             spec.use_bit_filters,
+                             spec.hash_seed,
+                             result};
+      return RunSortMergeJoin(machine, params, &stats);
+    }
     HashJoinEngine::Config config;
     config.join_nodes = join_nodes;
     config.disk_nodes = machine.DiskNodeIds();
@@ -226,6 +233,7 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
     config.stats = &stats;
     HashJoinEngine engine(&machine, config);
 
+    Status run_status;
     switch (spec.algorithm) {
       case Algorithm::kSimpleHash:
         stats.num_buckets = 1;
@@ -256,7 +264,28 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
       default:
         run_status = Status::Internal("unhandled algorithm");
     }
-    if (run_status.ok()) engine.FinalizeResult();
+    GAMMA_RETURN_NOT_OK(run_status);
+    return engine.FinalizeResult();
+  };
+
+  // Gamma's recovery model at operator granularity: a recoverable fault
+  // (node crash / hard I/O error) aborts the attempt, the partial result
+  // is discarded, and the operator reruns. The wasted attempt's time is
+  // already in the response clock; RecordOperatorRestart books it as
+  // recovery time. Fault events fire at most once (sim/fault.h), so a
+  // retried attempt runs past its consumed faults.
+  Status run_status = Status::OK();
+  for (int attempt = 0;; ++attempt) {
+    const double attempt_start = machine.response_seconds();
+    stats = JoinStats{};
+    run_status = run_attempt();
+    if (run_status.ok()) break;
+    const bool recoverable =
+        run_status.code() == StatusCode::kAborted ||
+        run_status.code() == StatusCode::kUnavailable;
+    if (!recoverable || attempt >= kMaxOperatorRestarts) break;
+    machine.RecordOperatorRestart(machine.response_seconds() - attempt_start);
+    result->FreeStorage();
   }
 
   if (!run_status.ok()) {

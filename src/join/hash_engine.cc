@@ -39,17 +39,26 @@ BucketFileSet::BucketFileSet(sim::Machine* machine,
   }
 }
 
+BucketFileSet::~BucketFileSet() {
+  for (auto& row : files_) {
+    for (auto& file : row) file->Free();
+  }
+}
+
 storage::HeapFile& BucketFileSet::file(int bucket, size_t disk_index) {
   GAMMA_DCHECK(bucket >= 1 && bucket <= num_buckets_);
   return *files_[static_cast<size_t>(bucket - 1)][disk_index];
 }
 
-void BucketFileSet::FlushFilesOwnedBy(int node_id) {
+Status BucketFileSet::FlushFilesOwnedBy(int node_id) {
   for (auto& row : files_) {
     for (auto& file : row) {
-      if (file->node()->id() == node_id) file->FlushAppends();
+      if (file->node()->id() == node_id) {
+        GAMMA_RETURN_NOT_OK(file->FlushAppends());
+      }
     }
   }
+  return Status::OK();
 }
 
 uint64_t BucketFileSet::BucketTuples(int bucket) const {
@@ -106,6 +115,13 @@ HashJoinEngine::HashJoinEngine(sim::Machine* machine, Config config)
       next_free = (next_free + 1) % free_disks.size();
     }
     jstate_[ji].store_rr_next = ji;
+  }
+}
+
+HashJoinEngine::~HashJoinEngine() {
+  for (JoinNodeState& st : jstate_) {
+    if (st.r_overflow != nullptr) st.r_overflow->Free();
+    if (st.s_overflow != nullptr) st.s_overflow->Free();
   }
 }
 
@@ -286,18 +302,30 @@ void HashJoinEngine::RouteFromProducer(sim::Node& n,
                  bytes);
 }
 
-void HashJoinEngine::DrainDiskSide(sim::Node& n, BucketFileSet* buckets) {
+Status HashJoinEngine::DrainDiskSide(sim::Node& n, BucketFileSet* buckets) {
+  // Both inboxes are always drained in full (the exchange must be empty
+  // at the phase barrier even when a write fails); only the FIRST error
+  // is kept, and tuples after it are dropped — the restarted attempt
+  // regenerates them.
+  Status st_out;
   for (OverflowMsg& m : overflow_exchange_.TakeInbox(n.id())) {
     JoinNodeState& st = jstate_[static_cast<size_t>(m.join_index)];
     storage::HeapFile* file =
         m.is_inner ? st.r_overflow.get() : st.s_overflow.get();
     GAMMA_CHECK(file != nullptr);
-    file->Append(m.tuple);
+    const Status append = file->Append(m.tuple);
+    if (st_out.ok()) st_out = append;
   }
   for (storage::Tuple& t : store_exchange_.TakeInbox(n.id())) {
-    config_.result->fragment(DiskIndexOf(n.id())).Append(t);
+    const Status append =
+        config_.result->fragment(DiskIndexOf(n.id())).Append(t);
+    if (st_out.ok()) st_out = append;
   }
-  if (buckets != nullptr) buckets->FlushFilesOwnedBy(n.id());
+  if (buckets != nullptr) {
+    const Status flush = buckets->FlushFilesOwnedBy(n.id());
+    if (st_out.ok()) st_out = flush;
+  }
+  return st_out;
 }
 
 void HashJoinEngine::BuildFilterFromResidents() {
@@ -365,41 +393,60 @@ Status HashJoinEngine::PartitionPhase(const std::string& label,
                           static_cast<int>(config_.disk_nodes.size()),
                           consumers, table.SerializedBytes());
 
+  // Every round runs to completion even after an error: the exchanges
+  // must be fully drained at each barrier so a failed attempt leaves no
+  // stale messages behind for the restarted one. Only the first error
+  // is reported.
+  Status phase_status;
+
   // Round A: producers scan and route.
-  machine_->RunOnNodes(config_.disk_nodes, [&](sim::Node& n) {
-    const size_t di = DiskIndexOf(n.id());
-    producers[di](n, [&](storage::Tuple&& t) {
-      RouteFromProducer(n, table, seed, side, std::move(t));
-    });
-  });
+  {
+    const Status round = machine_->TryRunOnNodes(
+        config_.disk_nodes, [&](sim::Node& n) -> Status {
+          const size_t di = DiskIndexOf(n.id());
+          return producers[di](n, [&](storage::Tuple&& t) {
+            RouteFromProducer(n, table, seed, side, std::move(t));
+          });
+        });
+    if (phase_status.ok()) phase_status = round;
+  }
 
   // Round B: consumers build/probe/append.
-  machine_->RunOnNodes(Participants(has_stored_buckets), [&](sim::Node& n) {
-    for (RoutedTuple& m : exchange_.TakeInbox(n.id())) {
-      switch (m.kind) {
-        case kBuild:
-          HandleBuildArrival(n, static_cast<size_t>(m.aux), m.hash,
-                             std::move(m.tuple));
-          break;
-        case kProbe:
-          HandleProbeArrival(n, static_cast<size_t>(m.aux), m.hash, m.tuple);
-          break;
-        case kBucketInner:
-          if (forming_filter_ != nullptr) {
-            // Each receiving disk site contributes its slice as inner
-            // tuples arrive to be stored.
-            n.ChargeCpu(n.cost().cpu_filter_op_seconds);
-            forming_filter_->Set(static_cast<int>(DiskIndexOf(n.id())),
-                                 m.hash);
+  {
+    const Status round = machine_->TryRunOnNodes(
+        Participants(has_stored_buckets), [&](sim::Node& n) -> Status {
+          Status st;
+          for (RoutedTuple& m : exchange_.TakeInbox(n.id())) {
+            switch (m.kind) {
+              case kBuild:
+                HandleBuildArrival(n, static_cast<size_t>(m.aux), m.hash,
+                                   std::move(m.tuple));
+                break;
+              case kProbe:
+                HandleProbeArrival(n, static_cast<size_t>(m.aux), m.hash,
+                                   m.tuple);
+                break;
+              case kBucketInner:
+                if (forming_filter_ != nullptr) {
+                  // Each receiving disk site contributes its slice as
+                  // inner tuples arrive to be stored.
+                  n.ChargeCpu(n.cost().cpu_filter_op_seconds);
+                  forming_filter_->Set(static_cast<int>(DiskIndexOf(n.id())),
+                                       m.hash);
+                }
+                [[fallthrough]];
+              case kBucketOuter: {
+                const Status append =
+                    buckets->file(m.aux, DiskIndexOf(n.id())).Append(m.tuple);
+                if (st.ok()) st = append;
+                break;
+              }
+            }
           }
-          buckets->file(m.aux, DiskIndexOf(n.id())).Append(m.tuple);
-          break;
-        case kBucketOuter:
-          buckets->file(m.aux, DiskIndexOf(n.id())).Append(m.tuple);
-          break;
-      }
-    }
-  });
+          return st;
+        });
+    if (phase_status.ok()) phase_status = round;
+  }
 
   // End of the build side: materialize the bit filter and record chain
   // statistics before any probing happens. Pure bucket-forming tables
@@ -420,11 +467,16 @@ Status HashJoinEngine::PartitionPhase(const std::string& label,
 
   // Round C: disk side absorbs overflow spool, result store and bucket
   // flushes.
-  machine_->RunOnNodes(config_.disk_nodes,
-                       [&](sim::Node& n) { DrainDiskSide(n, buckets); });
+  {
+    const Status round = machine_->TryRunOnNodes(
+        config_.disk_nodes,
+        [&](sim::Node& n) -> Status { return DrainDiskSide(n, buckets); });
+    if (phase_status.ok()) phase_status = round;
+  }
 
-  machine_->EndPhase();
-  return Status::OK();
+  const Status end = machine_->EndPhase();
+  if (phase_status.ok()) phase_status = end;
+  return phase_status;
 }
 
 bool HashJoinEngine::AnyOverflow() const {
@@ -478,35 +530,41 @@ Status HashJoinEngine::ResolveOverflows(const std::string& label,
         producers.push_back([this, host, &taken, inner_side](
                                 sim::Node& n,
                                 const std::function<void(storage::Tuple&&)>&
-                                    yield) {
+                                    yield) -> Status {
           GAMMA_CHECK_EQ(n.id(), host);
           for (size_t ji = 0; ji < jstate_.size(); ++ji) {
             if (jstate_[ji].host_disk_node != host) continue;
             storage::HeapFile* file =
                 inner_side ? taken[ji].r.get() : taken[ji].s.get();
             if (file == nullptr) continue;
-            file->FlushAppends();
+            GAMMA_RETURN_NOT_OK(file->FlushAppends());
             exchange_.ReserveRow(n.id(), file->tuple_count());
             auto scanner = file->Scan();
             storage::Tuple t;
             while (scanner.Next(&t)) yield(std::move(t));
+            GAMMA_RETURN_NOT_OK(scanner.status());
           }
+          return Status::OK();
         });
       }
       return producers;
     };
 
     const std::string level_tag = " L" + std::to_string(level);
-    GAMMA_RETURN_NOT_OK(PartitionPhase(label + " build" + level_tag, joining,
-                                       make_producers(true), seed,
-                                       Side::kInner, nullptr));
-    GAMMA_RETURN_NOT_OK(PartitionPhase(label + " probe" + level_tag, joining,
-                                       make_producers(false), seed,
-                                       Side::kOuter, nullptr));
+    Status st = PartitionPhase(label + " build" + level_tag, joining,
+                               make_producers(true), seed, Side::kInner,
+                               nullptr);
+    if (st.ok()) {
+      st = PartitionPhase(label + " probe" + level_tag, joining,
+                          make_producers(false), seed, Side::kOuter, nullptr);
+    }
+    // Free the consumed level's files on failure too: the restarted
+    // attempt rebuilds its overflow partitions from scratch.
     for (Taken& t : taken) {
       if (t.r != nullptr) t.r->Free();
       if (t.s != nullptr) t.s->Free();
     }
+    GAMMA_RETURN_NOT_OK(st);
   }
   return Status::OK();
 }
@@ -534,12 +592,13 @@ std::vector<Producer> HashJoinEngine::BucketProducers(BucketFileSet* files,
     producers.push_back(
         [this, files, bucket, di](sim::Node& n,
                                   const std::function<void(storage::Tuple&&)>&
-                                      yield) {
+                                      yield) -> Status {
           storage::HeapFile& file = files->file(bucket, di);
           exchange_.ReserveRow(n.id(), file.tuple_count());
           auto scanner = file.Scan();
           storage::Tuple t;
           while (scanner.Next(&t)) yield(std::move(t));
+          return scanner.status();
         });
   }
   return producers;
@@ -554,7 +613,7 @@ std::vector<Producer> HashJoinEngine::RelationProducers(
     producers.push_back([this, relation, predicate, di](
                             sim::Node& n,
                             const std::function<void(storage::Tuple&&)>&
-                                yield) {
+                                yield) -> Status {
       exchange_.ReserveRow(n.id(), relation->fragment(di).tuple_count());
       auto scanner = relation->fragment(di).Scan();
       storage::Tuple t;
@@ -566,17 +625,21 @@ std::vector<Producer> HashJoinEngine::RelationProducers(
         }
         yield(std::move(t));
       }
+      return scanner.status();
     });
   }
   return producers;
 }
 
-void HashJoinEngine::FinalizeResult() {
+Status HashJoinEngine::FinalizeResult() {
   machine_->BeginPhase("store flush");
-  machine_->RunOnNodes(config_.disk_nodes, [this](sim::Node& n) {
-    config_.result->fragment(DiskIndexOf(n.id())).FlushAppends();
-  });
-  machine_->EndPhase();
+  Status flush_status = machine_->TryRunOnNodes(
+      config_.disk_nodes, [this](sim::Node& n) -> Status {
+        return config_.result->fragment(DiskIndexOf(n.id())).FlushAppends();
+      });
+  const Status end = machine_->EndPhase();
+  if (flush_status.ok()) flush_status = end;
+  return flush_status;
 }
 
 }  // namespace gammadb::join

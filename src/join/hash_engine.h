@@ -46,8 +46,10 @@ namespace gammadb::join {
 
 /// A per-disk-node tuple source. Runs on that node's executor task;
 /// must call `yield` once per source tuple (charging its own scan and
-/// predicate costs).
-using Producer = std::function<void(
+/// predicate costs). Returns non-OK when the source scan hits a hard
+/// I/O error (fault injection); the phase then fails and the join
+/// driver restarts the operator.
+using Producer = std::function<Status(
     sim::Node&, const std::function<void(storage::Tuple&&)>&)>;
 
 /// Bucket fragment files: one heap file per (bucket, disk node), as in
@@ -59,6 +61,11 @@ class BucketFileSet {
   BucketFileSet(sim::Machine* machine, const std::vector<int>& disk_nodes,
                 const storage::Schema* schema, int num_buckets,
                 const std::string& label);
+  /// Frees any remaining bucket pages (abandoned mid-join by a fault).
+  ~BucketFileSet();
+
+  BucketFileSet(const BucketFileSet&) = delete;
+  BucketFileSet& operator=(const BucketFileSet&) = delete;
 
   int num_buckets() const { return num_buckets_; }
   size_t num_disks() const { return files_.empty() ? 0 : files_[0].size(); }
@@ -67,8 +74,8 @@ class BucketFileSet {
 
   /// Flushes the partial pages of every fragment of `bucket`; must run
   /// on the owning nodes' tasks (the engine does this at the end of the
-  /// forming phase).
-  void FlushFilesOwnedBy(int node_id);
+  /// forming phase). Fails when a flush write exhausts its retries.
+  Status FlushFilesOwnedBy(int node_id);
 
   uint64_t BucketTuples(int bucket) const;
 
@@ -99,6 +106,8 @@ class HashJoinEngine {
   };
 
   HashJoinEngine(sim::Machine* machine, Config config);
+  /// Frees overflow files abandoned by a failed (faulted) sub-join.
+  ~HashJoinEngine();
 
   enum class Side { kInner, kOuter };
 
@@ -139,7 +148,7 @@ class HashJoinEngine {
                                           const db::PredicateList* predicate);
 
   /// Flushes the result relation's partial pages (one final phase).
-  void FinalizeResult();
+  Status FinalizeResult();
 
   /// True if the benchmark-visible hash chains statistics have data.
   const JoinStats& stats() const { return *config_.stats; }
@@ -181,7 +190,7 @@ class HashJoinEngine {
   void SpoolToOverflow(sim::Node& from, size_t ji, bool is_inner,
                        storage::Tuple&& t);
   void EnsureOverflowFile(size_t ji, bool is_inner);
-  void DrainDiskSide(sim::Node& n, BucketFileSet* buckets);
+  Status DrainDiskSide(sim::Node& n, BucketFileSet* buckets);
   void BuildFilterFromResidents();
   void CollectChainStats();
   bool AnyOverflow() const;

@@ -119,161 +119,224 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
                                    const db::StoredRelation* rel,
                                    const db::PredicateList* predicate,
                                    int field, bool is_inner,
-                                   std::vector<SiteState>& state) {
+                                   std::vector<SiteState>& state) -> Status {
     machine.BeginPhase(label);
     db::ChargeOperatorPhase(machine, static_cast<int>(d), static_cast<int>(d),
                             joining.SerializedBytes());
+    // Both rounds always run in full — the exchange must be drained at
+    // the phase barrier even when a node failed — and only the first
+    // error is kept.
+    Status phase_status;
     // Producers: scan local fragments and route by join-attribute hash.
-    machine.RunOnNodes(disks, [&](sim::Node& n) {
-      size_t di = 0;
-      for (size_t i = 0; i < d; ++i) {
-        if (disks[i] == n.id()) di = i;
-      }
-      exchange.ReserveRow(n.id(), rel->fragment(di).tuple_count());
-      auto scanner = rel->fragment(di).Scan();
-      storage::Tuple t;
-      const bool has_predicate = predicate != nullptr && !predicate->empty();
-      while (scanner.Next(&t)) {
-        if (has_predicate) {
-          n.ChargeCpu(n.cost().cpu_predicate_seconds);
-          if (!db::EvalAll(*predicate, rel->schema(), t)) continue;
-        }
-        const int32_t key = t.GetInt32(rel->schema(), static_cast<size_t>(field));
-        const uint64_t hash = HashJoinAttribute(key, params.hash_seed);
-        n.ChargeCpu(n.cost().cpu_hash_route_seconds);
-        const db::SplitEntry& entry = joining.Route(hash);
-        // The assembled filter is applied by the producers of the outer
-        // relation: eliminated tuples are never transmitted, stored,
-        // sorted or merged.
-        if (!is_inner && filter != nullptr) {
-          size_t site = 0;
-          for (size_t i = 0; i < d; ++i) {
-            if (disks[i] == entry.node) site = i;
-          }
-          n.ChargeCpu(n.cost().cpu_filter_op_seconds);
-          if (!filter->MayContain(static_cast<int>(site), hash)) {
-            ++n.counters().filter_drops;
-            continue;
-          }
-        }
-        const uint32_t bytes = t.size();
-        exchange.Send(n.id(), entry.node, HashedTuple{std::move(t), hash},
-                      bytes);
-      }
-    });
+    {
+      const Status round = machine.TryRunOnNodes(
+          disks, [&](sim::Node& n) -> Status {
+            size_t di = 0;
+            for (size_t i = 0; i < d; ++i) {
+              if (disks[i] == n.id()) di = i;
+            }
+            exchange.ReserveRow(n.id(), rel->fragment(di).tuple_count());
+            auto scanner = rel->fragment(di).Scan();
+            storage::Tuple t;
+            const bool has_predicate =
+                predicate != nullptr && !predicate->empty();
+            while (scanner.Next(&t)) {
+              if (has_predicate) {
+                n.ChargeCpu(n.cost().cpu_predicate_seconds);
+                if (!db::EvalAll(*predicate, rel->schema(), t)) continue;
+              }
+              const int32_t key =
+                  t.GetInt32(rel->schema(), static_cast<size_t>(field));
+              const uint64_t hash = HashJoinAttribute(key, params.hash_seed);
+              n.ChargeCpu(n.cost().cpu_hash_route_seconds);
+              const db::SplitEntry& entry = joining.Route(hash);
+              // The assembled filter is applied by the producers of the
+              // outer relation: eliminated tuples are never transmitted,
+              // stored, sorted or merged.
+              if (!is_inner && filter != nullptr) {
+                size_t site = 0;
+                for (size_t i = 0; i < d; ++i) {
+                  if (disks[i] == entry.node) site = i;
+                }
+                n.ChargeCpu(n.cost().cpu_filter_op_seconds);
+                if (!filter->MayContain(static_cast<int>(site), hash)) {
+                  ++n.counters().filter_drops;
+                  continue;
+                }
+              }
+              const uint32_t bytes = t.size();
+              exchange.Send(n.id(), entry.node,
+                            HashedTuple{std::move(t), hash}, bytes);
+            }
+            return scanner.status();
+          });
+      if (phase_status.ok()) phase_status = round;
+    }
     // Receivers: store into the local temporary file; the inner side
     // also contributes its slice of the bit filter as tuples arrive.
-    machine.RunOnNodes(disks, [&](sim::Node& n) {
-      size_t di = 0;
-      for (size_t i = 0; i < d; ++i) {
-        if (disks[i] == n.id()) di = i;
-      }
-      storage::HeapFile* temp =
-          is_inner ? state[di].r_temp.get() : state[di].s_temp.get();
-      for (HashedTuple& m : exchange.TakeInbox(n.id())) {
-        if (is_inner && filter != nullptr) {
-          n.ChargeCpu(n.cost().cpu_filter_op_seconds);
-          filter->Set(static_cast<int>(di), m.hash);
-        }
-        temp->Append(m.tuple);
-      }
-      temp->FlushAppends();
-    });
-    machine.EndPhase();
+    {
+      const Status round = machine.TryRunOnNodes(
+          disks, [&](sim::Node& n) -> Status {
+            size_t di = 0;
+            for (size_t i = 0; i < d; ++i) {
+              if (disks[i] == n.id()) di = i;
+            }
+            storage::HeapFile* temp =
+                is_inner ? state[di].r_temp.get() : state[di].s_temp.get();
+            Status st;
+            for (HashedTuple& m : exchange.TakeInbox(n.id())) {
+              if (is_inner && filter != nullptr) {
+                n.ChargeCpu(n.cost().cpu_filter_op_seconds);
+                filter->Set(static_cast<int>(di), m.hash);
+              }
+              const Status append = temp->Append(m.tuple);
+              if (st.ok()) st = append;
+            }
+            const Status flush = temp->FlushAppends();
+            if (st.ok()) st = flush;
+            return st;
+          });
+      if (phase_status.ok()) phase_status = round;
+    }
+    const Status end = machine.EndPhase();
+    if (phase_status.ok()) phase_status = end;
+    return phase_status;
   };
 
-  // Phase 1: redistribute R into per-site temporary files.
-  partition_phase("sm partition R", params.inner, params.inner_predicate,
-                  params.inner_field, /*is_inner=*/true, sites);
+  // All join work runs inside `run` so a faulted attempt can release
+  // the per-site temporaries before returning (sorts free their runs
+  // via the ExternalSort destructor).
+  const auto run = [&]() -> Status {
+    // Phase 1: redistribute R into per-site temporary files.
+    GAMMA_RETURN_NOT_OK(partition_phase("sm partition R", params.inner,
+                                        params.inner_predicate,
+                                        params.inner_field,
+                                        /*is_inner=*/true, sites));
 
-  // Phase 2: sort the local R' files in parallel.
-  machine.BeginPhase("sm sort R");
-  db::ChargeOperatorPhase(machine, static_cast<int>(d), 0, 0);
-  machine.RunOnNodes(disks, [&](sim::Node& n) {
-    size_t di = 0;
-    for (size_t i = 0; i < d; ++i) {
-      if (disks[i] == n.id()) di = i;
+    // Phase 2: sort the local R' files in parallel.
+    machine.BeginPhase("sm sort R");
+    db::ChargeOperatorPhase(machine, static_cast<int>(d), 0, 0);
+    Status sort_status = machine.TryRunOnNodes(
+        disks, [&](sim::Node& n) -> Status {
+          size_t di = 0;
+          for (size_t i = 0; i < d; ++i) {
+            if (disks[i] == n.id()) di = i;
+          }
+          sites[di].r_sort = std::make_unique<storage::ExternalSort>(
+              &n, &r_schema, params.inner_field, sort_pages_per_node);
+          GAMMA_RETURN_NOT_OK(sites[di].r_sort->AddFile(*sites[di].r_temp));
+          sites[di].r_temp->Free();
+          return sites[di].r_sort->FinishInput();
+        });
+    {
+      const Status end = machine.EndPhase();
+      if (sort_status.ok()) sort_status = end;
+      GAMMA_RETURN_NOT_OK(sort_status);
     }
-    sites[di].r_sort = std::make_unique<storage::ExternalSort>(
-        &n, &r_schema, params.inner_field, sort_pages_per_node);
-    sites[di].r_sort->AddFile(*sites[di].r_temp);
-    sites[di].r_temp->Free();
-    sites[di].r_sort->FinishInput();
-  });
-  machine.EndPhase();
-  if (filter != nullptr) {
-    // Ship the assembled filter packet to the producing sites before S
-    // is read.
-    machine.BeginPhase("sm filter dist");
-    db::ChargeFilterDistribution(machine, static_cast<int>(d),
-                                 static_cast<int>(d));
-    machine.EndPhase();
+    if (filter != nullptr) {
+      // Ship the assembled filter packet to the producing sites before S
+      // is read.
+      machine.BeginPhase("sm filter dist");
+      db::ChargeFilterDistribution(machine, static_cast<int>(d),
+                                   static_cast<int>(d));
+      GAMMA_RETURN_NOT_OK(machine.EndPhase());
+    }
+
+    // Phase 3: redistribute S (filtered at the producers).
+    GAMMA_RETURN_NOT_OK(partition_phase("sm partition S", params.outer,
+                                        params.outer_predicate,
+                                        params.outer_field,
+                                        /*is_inner=*/false, sites));
+
+    // Phase 4: sort the local S' files in parallel.
+    machine.BeginPhase("sm sort S");
+    db::ChargeOperatorPhase(machine, static_cast<int>(d), 0, 0);
+    sort_status = machine.TryRunOnNodes(
+        disks, [&](sim::Node& n) -> Status {
+          size_t di = 0;
+          for (size_t i = 0; i < d; ++i) {
+            if (disks[i] == n.id()) di = i;
+          }
+          sites[di].s_sort = std::make_unique<storage::ExternalSort>(
+              &n, &s_schema, params.outer_field, sort_pages_per_node);
+          GAMMA_RETURN_NOT_OK(sites[di].s_sort->AddFile(*sites[di].s_temp));
+          sites[di].s_temp->Free();
+          return sites[di].s_sort->FinishInput();
+        });
+    {
+      const Status end = machine.EndPhase();
+      if (sort_status.ok()) sort_status = end;
+      GAMMA_RETURN_NOT_OK(sort_status);
+    }
+
+    for (const SiteState& site : sites) {
+      stats->inner_sort_passes = std::max(stats->inner_sort_passes,
+                                          site.r_sort->intermediate_passes());
+      stats->outer_sort_passes = std::max(stats->outer_sort_passes,
+                                          site.s_sort->intermediate_passes());
+    }
+
+    // Phase 5: parallel local merge join; results round-robin to the
+    // store operators.
+    machine.BeginPhase("sm merge join");
+    db::ChargeOperatorPhase(machine, static_cast<int>(d), static_cast<int>(d),
+                            0);
+    Status merge_status = machine.TryRunOnNodes(
+        disks, [&](sim::Node& n) -> Status {
+          size_t di = 0;
+          for (size_t i = 0; i < d; ++i) {
+            if (disks[i] == n.id()) di = i;
+          }
+          auto r_stream = sites[di].r_sort->OpenStream();
+          auto s_stream = sites[di].s_sort->OpenStream();
+          MergeJoinStreams(
+              n, r_stream.get(), s_stream.get(), r_schema, params.inner_field,
+              s_schema, params.outer_field,
+              [&](const storage::Tuple& r, const storage::Tuple& s) {
+                n.ChargeCpu(n.cost().cpu_build_result_seconds);
+                storage::Tuple result = storage::Tuple::Concat(r, s);
+                ++n.counters().result_tuples;
+                const size_t target = sites[di].store_rr_next++ % d;
+                const uint32_t bytes = result.size();
+                store_exchange.Send(n.id(), disks[target], std::move(result),
+                                    bytes);
+              });
+          GAMMA_RETURN_NOT_OK(r_stream->status());
+          return s_stream->status();
+        });
+    {
+      const Status round = machine.TryRunOnNodes(
+          disks, [&](sim::Node& n) -> Status {
+            size_t di = 0;
+            for (size_t i = 0; i < d; ++i) {
+              if (disks[i] == n.id()) di = i;
+            }
+            Status st;
+            for (storage::Tuple& t : store_exchange.TakeInbox(n.id())) {
+              const Status append = params.result->fragment(di).Append(t);
+              if (st.ok()) st = append;
+            }
+            const Status flush = params.result->fragment(di).FlushAppends();
+            if (st.ok()) st = flush;
+            return st;
+          });
+      if (merge_status.ok()) merge_status = round;
+    }
+    const Status end = machine.EndPhase();
+    if (merge_status.ok()) merge_status = end;
+    return merge_status;
+  };
+
+  const Status st = run();
+  if (!st.ok()) {
+    // Release the temporaries a faulted attempt abandoned (Free is
+    // idempotent; the temps are normally freed right after sorting).
+    for (SiteState& site : sites) {
+      site.r_temp->Free();
+      site.s_temp->Free();
+    }
   }
-
-  // Phase 3: redistribute S (filtered at the producers).
-  partition_phase("sm partition S", params.outer, params.outer_predicate,
-                  params.outer_field, /*is_inner=*/false, sites);
-
-  // Phase 4: sort the local S' files in parallel.
-  machine.BeginPhase("sm sort S");
-  db::ChargeOperatorPhase(machine, static_cast<int>(d), 0, 0);
-  machine.RunOnNodes(disks, [&](sim::Node& n) {
-    size_t di = 0;
-    for (size_t i = 0; i < d; ++i) {
-      if (disks[i] == n.id()) di = i;
-    }
-    sites[di].s_sort = std::make_unique<storage::ExternalSort>(
-        &n, &s_schema, params.outer_field, sort_pages_per_node);
-    sites[di].s_sort->AddFile(*sites[di].s_temp);
-    sites[di].s_temp->Free();
-    sites[di].s_sort->FinishInput();
-  });
-  machine.EndPhase();
-
-  for (const SiteState& site : sites) {
-    stats->inner_sort_passes =
-        std::max(stats->inner_sort_passes, site.r_sort->intermediate_passes());
-    stats->outer_sort_passes =
-        std::max(stats->outer_sort_passes, site.s_sort->intermediate_passes());
-  }
-
-  // Phase 5: parallel local merge join; results round-robin to the
-  // store operators.
-  machine.BeginPhase("sm merge join");
-  db::ChargeOperatorPhase(machine, static_cast<int>(d), static_cast<int>(d), 0);
-  machine.RunOnNodes(disks, [&](sim::Node& n) {
-    size_t di = 0;
-    for (size_t i = 0; i < d; ++i) {
-      if (disks[i] == n.id()) di = i;
-    }
-    auto r_stream = sites[di].r_sort->OpenStream();
-    auto s_stream = sites[di].s_sort->OpenStream();
-    MergeJoinStreams(n, r_stream.get(), s_stream.get(), r_schema,
-                     params.inner_field, s_schema, params.outer_field,
-                     [&](const storage::Tuple& r, const storage::Tuple& s) {
-                       n.ChargeCpu(n.cost().cpu_build_result_seconds);
-                       storage::Tuple result = storage::Tuple::Concat(r, s);
-                       ++n.counters().result_tuples;
-                       const size_t target =
-                           sites[di].store_rr_next++ % d;
-                       const uint32_t bytes = result.size();
-                       store_exchange.Send(n.id(), disks[target],
-                                           std::move(result), bytes);
-                     });
-  });
-  machine.RunOnNodes(disks, [&](sim::Node& n) {
-    size_t di = 0;
-    for (size_t i = 0; i < d; ++i) {
-      if (disks[i] == n.id()) di = i;
-    }
-    for (storage::Tuple& t : store_exchange.TakeInbox(n.id())) {
-      params.result->fragment(di).Append(t);
-    }
-    params.result->fragment(di).FlushAppends();
-  });
-  machine.EndPhase();
-
-  return Status::OK();
+  return st;
 }
 
 }  // namespace gammadb::join

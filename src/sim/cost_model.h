@@ -69,6 +69,10 @@ struct CostModel {
   /// explicit that short-circuited traffic still pays protocol cost
   /// ("the protocol cost cannot be ignored", Section 4.1).
   double net_local_packet_cpu_seconds = 0.0020;
+  /// Sender CPU to detect a lost packet (window timeout / NAK handling)
+  /// and queue its retransmission, on top of the normal send cost of the
+  /// resent packet. Only charged under injected packet loss (sim/fault.h).
+  double net_retransmit_detect_cpu_seconds = 0.0050;
   /// Ring occupancy per byte: 80 Mbit/s = 10 MB/s.
   double net_wire_seconds_per_byte = 1.0e-7;
   /// Usable payload of one network packet.

@@ -1,8 +1,10 @@
 #include "sim/disk.h"
 
 #include <cstring>
+#include <string>
 
 #include "common/logging.h"
+#include "sim/fault.h"
 #include "sim/node.h"
 
 namespace gammadb::sim {
@@ -26,29 +28,55 @@ void Disk::FreePage(PageId id) {
   free_list_.push_back(id);
 }
 
-void Disk::ChargeIo(AccessPattern pattern, bool is_write) const {
+Status Disk::RunIoAttempts(AccessPattern pattern, bool is_write) const {
   const double device = pattern == AccessPattern::kSequential
                             ? cost_->disk_seq_page_seconds
                             : cost_->disk_rand_page_seconds;
-  owner_->ChargeDisk(device);
-  owner_->ChargeCpu(cost_->cpu_page_io_seconds);
-  if (is_write) {
-    ++owner_->counters().pages_written;
-  } else {
-    ++owner_->counters().pages_read;
+  Counters& counters = owner_->counters();
+  for (int attempt = 1;; ++attempt) {
+    // Every attempt pays full device + issue-CPU time: a retried I/O is
+    // a real arm movement plus a fresh WiSS call.
+    owner_->ChargeDisk(device);
+    owner_->ChargeCpu(cost_->cpu_page_io_seconds);
+    FaultInjector* faults = owner_->fault_injector();
+    const bool failed =
+        faults != nullptr && (is_write ? faults->OnPageWrite(owner_->id())
+                                       : faults->OnPageRead(owner_->id()));
+    if (!failed) {
+      if (is_write) {
+        ++counters.pages_written;
+      } else {
+        ++counters.pages_read;
+      }
+      return Status::OK();
+    }
+    if (is_write) {
+      ++counters.disk_write_faults;
+    } else {
+      ++counters.disk_read_faults;
+    }
+    if (attempt >= kMaxIoAttempts) {
+      return Status::Unavailable(
+          std::string("page ") + (is_write ? "write" : "read") +
+          " failed after " + std::to_string(kMaxIoAttempts) +
+          " attempts on node " + std::to_string(owner_->id()));
+    }
+    ++counters.io_retries;
   }
 }
 
-void Disk::WritePage(PageId id, const uint8_t* data, AccessPattern pattern) {
+Status Disk::WritePage(PageId id, const uint8_t* data, AccessPattern pattern) {
   GAMMA_DCHECK(id < pages_.size());
+  GAMMA_RETURN_NOT_OK(RunIoAttempts(pattern, /*is_write=*/true));
   std::memcpy(pages_[id].get(), data, cost_->page_bytes);
-  ChargeIo(pattern, /*is_write=*/true);
+  return Status::OK();
 }
 
-void Disk::ReadPage(PageId id, uint8_t* out, AccessPattern pattern) const {
+Status Disk::ReadPage(PageId id, uint8_t* out, AccessPattern pattern) const {
   GAMMA_DCHECK(id < pages_.size());
+  GAMMA_RETURN_NOT_OK(RunIoAttempts(pattern, /*is_write=*/false));
   std::memcpy(out, pages_[id].get(), cost_->page_bytes);
-  ChargeIo(pattern, /*is_write=*/false);
+  return Status::OK();
 }
 
 const uint8_t* Disk::PeekPage(PageId id) const {

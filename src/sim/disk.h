@@ -30,6 +30,11 @@ enum class AccessPattern {
 
 class Disk {
  public:
+  /// Attempts per page I/O before a transient fault becomes a hard
+  /// Status::Unavailable error (sim/fault.h). Every attempt, failed or
+  /// not, charges full device + issue-CPU time.
+  static constexpr int kMaxIoAttempts = 4;
+
   /// The disk charges all I/O to `owner` (in a shared-nothing machine a
   /// disk is only ever accessed by its own processor).
   Disk(Node* owner, const CostModel* cost);
@@ -46,11 +51,14 @@ class Disk {
   void FreePage(PageId id);
 
   /// Copies `cost().page_bytes` bytes into the page and charges one page
-  /// write to the owning node.
-  void WritePage(PageId id, const uint8_t* data, AccessPattern pattern);
+  /// write to the owning node. Fails with Status::Unavailable when an
+  /// armed fault plan exhausts the retry budget.
+  Status WritePage(PageId id, const uint8_t* data, AccessPattern pattern);
 
   /// Copies the page out and charges one page read to the owning node.
-  void ReadPage(PageId id, uint8_t* out, AccessPattern pattern) const;
+  /// Fails with Status::Unavailable when an armed fault plan exhausts
+  /// the retry budget.
+  Status ReadPage(PageId id, uint8_t* out, AccessPattern pattern) const;
 
   /// Direct, read-only view of page bytes WITHOUT charging I/O. Used by
   /// tests and by code paths that re-examine a page already charged.
@@ -62,7 +70,9 @@ class Disk {
   const CostModel& cost() const { return *cost_; }
 
  private:
-  void ChargeIo(AccessPattern pattern, bool is_write) const;
+  /// Runs the attempt/retry loop for one page I/O: charges each attempt,
+  /// consults the armed fault injector, and counts faults and retries.
+  Status RunIoAttempts(AccessPattern pattern, bool is_write) const;
 
   Node* owner_;
   const CostModel* cost_;

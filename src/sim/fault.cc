@@ -1,0 +1,151 @@
+#include "sim/fault.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace gammadb::sim {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDiskReadTransient:
+      return "disk-read-transient";
+    case FaultKind::kDiskWriteTransient:
+      return "disk-write-transient";
+    case FaultKind::kPacketLoss:
+      return "packet-loss";
+    case FaultKind::kPacketDuplicate:
+      return "packet-duplicate";
+    case FaultKind::kNodeCrash:
+      return "node-crash";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::AddPeriodic(FaultKind kind, int node, uint64_t period,
+                                  int count) {
+  GAMMA_CHECK_GE(period, 1u);
+  for (int i = 1; i <= count; ++i) {
+    Add(FaultEvent{kind, node, period * static_cast<uint64_t>(i), 1, ""});
+  }
+  return *this;
+}
+
+FaultPlan FaultPlan::Random(uint64_t seed, const RandomOptions& options) {
+  GAMMA_CHECK_GE(options.num_nodes, 1);
+  Rng rng(seed);
+  FaultPlan plan;
+  const auto draw = [&](FaultKind kind, uint64_t horizon) {
+    for (int i = 0; i < options.events_per_class; ++i) {
+      FaultEvent event;
+      event.kind = kind;
+      event.node =
+          static_cast<int>(rng.Uniform(static_cast<uint64_t>(options.num_nodes)));
+      event.ordinal = 1 + rng.Uniform(horizon);
+      plan.Add(std::move(event));
+    }
+  };
+  if (options.disk_faults) {
+    draw(FaultKind::kDiskReadTransient, options.io_horizon);
+    draw(FaultKind::kDiskWriteTransient, options.io_horizon);
+  }
+  if (options.packet_faults) {
+    draw(FaultKind::kPacketLoss, options.packet_horizon);
+    draw(FaultKind::kPacketDuplicate, options.packet_horizon);
+  }
+  if (options.crashes) {
+    draw(FaultKind::kNodeCrash, options.phase_horizon);
+  }
+  return plan;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, int num_nodes) {
+  GAMMA_CHECK_GE(num_nodes, 1);
+  for (auto& tracks : tracks_) {
+    tracks.resize(static_cast<size_t>(num_nodes));
+  }
+  for (const FaultEvent& event : plan.events()) {
+    GAMMA_CHECK(event.node >= 0 && event.node < num_nodes)
+        << "fault event node " << event.node << " out of range";
+    GAMMA_CHECK_GE(event.ordinal, 1u);
+    GAMMA_CHECK_GE(event.repeat, 1);
+    if (event.kind == FaultKind::kNodeCrash) {
+      CrashEvent crash;
+      crash.node = event.node;
+      crash.label = event.phase_label;
+      crash.first = event.ordinal;
+      crash.last = event.ordinal + static_cast<uint64_t>(event.repeat) - 1;
+      crashes_.push_back(std::move(crash));
+      continue;
+    }
+    int track_index = kReadTrack;
+    switch (event.kind) {
+      case FaultKind::kDiskReadTransient:
+        track_index = kReadTrack;
+        break;
+      case FaultKind::kDiskWriteTransient:
+        track_index = kWriteTrack;
+        break;
+      case FaultKind::kPacketLoss:
+        track_index = kLossTrack;
+        break;
+      case FaultKind::kPacketDuplicate:
+        track_index = kDupTrack;
+        break;
+      case FaultKind::kNodeCrash:
+        break;  // handled above
+    }
+    Track& track = tracks_[track_index][static_cast<size_t>(event.node)];
+    for (int i = 0; i < event.repeat; ++i) {
+      track.ordinals.push_back(event.ordinal + static_cast<uint64_t>(i));
+    }
+  }
+  for (auto& tracks : tracks_) {
+    for (Track& track : tracks) {
+      std::sort(track.ordinals.begin(), track.ordinals.end());
+      track.ordinals.erase(
+          std::unique(track.ordinals.begin(), track.ordinals.end()),
+          track.ordinals.end());
+    }
+  }
+}
+
+uint64_t FaultInjector::Advance(Track& track, uint64_t events) {
+  track.count += events;
+  uint64_t fired = 0;
+  while (track.next < track.ordinals.size() &&
+         track.ordinals[track.next] <= track.count) {
+    ++track.next;
+    ++fired;
+  }
+  return fired;
+}
+
+FaultInjector::PacketFaults FaultInjector::OnPacketsDelivered(
+    int dst, uint64_t packets) {
+  PacketFaults faults;
+  faults.lost = static_cast<int64_t>(
+      Advance(tracks_[kLossTrack][static_cast<size_t>(dst)], packets));
+  faults.duplicated = static_cast<int64_t>(
+      Advance(tracks_[kDupTrack][static_cast<size_t>(dst)], packets));
+  return faults;
+}
+
+int FaultInjector::OnPhaseEntry(const std::string& label) {
+  int crashed = -1;
+  for (CrashEvent& crash : crashes_) {
+    if (crash.matched >= crash.last) continue;  // consumed
+    if (!crash.label.empty() && label.find(crash.label) == std::string::npos) {
+      continue;
+    }
+    ++crash.matched;
+    if (crash.matched >= crash.first && crash.matched <= crash.last &&
+        crashed < 0) {
+      crashed = crash.node;
+    }
+  }
+  return crashed;
+}
+
+}  // namespace gammadb::sim

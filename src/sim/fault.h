@@ -1,0 +1,173 @@
+// Deterministic, seeded fault injection for the simulated machine.
+//
+// A FaultPlan schedules faults keyed on *counted events*: the N-th page
+// read (or write) issued on node k, the M-th remote packet delivered to
+// destination j, the P-th entry into a phase whose label contains a
+// given substring. Whether a fault fires therefore depends only on the
+// query plan and the FaultPlan itself — never on wall-clock time or
+// thread interleaving — so fault runs compose with the determinism
+// contract (DESIGN.md): metrics are bit-identical at any executor
+// thread count, with or without faults.
+//
+// Three fault classes are modeled:
+//  * transient disk errors — a scheduled read/write attempt fails; the
+//    disk retries (charging device + CPU time per attempt) and returns
+//    Status::Unavailable once the retry budget is exhausted;
+//  * packet loss / duplication — scheduled remote packets are lost (the
+//    sender's sliding-window protocol detects the gap and retransmits,
+//    paying extra send CPU and ring occupancy) or duplicated (the
+//    receiver pays the receive path again and discards by sequence
+//    number). Data is never corrupted: the protocol guarantees
+//    delivery, so only costs and counters change;
+//  * node crash — a node fails at the start of a scheduled phase; the
+//    phase's work is wasted and Machine::EndPhase returns
+//    Status::Aborted, which join::ExecuteJoin answers with Gamma's
+//    recovery scheme: abort the operator, discard its partial output
+//    and re-run it, billing the wasted time as recovery_seconds.
+//
+// Event counters are monotonic from Machine::ArmFaults (they do not
+// reset with ResetMetrics), and every scheduled fault fires at most
+// once — which is what lets an operator restart run to completion.
+#ifndef GAMMA_SIM_FAULT_H_
+#define GAMMA_SIM_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gammadb::sim {
+
+enum class FaultKind : uint8_t {
+  kDiskReadTransient,
+  kDiskWriteTransient,
+  kPacketLoss,
+  kPacketDuplicate,
+  kNodeCrash,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDiskReadTransient;
+  /// Node the event counter is keyed on: the node issuing the disk I/O,
+  /// the destination of the remote packet, or the crashing node.
+  int node = 0;
+  /// 1-based count of the triggering event since ArmFaults (the N-th
+  /// read, the M-th delivered remote packet, the P-th matching phase
+  /// entry).
+  uint64_t ordinal = 1;
+  /// Number of consecutive events that fault: ordinals
+  /// [ordinal, ordinal + repeat). A disk fault with repeat >= the disk's
+  /// retry budget becomes a hard I/O error that propagates out of the
+  /// storage layer as Status::Unavailable.
+  int repeat = 1;
+  /// kNodeCrash only: count entries into phases whose label contains
+  /// this substring ("" = every phase).
+  std::string phase_label;
+};
+
+/// An ordered set of scheduled faults. Build one explicitly with Add()
+/// or derive one from a seed with Random(); install it with
+/// Machine::ArmFaults.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& Add(FaultEvent event) {
+    events_.push_back(std::move(event));
+    return *this;
+  }
+
+  /// Schedules a fault on every `period`-th event of `kind` on `node`,
+  /// for `count` occurrences (ordinals period, 2*period, ...).
+  FaultPlan& AddPeriodic(FaultKind kind, int node, uint64_t period,
+                         int count);
+
+  bool empty() const { return events_.empty(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  struct RandomOptions {
+    int num_nodes = 8;
+    /// Events drawn per enabled fault class.
+    int events_per_class = 2;
+    /// Disk/packet ordinals are drawn from [1, horizon].
+    uint64_t io_horizon = 200;
+    uint64_t packet_horizon = 100;
+    /// Crash ordinals are drawn from [1, phase_horizon].
+    uint64_t phase_horizon = 3;
+    bool disk_faults = true;
+    bool packet_faults = true;
+    bool crashes = true;
+  };
+
+  /// A seeded random plan (same seed -> same plan, common/random.h).
+  static FaultPlan Random(uint64_t seed, const RandomOptions& options);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Runtime state of an armed FaultPlan: per-(kind, node) monotonic event
+/// counters plus the scheduled ordinals still pending. Owned by the
+/// Machine; nodes and the network hold raw pointers.
+///
+/// Thread-safety matches the simulator's single-writer contract: within
+/// a phase, the counters of (kind, node) are only advanced by the
+/// executor task running on behalf of that node (disk I/O) or by the
+/// serial EndPhase/BeginPhase path (packets, crashes), so no locking is
+/// needed and firing order is deterministic.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, int num_nodes);
+
+  /// Counts one page-read (-write) attempt on `node`; returns true when
+  /// that attempt is scheduled to fail.
+  bool OnPageRead(int node) {
+    return Advance(tracks_[kReadTrack][static_cast<size_t>(node)], 1) != 0;
+  }
+  bool OnPageWrite(int node) {
+    return Advance(tracks_[kWriteTrack][static_cast<size_t>(node)], 1) != 0;
+  }
+
+  struct PacketFaults {
+    int64_t lost = 0;
+    int64_t duplicated = 0;
+  };
+
+  /// Counts `packets` remote packets delivered to `dst` and returns how
+  /// many in that range are scheduled to be lost / duplicated.
+  PacketFaults OnPacketsDelivered(int dst, uint64_t packets);
+
+  /// Counts one phase entry against every pending crash event whose
+  /// label matches `label`. Returns the id of the crashing node, or -1.
+  int OnPhaseEntry(const std::string& label);
+
+ private:
+  /// Scheduled ordinals (ascending) against a monotonic event counter.
+  struct Track {
+    std::vector<uint64_t> ordinals;
+    size_t next = 0;     // first unconsumed ordinal
+    uint64_t count = 0;  // events seen so far
+  };
+
+  struct CrashEvent {
+    int node = 0;
+    std::string label;
+    uint64_t first = 1;  // ordinal
+    uint64_t last = 1;   // ordinal + repeat - 1
+    uint64_t matched = 0;
+  };
+
+  /// Advances `track` by `events` and returns how many scheduled
+  /// ordinals fall inside the advanced range (consuming them).
+  static uint64_t Advance(Track& track, uint64_t events);
+
+  enum { kReadTrack = 0, kWriteTrack, kLossTrack, kDupTrack, kNumTracks };
+
+  std::vector<Track> tracks_[kNumTracks];  // indexed by node id
+  std::vector<CrashEvent> crashes_;
+};
+
+}  // namespace gammadb::sim
+
+#endif  // GAMMA_SIM_FAULT_H_

@@ -22,6 +22,25 @@ Machine::Machine(MachineConfig config)
   }
 }
 
+void Machine::ArmFaults(const FaultPlan& plan) {
+  GAMMA_CHECK(!in_phase_) << "cannot arm faults inside a phase";
+  if (plan.empty()) {
+    DisarmFaults();
+    return;
+  }
+  faults_ = std::make_unique<FaultInjector>(plan, num_nodes());
+  for (auto& node : nodes_) node->set_fault_injector(faults_.get());
+  network_.set_fault_injector(faults_.get());
+}
+
+void Machine::DisarmFaults() {
+  GAMMA_CHECK(!in_phase_) << "cannot disarm faults inside a phase";
+  for (auto& node : nodes_) node->set_fault_injector(nullptr);
+  network_.set_fault_injector(nullptr);
+  faults_.reset();
+  crashed_node_ = -1;
+}
+
 std::vector<int> Machine::DiskNodeIds() const {
   std::vector<int> ids(static_cast<size_t>(config_.num_disk_nodes));
   for (int i = 0; i < config_.num_disk_nodes; ++i) ids[static_cast<size_t>(i)] = i;
@@ -42,6 +61,13 @@ void Machine::BeginPhase(std::string label) {
   phase_label_ = std::move(label);
   phase_sched_seconds_ = 0;
   for (auto& node : nodes_) node->ResetPhaseUsage();
+  if (faults_ != nullptr) {
+    const int crashed = faults_->OnPhaseEntry(phase_label_);
+    if (crashed >= 0) {
+      crashed_node_ = crashed;
+      ++machine_counters_.node_crashes;
+    }
+  }
 }
 
 void Machine::ChargeScheduler(double seconds, int64_t messages) {
@@ -50,7 +76,7 @@ void Machine::ChargeScheduler(double seconds, int64_t messages) {
   machine_counters_.control_messages += messages;
 }
 
-void Machine::EndPhase() {
+Status Machine::EndPhase() {
   GAMMA_CHECK(in_phase_);
   PhaseRecord record;
   record.label = std::move(phase_label_);
@@ -71,8 +97,16 @@ void Machine::EndPhase() {
   record.elapsed_seconds =
       std::max(slowest_node, record.ring_seconds) + record.sched_seconds;
   response_seconds_ += record.elapsed_seconds;
+  const std::string label = record.label;
   phases_.push_back(std::move(record));
   in_phase_ = false;
+  if (crashed_node_ >= 0) {
+    const int node = crashed_node_;
+    crashed_node_ = -1;
+    return Status::Aborted("node " + std::to_string(node) +
+                           " crashed during phase '" + label + "'");
+  }
+  return Status::OK();
 }
 
 void Machine::RunOnNodes(const std::vector<int>& ids,
@@ -87,9 +121,35 @@ void Machine::RunOnNodes(const std::vector<int>& ids,
   executor_.Run(std::move(tasks));
 }
 
+Status Machine::TryRunOnNodes(const std::vector<int>& ids,
+                              const std::function<Status(Node&)>& fn) {
+  std::vector<Status> statuses(ids.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    GAMMA_CHECK(ids[i] >= 0 && ids[i] < num_nodes())
+        << "bad node id " << ids[i];
+    Node* node = nodes_[static_cast<size_t>(ids[i])].get();
+    Status* slot = &statuses[i];
+    tasks.push_back([node, &fn, slot] { *slot = fn(*node); });
+  }
+  executor_.Run(std::move(tasks));
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+void Machine::RecordOperatorRestart(double wasted_seconds) {
+  GAMMA_CHECK(!in_phase_);
+  ++machine_counters_.operator_restarts;
+  recovery_seconds_ += wasted_seconds;
+}
+
 RunMetrics Machine::Metrics() const {
   RunMetrics m;
   m.response_seconds = response_seconds_;
+  m.recovery_seconds = recovery_seconds_;
   m.phases = phases_;
   m.counters = machine_counters_;
   for (const auto& node : nodes_) {
@@ -101,6 +161,9 @@ RunMetrics Machine::Metrics() const {
     m.counters.ht_overflows += c.ht_overflows;
     m.counters.filter_drops += c.filter_drops;
     m.counters.result_tuples += c.result_tuples;
+    m.counters.disk_read_faults += c.disk_read_faults;
+    m.counters.disk_write_faults += c.disk_write_faults;
+    m.counters.io_retries += c.io_retries;
   }
   return m;
 }
@@ -108,6 +171,7 @@ RunMetrics Machine::Metrics() const {
 void Machine::ResetMetrics() {
   GAMMA_CHECK(!in_phase_);
   response_seconds_ = 0;
+  recovery_seconds_ = 0;
   machine_counters_ = Counters{};
   phases_.clear();
   for (auto& node : nodes_) {

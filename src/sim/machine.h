@@ -15,8 +15,10 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "sim/cost_model.h"
 #include "sim/executor.h"
+#include "sim/fault.h"
 #include "sim/metrics.h"
 #include "sim/network.h"
 #include "sim/node.h"
@@ -51,9 +53,27 @@ class Machine {
   const CostModel& cost() const { return config_.cost; }
   const MachineConfig& config() const { return config_; }
 
+  // --- Fault injection (sim/fault.h) --------------------------------------
+
+  /// Installs a fault plan. Event counters start at zero on arming (so a
+  /// plan written against query events should be armed after loading) and
+  /// are monotonic thereafter — ResetMetrics does NOT reset them, which is
+  /// what lets a restarted operator run past its consumed faults. Replaces
+  /// any previously armed plan; an empty plan is equivalent to disarming.
+  void ArmFaults(const FaultPlan& plan);
+
+  /// Removes the armed fault plan. The machine is fault-free again.
+  void DisarmFaults();
+
+  bool faults_armed() const { return faults_ != nullptr; }
+
   // --- Phase control -----------------------------------------------------
 
-  /// Opens a phase. Phases must not nest.
+  /// Opens a phase. Phases must not nest. If the armed fault plan
+  /// schedules a node crash for this phase entry, the crash is latched
+  /// here and surfaces as Status::Aborted from the matching EndPhase
+  /// (the phase's work still runs — and is wasted, exactly as it would
+  /// be on the real machine).
   void BeginPhase(std::string label);
 
   /// Adds serialized scheduler work (control messages, split-table
@@ -64,12 +84,27 @@ class Machine {
   /// Closes the phase: flushes network traffic, computes the phase's
   /// elapsed time (max over nodes of max(cpu, disk), then max with ring
   /// occupancy, plus scheduler seconds) and adds it to the response time.
-  void EndPhase();
+  /// Returns Status::Aborted when a scheduled node crash fired at this
+  /// phase's entry (the phase record is kept either way — its time was
+  /// really spent). Callers that cannot recover may ignore the result.
+  Status EndPhase();
 
   /// Runs `fn(node)` once for each id in `ids` (a phase sub-step); blocks
   /// until all complete.
   void RunOnNodes(const std::vector<int>& ids,
                   const std::function<void(Node&)>& fn);
+
+  /// As RunOnNodes, for fallible work: every task runs to completion
+  /// (the phase barrier is preserved) and the non-OK status of the
+  /// lowest-id node, if any, is returned — the deterministic choice at
+  /// any thread count.
+  Status TryRunOnNodes(const std::vector<int>& ids,
+                       const std::function<Status(Node&)>& fn);
+
+  /// Records one Gamma-style operator recovery: the aborted attempt's
+  /// `wasted_seconds` are accounted as recovery time (they are already
+  /// part of response_seconds) and operator_restarts is incremented.
+  void RecordOperatorRestart(double wasted_seconds);
 
   // --- Results ------------------------------------------------------------
 
@@ -88,12 +123,15 @@ class Machine {
   std::vector<std::unique_ptr<Node>> nodes_;
   Network network_;
   Executor executor_;
+  std::unique_ptr<FaultInjector> faults_;
 
   bool in_phase_ = false;
   std::string phase_label_;
   double phase_sched_seconds_ = 0;
+  int crashed_node_ = -1;  // latched by BeginPhase, surfaced by EndPhase
 
   double response_seconds_ = 0;
+  double recovery_seconds_ = 0;
   Counters machine_counters_;  // network + scheduler counters
   std::vector<PhaseRecord> phases_;
 };

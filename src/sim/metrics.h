@@ -51,6 +51,25 @@ struct Counters {
   int64_t filter_drops = 0;         // outer tuples eliminated by bit filters
   int64_t result_tuples = 0;
 
+  // --- Fault injection & recovery (sim/fault.h). All remain zero when
+  // --- no FaultPlan is armed; serialization omits them in that case so
+  // --- fault-free metrics JSON is byte-identical to pre-fault baselines.
+  int64_t disk_read_faults = 0;     // failed page-read attempts
+  int64_t disk_write_faults = 0;    // failed page-write attempts
+  int64_t io_retries = 0;           // extra attempts after transient faults
+  int64_t packets_lost = 0;         // remote packets dropped by the ring
+  int64_t packets_duplicated = 0;   // remote packets delivered twice
+  int64_t packets_retransmitted = 0;  // sender resends after a loss
+  int64_t node_crashes = 0;         // mid-phase node failures
+  int64_t operator_restarts = 0;    // Gamma-style abort-and-rerun recoveries
+
+  /// True when any fault machinery engaged during the run.
+  bool AnyFaults() const {
+    return (disk_read_faults | disk_write_faults | io_retries | packets_lost |
+            packets_duplicated | packets_retransmitted | node_crashes |
+            operator_restarts) != 0;
+  }
+
   /// Fraction of routed tuples that never crossed the ring.
   double ShortCircuitFraction() const {
     const int64_t total = tuples_sent_local + tuples_sent_remote;
@@ -63,6 +82,9 @@ struct Counters {
 /// Full account of one simulated query execution.
 struct RunMetrics {
   double response_seconds = 0;
+  /// Part of response_seconds spent re-doing work after recoveries
+  /// (wasted time of aborted operator attempts). 0 without faults.
+  double recovery_seconds = 0;
   Counters counters;
   std::vector<PhaseRecord> phases;
 

@@ -7,7 +7,7 @@ JsonValue CountersToJson(const Counters& counters) {
   // field without emitting it would silently drop it from every
   // baseline. The size check below fails the build until this function
   // (and the schema test) are updated.
-  static_assert(sizeof(Counters) == 14 * sizeof(int64_t),
+  static_assert(sizeof(Counters) == 22 * sizeof(int64_t),
                 "Counters changed: update CountersToJson, "
                 "metrics_json_test.cc and docs/benchmarking.md");
   JsonValue out = JsonValue::MakeObject();
@@ -25,6 +25,20 @@ JsonValue CountersToJson(const Counters& counters) {
   out.Set("ht_overflows", counters.ht_overflows);
   out.Set("filter_drops", counters.filter_drops);
   out.Set("result_tuples", counters.result_tuples);
+  // Fault counters are emitted only when fault machinery engaged:
+  // fault-free runs must stay byte-identical to pre-fault baselines
+  // (bench_diff ignores candidate-only keys, so fault baselines and
+  // plain baselines coexist).
+  if (counters.AnyFaults()) {
+    out.Set("disk_read_faults", counters.disk_read_faults);
+    out.Set("disk_write_faults", counters.disk_write_faults);
+    out.Set("io_retries", counters.io_retries);
+    out.Set("packets_lost", counters.packets_lost);
+    out.Set("packets_duplicated", counters.packets_duplicated);
+    out.Set("packets_retransmitted", counters.packets_retransmitted);
+    out.Set("node_crashes", counters.node_crashes);
+    out.Set("operator_restarts", counters.operator_restarts);
+  }
   out.Set("short_circuit_fraction", counters.ShortCircuitFraction());
   return out;
 }
@@ -49,6 +63,9 @@ JsonValue PhaseRecordToJson(const PhaseRecord& phase) {
 JsonValue RunMetricsToJson(const RunMetrics& metrics) {
   JsonValue out = JsonValue::MakeObject();
   out.Set("response_seconds", metrics.response_seconds);
+  if (metrics.counters.AnyFaults()) {
+    out.Set("recovery_seconds", metrics.recovery_seconds);
+  }
   out.Set("total_cpu_seconds", metrics.TotalCpuSeconds());
   out.Set("total_disk_seconds", metrics.TotalDiskSeconds());
   out.Set("counters", CountersToJson(metrics.counters));

@@ -1,6 +1,7 @@
 #include "sim/network.h"
 
 #include "common/logging.h"
+#include "sim/fault.h"
 #include "sim/node.h"
 
 namespace gammadb::sim {
@@ -35,6 +36,37 @@ double Network::FlushPhase(std::vector<Node*>& nodes, Counters& counters) {
             static_cast<double>(c.tuples) * cost_->cpu_receive_tuple_seconds);
         ring_seconds +=
             static_cast<double>(c.bytes) * cost_->net_wire_seconds_per_byte;
+        if (faults_ != nullptr) {
+          // Injected ring faults, counted against the dst's delivered-
+          // packet ordinal. The sliding-window protocol (paper
+          // Section 2.2) guarantees delivery, so data never changes:
+          // a lost packet costs the sender a loss detection plus one
+          // retransmission (send CPU + ring occupancy for the resent
+          // payload); a duplicated packet costs the receiver one extra
+          // receive path before the sequence number discards it, and
+          // occupies the ring for the duplicate copy.
+          const FaultInjector::PacketFaults pf = faults_->OnPacketsDelivered(
+              static_cast<int>(dst), packets);
+          const double payload_wire =
+              static_cast<double>(cost_->packet_payload_bytes) *
+              cost_->net_wire_seconds_per_byte;
+          if (pf.lost > 0) {
+            nodes[src]->ChargeCpu(
+                static_cast<double>(pf.lost) *
+                (cost_->net_retransmit_detect_cpu_seconds +
+                 cost_->net_remote_packet_send_cpu_seconds));
+            ring_seconds += static_cast<double>(pf.lost) * payload_wire;
+            counters.packets_lost += pf.lost;
+            counters.packets_retransmitted += pf.lost;
+          }
+          if (pf.duplicated > 0) {
+            nodes[dst]->ChargeCpu(
+                static_cast<double>(pf.duplicated) *
+                cost_->net_remote_packet_recv_cpu_seconds);
+            ring_seconds += static_cast<double>(pf.duplicated) * payload_wire;
+            counters.packets_duplicated += pf.duplicated;
+          }
+        }
         counters.packets_remote += static_cast<int64_t>(packets);
         counters.bytes_remote += static_cast<int64_t>(c.bytes);
         counters.tuples_sent_remote += static_cast<int64_t>(c.tuples);

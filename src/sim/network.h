@@ -19,11 +19,18 @@
 
 namespace gammadb::sim {
 
+class FaultInjector;
 class Node;
 
 class Network {
  public:
   Network(size_t num_nodes, const CostModel* cost);
+
+  /// Armed fault injector, or nullptr (the default). Set by
+  /// Machine::ArmFaults; consulted per remote (src, dst) cell in
+  /// FlushPhase. Short-circuited traffic never rides the ring and is
+  /// exempt from packet faults.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
 
   /// Records `bytes` of tuple traffic from node `src` to node `dst`.
   /// Thread-safety contract: within a phase, row `src` is only touched by
@@ -53,6 +60,7 @@ class Network {
   size_t num_nodes_;
   const CostModel* cost_;
   std::vector<Cell> matrix_;  // row-major [src][dst]
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace gammadb::sim

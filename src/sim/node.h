@@ -14,6 +14,8 @@
 
 namespace gammadb::sim {
 
+class FaultInjector;
+
 class Node {
  public:
   Node(int id, bool has_disk, const CostModel* cost);
@@ -44,12 +46,18 @@ class Node {
   const Counters& counters() const { return counters_; }
   void ResetCounters() { counters_ = Counters{}; }
 
+  /// Armed fault injector, or nullptr (the default). Set by
+  /// Machine::ArmFaults; consulted by the disk on every I/O attempt.
+  FaultInjector* fault_injector() const { return faults_; }
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
  private:
   int id_;
   const CostModel* cost_;
   std::unique_ptr<Disk> disk_;
   NodeUsage phase_usage_;
   Counters counters_;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace gammadb::sim

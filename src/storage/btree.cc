@@ -1,3 +1,7 @@
+// NOTE: B+-tree index I/O is outside the fault-injection recovery scope
+// (docs/fault_injection.md): index builds and probes run against
+// permanent relations before faults are armed, so an injected hard I/O
+// error here aborts via GAMMA_CHECK_OK rather than propagating Status.
 #include "storage/btree.h"
 
 #include <cstring>
@@ -135,7 +139,8 @@ sim::PageId BPlusTree::NewLeaf() {
   NodeView view(buf.data());
   view.set_is_leaf(true);
   view.set_link(kNoPage);
-  node_->disk().WritePage(id, buf.data(), sim::AccessPattern::kRandom);
+  GAMMA_CHECK_OK(
+      node_->disk().WritePage(id, buf.data(), sim::AccessPattern::kRandom));
   return id;
 }
 
@@ -146,7 +151,8 @@ sim::PageId BPlusTree::NewInternal() {
   NodeView view(buf.data());
   view.set_is_leaf(false);
   view.set_link(kNoPage);
-  node_->disk().WritePage(id, buf.data(), sim::AccessPattern::kRandom);
+  GAMMA_CHECK_OK(
+      node_->disk().WritePage(id, buf.data(), sim::AccessPattern::kRandom));
   return id;
 }
 
@@ -156,12 +162,14 @@ void BPlusTree::Insert(int32_t key, uint64_t value) {
     // Grow a new root.
     const sim::PageId new_root = NewInternal();
     std::vector<uint8_t> buf(node_->cost().page_bytes);
-    node_->disk().ReadPage(new_root, buf.data(), sim::AccessPattern::kRandom);
+    GAMMA_CHECK_OK(node_->disk().ReadPage(new_root, buf.data(),
+                                          sim::AccessPattern::kRandom));
     NodeView view(buf.data());
     view.set_link(root_);
     view.SetInternalEntry(0, split->separator, split->right);
     view.set_count(1);
-    node_->disk().WritePage(new_root, buf.data(), sim::AccessPattern::kRandom);
+    GAMMA_CHECK_OK(node_->disk().WritePage(new_root, buf.data(),
+                                           sim::AccessPattern::kRandom));
     root_ = new_root;
     ++height_;
   }
@@ -177,7 +185,8 @@ std::optional<BPlusTree::SplitResult> BPlusTree::InsertRecursive(
       static_cast<uint16_t>((page_bytes - kHeader) / kInternalEntry);
 
   std::vector<uint8_t> buf(page_bytes);
-  node_->disk().ReadPage(page, buf.data(), sim::AccessPattern::kRandom);
+  GAMMA_CHECK_OK(
+      node_->disk().ReadPage(page, buf.data(), sim::AccessPattern::kRandom));
   NodeView view(buf.data());
 
   if (view.is_leaf()) {
@@ -187,7 +196,8 @@ std::optional<BPlusTree::SplitResult> BPlusTree::InsertRecursive(
     while (pos < n && view.LeafKey(pos) <= key) ++pos;
     if (n < leaf_cap) {
       view.LeafInsertAt(pos, key, value);
-      node_->disk().WritePage(page, buf.data(), sim::AccessPattern::kRandom);
+      GAMMA_CHECK_OK(node_->disk().WritePage(page, buf.data(),
+                                             sim::AccessPattern::kRandom));
       return std::nullopt;
     }
     // Split. Prefer a split point that does not straddle a duplicate
@@ -201,7 +211,8 @@ std::optional<BPlusTree::SplitResult> BPlusTree::InsertRecursive(
 
     const sim::PageId right_id = NewLeaf();
     std::vector<uint8_t> rbuf(page_bytes);
-    node_->disk().ReadPage(right_id, rbuf.data(), sim::AccessPattern::kRandom);
+    GAMMA_CHECK_OK(node_->disk().ReadPage(right_id, rbuf.data(),
+                                        sim::AccessPattern::kRandom));
     NodeView right(rbuf.data());
     for (uint16_t i = mid; i < n; ++i) {
       right.SetLeafEntry(static_cast<uint16_t>(i - mid), view.LeafKey(i),
@@ -225,8 +236,10 @@ std::optional<BPlusTree::SplitResult> BPlusTree::InsertRecursive(
       while (lpos < ln && view.LeafKey(lpos) <= key) ++lpos;
       view.LeafInsertAt(lpos, key, value);
     }
-    node_->disk().WritePage(page, buf.data(), sim::AccessPattern::kRandom);
-    node_->disk().WritePage(right_id, rbuf.data(), sim::AccessPattern::kRandom);
+    GAMMA_CHECK_OK(
+      node_->disk().WritePage(page, buf.data(), sim::AccessPattern::kRandom));
+    GAMMA_CHECK_OK(node_->disk().WritePage(right_id, rbuf.data(),
+                                         sim::AccessPattern::kRandom));
     return SplitResult{sep, right_id};
   }
 
@@ -239,7 +252,8 @@ std::optional<BPlusTree::SplitResult> BPlusTree::InsertRecursive(
   if (n < internal_cap) {
     view.InternalInsertAt(child_idx, child_split->separator,
                           child_split->right);
-    node_->disk().WritePage(page, buf.data(), sim::AccessPattern::kRandom);
+    GAMMA_CHECK_OK(
+      node_->disk().WritePage(page, buf.data(), sim::AccessPattern::kRandom));
     return std::nullopt;
   }
 
@@ -259,7 +273,8 @@ std::optional<BPlusTree::SplitResult> BPlusTree::InsertRecursive(
 
   const sim::PageId right_id = NewInternal();
   std::vector<uint8_t> rbuf(page_bytes);
-  node_->disk().ReadPage(right_id, rbuf.data(), sim::AccessPattern::kRandom);
+  GAMMA_CHECK_OK(node_->disk().ReadPage(right_id, rbuf.data(),
+                                        sim::AccessPattern::kRandom));
   NodeView right(rbuf.data());
   right.set_link(entries[mid].second);  // leftmost child of the right node
   uint16_t rcount = 0;
@@ -278,8 +293,10 @@ std::optional<BPlusTree::SplitResult> BPlusTree::InsertRecursive(
   }
   view.set_count(lcount);
 
-  node_->disk().WritePage(page, buf.data(), sim::AccessPattern::kRandom);
-  node_->disk().WritePage(right_id, rbuf.data(), sim::AccessPattern::kRandom);
+  GAMMA_CHECK_OK(
+      node_->disk().WritePage(page, buf.data(), sim::AccessPattern::kRandom));
+  GAMMA_CHECK_OK(node_->disk().WritePage(right_id, rbuf.data(),
+                                         sim::AccessPattern::kRandom));
   return SplitResult{up_key, right_id};
 }
 
@@ -288,7 +305,8 @@ sim::PageId BPlusTree::FindLeaf(int32_t key) const {
   std::vector<uint8_t> buf(page_bytes);
   sim::PageId page = root_;
   for (;;) {
-    node_->disk().ReadPage(page, buf.data(), sim::AccessPattern::kRandom);
+    GAMMA_CHECK_OK(
+      node_->disk().ReadPage(page, buf.data(), sim::AccessPattern::kRandom));
     NodeView view(buf.data());
     if (view.is_leaf()) return page;
     page = view.DescendLowerBound(key);
@@ -301,7 +319,8 @@ std::vector<uint64_t> BPlusTree::Search(int32_t key) const {
   std::vector<uint8_t> buf(page_bytes);
   sim::PageId page = FindLeaf(key);
   for (;;) {
-    node_->disk().ReadPage(page, buf.data(), sim::AccessPattern::kRandom);
+    GAMMA_CHECK_OK(
+      node_->disk().ReadPage(page, buf.data(), sim::AccessPattern::kRandom));
     NodeView view(buf.data());
     const uint16_t n = view.count();
     bool past_key = false;
@@ -328,7 +347,8 @@ std::vector<std::pair<int32_t, uint64_t>> BPlusTree::RangeScan(
   std::vector<uint8_t> buf(page_bytes);
   sim::PageId page = FindLeaf(lo);
   for (;;) {
-    node_->disk().ReadPage(page, buf.data(), sim::AccessPattern::kRandom);
+    GAMMA_CHECK_OK(
+      node_->disk().ReadPage(page, buf.data(), sim::AccessPattern::kRandom));
     NodeView view(buf.data());
     const uint16_t n = view.count();
     bool done = false;

@@ -12,7 +12,7 @@ ByteFile::ByteFile(sim::Node* node, std::string name)
   GAMMA_CHECK(node_->has_disk()) << "byte file requires a disk node";
 }
 
-void ByteFile::Append(const uint8_t* data, size_t n) {
+Status ByteFile::Append(const uint8_t* data, size_t n) {
   if (tail_flushed_) {
     // The trailing partial page was snapshotted to disk; retract the
     // snapshot and continue filling the in-memory tail.
@@ -20,31 +20,47 @@ void ByteFile::Append(const uint8_t* data, size_t n) {
     pages_.pop_back();
     tail_flushed_ = false;
   }
-  size_t consumed = 0;
-  while (consumed < n) {
-    const size_t room = page_bytes() - tail_.size();
-    const size_t take = std::min(room, n - consumed);
-    tail_.insert(tail_.end(), data + consumed, data + consumed + take);
-    consumed += take;
-    if (tail_.size() == page_bytes()) {
-      const sim::PageId id = node_->disk().AllocatePage();
-      node_->disk().WritePage(id, tail_.data(),
-                              sim::AccessPattern::kSequential);
-      pages_.push_back(id);
-      tail_.clear();
-    }
-  }
+  tail_.insert(tail_.end(), data, data + n);
   size_ += n;
+  while (tail_.size() >= page_bytes()) {
+    const sim::PageId id = node_->disk().AllocatePage();
+    const Status write = node_->disk().WritePage(
+        id, tail_.data(), sim::AccessPattern::kSequential);
+    if (!write.ok()) {
+      // Keep the page's bytes buffered in the tail: the file stays
+      // consistent (size_ already counts them) and a later Append or
+      // FlushAppends retries the write.
+      node_->disk().FreePage(id);
+      return write;
+    }
+    pages_.push_back(id);
+    tail_.erase(tail_.begin(), tail_.begin() + page_bytes());
+  }
+  return Status::OK();
 }
 
-void ByteFile::FlushAppends() {
-  if (tail_.empty() || tail_flushed_) return;
+Status ByteFile::FlushAppends() {
+  while (tail_.size() >= page_bytes()) {
+    // A previous Append failed mid-write and left whole pages buffered.
+    const sim::PageId id = node_->disk().AllocatePage();
+    GAMMA_RETURN_NOT_OK(node_->disk().WritePage(
+        id, tail_.data(), sim::AccessPattern::kSequential));
+    pages_.push_back(id);
+    tail_.erase(tail_.begin(), tail_.begin() + page_bytes());
+  }
+  if (tail_.empty() || tail_flushed_) return Status::OK();
   std::vector<uint8_t> page(page_bytes(), 0);
   std::memcpy(page.data(), tail_.data(), tail_.size());
   const sim::PageId id = node_->disk().AllocatePage();
-  node_->disk().WritePage(id, page.data(), sim::AccessPattern::kSequential);
+  const Status write =
+      node_->disk().WritePage(id, page.data(), sim::AccessPattern::kSequential);
+  if (!write.ok()) {
+    node_->disk().FreePage(id);
+    return write;
+  }
   pages_.push_back(id);
   tail_flushed_ = true;
+  return Status::OK();
 }
 
 Status ByteFile::ReadAt(uint64_t offset, size_t n, uint8_t* out) const {
@@ -70,7 +86,8 @@ Status ByteFile::ReadAt(uint64_t offset, size_t n, uint8_t* out) const {
     const sim::AccessPattern pattern = pos == last_read_end_
                                            ? sim::AccessPattern::kSequential
                                            : sim::AccessPattern::kRandom;
-    node_->disk().ReadPage(pages_[page_index], page.data(), pattern);
+    GAMMA_RETURN_NOT_OK(
+        node_->disk().ReadPage(pages_[page_index], page.data(), pattern));
     std::memcpy(out + produced, page.data() + in_page, take);
     produced += take;
     last_read_end_ = pos + take;

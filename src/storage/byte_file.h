@@ -24,9 +24,11 @@ class ByteFile {
 
   /// Appends `n` bytes to the end of the file. Whole pages are written
   /// as they fill; call FlushAppends() to persist a trailing partial
-  /// page before reading it back.
-  void Append(const uint8_t* data, size_t n);
-  void FlushAppends();
+  /// page before reading it back. Fails (Status::Unavailable) when a
+  /// page write exhausts the disk's retry budget; the failed page's
+  /// bytes stay buffered in the tail, so the file remains consistent.
+  Status Append(const uint8_t* data, size_t n);
+  Status FlushAppends();
 
   /// Reads `n` bytes starting at `offset` into `out`. Charges one page
   /// read per touched page (random access unless the read continues

@@ -21,6 +21,9 @@ class RunCursor {
   bool valid() const { return valid_; }
   int32_t key() const { return key_; }
   const Tuple& tuple() const { return current_; }
+  /// Non-OK when the cursor stopped on a page-read failure rather than
+  /// at end of run.
+  const Status& status() const { return scanner_.status(); }
 
   void Advance() {
     valid_ = scanner_.Next(&current_);
@@ -47,7 +50,12 @@ class MergeStream : public TupleStream {
     for (HeapFile& run : *runs) {
       cursors_.emplace_back(
           std::make_unique<RunCursor>(&run, schema, key_field));
-      if (!cursors_.back()->valid()) cursors_.pop_back();
+      if (!cursors_.back()->valid()) {
+        if (!cursors_.back()->status().ok() && status_.ok()) {
+          status_ = cursors_.back()->status();
+        }
+        cursors_.pop_back();
+      }
     }
     for (size_t i = 0; i < cursors_.size(); ++i) heap_.push_back(i);
     const auto greater = [this](size_t a, size_t b) {
@@ -59,7 +67,7 @@ class MergeStream : public TupleStream {
 
   bool Next(Tuple* out) override {
     ChargeCompares();
-    if (heap_.empty()) return false;
+    if (!status_.ok() || heap_.empty()) return false;
     const auto greater = [this](size_t a, size_t b) {
       ++compares_;
       return cursors_[a]->key() > cursors_[b]->key();
@@ -72,10 +80,13 @@ class MergeStream : public TupleStream {
       std::push_heap(heap_.begin(), heap_.end(), greater);
     } else {
       heap_.pop_back();
+      if (!cursors_[idx]->status().ok()) status_ = cursors_[idx]->status();
     }
     ChargeCompares();
     return true;
   }
+
+  Status status() const override { return status_; }
 
  private:
   void ChargeCompares() {
@@ -89,6 +100,7 @@ class MergeStream : public TupleStream {
   sim::Node* node_;
   std::vector<std::unique_ptr<RunCursor>> cursors_;
   std::vector<size_t> heap_;
+  Status status_;
   size_t compares_ = 0;
 };
 
@@ -132,17 +144,21 @@ ExternalSort::~ExternalSort() {
   for (HeapFile& run : runs_) run.Free();
 }
 
-void ExternalSort::Add(const Tuple& tuple) {
+Status ExternalSort::Add(const Tuple& tuple) {
   GAMMA_CHECK(!finished_);
   buffer_.push_back(tuple);
   ++tuple_count_;
-  if (buffer_.size() >= buffer_capacity_tuples_) SpillRun();
+  if (buffer_.size() >= buffer_capacity_tuples_) {
+    GAMMA_RETURN_NOT_OK(SpillRun());
+  }
+  return Status::OK();
 }
 
-void ExternalSort::AddFile(const HeapFile& file) {
+Status ExternalSort::AddFile(const HeapFile& file) {
   auto scanner = file.Scan();
   Tuple t;
-  while (scanner.Next(&t)) Add(t);
+  while (scanner.Next(&t)) GAMMA_RETURN_NOT_OK(Add(t));
+  return scanner.status();
 }
 
 void ExternalSort::SortBuffer() {
@@ -157,35 +173,55 @@ void ExternalSort::SortBuffer() {
                    node_->cost().cpu_sort_compare_seconds);
 }
 
-void ExternalSort::SpillRun() {
-  if (buffer_.empty()) return;
+Status ExternalSort::SpillRun() {
+  if (buffer_.empty()) return Status::OK();
   SortBuffer();
   HeapFile run(node_, schema_, "sort-run");
-  for (const Tuple& t : buffer_) run.Append(t);
-  run.FlushAppends();
+  Status st;
+  for (const Tuple& t : buffer_) {
+    st = run.Append(t);
+    if (!st.ok()) break;
+  }
+  if (st.ok()) st = run.FlushAppends();
+  if (!st.ok()) {
+    run.Free();
+    return st;
+  }
   runs_.push_back(std::move(run));
   buffer_.clear();
+  return Status::OK();
 }
 
-HeapFile ExternalSort::MergeGroup(std::vector<HeapFile>&& group) {
+Status ExternalSort::MergeGroupInto(std::vector<HeapFile>&& group,
+                                    HeapFile* out) {
   MergeStream merge(node_, schema_, key_field_, &group);
-  HeapFile out(node_, schema_, "sort-run");
   Tuple t;
-  while (merge.Next(&t)) out.Append(t);
-  out.FlushAppends();
+  Status st;
+  while (merge.Next(&t)) {
+    st = out->Append(t);
+    if (!st.ok()) break;
+  }
+  if (st.ok()) st = merge.status();
+  if (st.ok()) st = out->FlushAppends();
+  if (!st.ok()) {
+    // Put the inputs back so the destructor frees them; the partial
+    // output is freed by the caller.
+    for (HeapFile& run : group) runs_.push_back(std::move(run));
+    return st;
+  }
   for (HeapFile& run : group) run.Free();
-  return out;
+  return Status::OK();
 }
 
-void ExternalSort::FinishInput() {
+Status ExternalSort::FinishInput() {
   GAMMA_CHECK(!finished_);
   finished_ = true;
   if (runs_.empty()) {
     // Fits in memory: sort in place, stream directly.
     SortBuffer();
-    return;
+    return Status::OK();
   }
-  SpillRun();  // tail
+  GAMMA_RETURN_NOT_OK(SpillRun());  // tail
   const size_t fan_in = static_cast<size_t>(memory_pages_ - 1);
   // Intermediate merges until one streamed merge suffices. Merge the
   // SMALLEST runs first and only as many as needed (the textbook
@@ -209,8 +245,15 @@ void ExternalSort::FinishInput() {
       for (const HeapFile& r : group) total += r.tuple_count();
       return total;
     }();
-    runs_.push_back(MergeGroup(std::move(group)));
+    HeapFile merged(node_, schema_, "sort-run");
+    const Status st = MergeGroupInto(std::move(group), &merged);
+    if (!st.ok()) {
+      merged.Free();
+      return st;
+    }
+    runs_.push_back(std::move(merged));
   }
+  return Status::OK();
 }
 
 int ExternalSort::intermediate_passes() const {

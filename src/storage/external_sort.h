@@ -39,16 +39,17 @@ class ExternalSort {
   ExternalSort& operator=(const ExternalSort&) = delete;
 
   /// Adds one tuple to the sort input (spills a run when the buffer
-  /// fills).
-  void Add(const Tuple& tuple);
+  /// fills). Fails when a run write exhausts the disk retry budget.
+  Status Add(const Tuple& tuple);
 
   /// Reads an entire heap file into the sort (scan costs are charged).
-  void AddFile(const HeapFile& file);
+  /// Fails on a scan read error or a spill write error.
+  Status AddFile(const HeapFile& file);
 
   /// Ends input: sorts the tail, then performs intermediate merge passes
   /// until the remainder is single-pass mergeable. Must be called before
-  /// OpenStream().
-  void FinishInput();
+  /// OpenStream(). Fails on run I/O errors.
+  Status FinishInput();
 
   /// Sorted output stream (single final merge or in-memory). May only be
   /// called once.
@@ -69,9 +70,10 @@ class ExternalSort {
 
  private:
   void SortBuffer();
-  void SpillRun();
-  /// Merges `group` (run indices) into a new run; frees the inputs.
-  HeapFile MergeGroup(std::vector<HeapFile>&& group);
+  Status SpillRun();
+  /// Merges `group` into `out` (a fresh run); frees the inputs on
+  /// success.
+  Status MergeGroupInto(std::vector<HeapFile>&& group, HeapFile* out);
 
   sim::Node* node_;
   const Schema* schema_;

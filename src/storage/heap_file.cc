@@ -14,33 +14,47 @@ HeapFile::~HeapFile() {
   // outlive query objects. Temp files are freed explicitly via Free().
 }
 
-void HeapFile::Append(const Tuple& tuple) {
+Status HeapFile::WritePendingPage() {
+  const sim::PageId id = node_->disk().AllocatePage();
+  const Status write = node_->disk().WritePage(id, writer_->Finish(),
+                                               sim::AccessPattern::kSequential);
+  if (!write.ok()) {
+    // The page's tuples stay buffered in the writer; tuple_count_
+    // already counts them, so the file is consistent and the next
+    // Append/FlushAppends retries the write.
+    node_->disk().FreePage(id);
+    return write;
+  }
+  pages_.push_back(id);
+  writer_->Reset();
+  return Status::OK();
+}
+
+Status HeapFile::Append(const Tuple& tuple) {
   GAMMA_DCHECK(tuple.size() == schema_->tuple_bytes());
   if (writer_ == nullptr) {
     writer_ = std::make_unique<PageWriter>(node_->cost().page_bytes,
                                            schema_->tuple_bytes());
   }
+  if (writer_->Full()) {
+    // A previous full-page write failed; retry before accepting more.
+    GAMMA_RETURN_NOT_OK(WritePendingPage());
+  }
   node_->ChargeCpu(node_->cost().cpu_write_tuple_seconds);
   writer_->Append(tuple.data());
   ++tuple_count_;
   if (writer_->Full()) {
-    const sim::PageId id = node_->disk().AllocatePage();
-    node_->disk().WritePage(id, writer_->Finish(),
-                            sim::AccessPattern::kSequential);
-    pages_.push_back(id);
-    writer_->Reset();
+    GAMMA_RETURN_NOT_OK(WritePendingPage());
   }
+  return Status::OK();
 }
 
-void HeapFile::FlushAppends() {
+Status HeapFile::FlushAppends() {
   if (writer_ != nullptr && writer_->count() > 0) {
-    const sim::PageId id = node_->disk().AllocatePage();
-    node_->disk().WritePage(id, writer_->Finish(),
-                            sim::AccessPattern::kSequential);
-    pages_.push_back(id);
-    writer_->Reset();
+    GAMMA_RETURN_NOT_OK(WritePendingPage());
   }
   writer_.reset();
+  return Status::OK();
 }
 
 void HeapFile::Free() {
@@ -58,9 +72,12 @@ HeapFile::Scanner::Scanner(const HeapFile* file)
 }
 
 bool HeapFile::Scanner::LoadNextPage() {
+  if (!status_.ok()) return false;
   if (next_page_ >= file_->pages_.size()) return false;
-  file_->node_->disk().ReadPage(file_->pages_[next_page_], page_buf_.data(),
-                                sim::AccessPattern::kSequential);
+  status_ = file_->node_->disk().ReadPage(
+      file_->pages_[next_page_], page_buf_.data(),
+      sim::AccessPattern::kSequential);
+  if (!status_.ok()) return false;
   ++next_page_;
   ++pages_read_;
   PageReader reader(page_buf_.data(), file_->schema_->tuple_bytes());
@@ -89,7 +106,10 @@ size_t HeapFile::UpdateInPlace(const std::function<UpdateAction(uint8_t*)>& fn) 
   std::vector<uint8_t> page(page_bytes);
   size_t touched = 0;
   for (sim::PageId id : pages_) {
-    node_->disk().ReadPage(id, page.data(), sim::AccessPattern::kSequential);
+    // DML paths are outside the fault-injection recovery scope
+    // (docs/fault_injection.md): a hard injected I/O error here aborts.
+    GAMMA_CHECK_OK(
+        node_->disk().ReadPage(id, page.data(), sim::AccessPattern::kSequential));
     PageReader reader(page.data(), record_bytes);
     PageWriter rebuilt(page_bytes, record_bytes);
     bool modified = false;
@@ -116,8 +136,8 @@ size_t HeapFile::UpdateInPlace(const std::function<UpdateAction(uint8_t*)>& fn) 
       }
     }
     if (modified) {
-      node_->disk().WritePage(id, rebuilt.Finish(),
-                              sim::AccessPattern::kSequential);
+      GAMMA_CHECK_OK(node_->disk().WritePage(id, rebuilt.Finish(),
+                                             sim::AccessPattern::kSequential));
     }
   }
   fetch_buf_page_ = SIZE_MAX;  // cached page may be stale
@@ -130,8 +150,9 @@ Tuple HeapFile::FetchByRid(uint64_t rid) const {
   GAMMA_CHECK_LT(page_index, pages_.size());
   if (fetch_buf_page_ != page_index) {
     fetch_buf_.resize(node_->cost().page_bytes);
-    node_->disk().ReadPage(pages_[page_index], fetch_buf_.data(),
-                           sim::AccessPattern::kRandom);
+    // Index access paths are outside the fault-injection recovery scope.
+    GAMMA_CHECK_OK(node_->disk().ReadPage(pages_[page_index], fetch_buf_.data(),
+                                          sim::AccessPattern::kRandom));
     fetch_buf_page_ = page_index;
   }
   PageReader reader(fetch_buf_.data(), schema_->tuple_bytes());
@@ -146,8 +167,9 @@ void HeapFile::ForEachRid(
       << "ForEachRid with unflushed appends";
   std::vector<uint8_t> page(node_->cost().page_bytes);
   for (size_t page_index = 0; page_index < pages_.size(); ++page_index) {
-    node_->disk().ReadPage(pages_[page_index], page.data(),
-                           sim::AccessPattern::kSequential);
+    // Index bulk-build is outside the fault-injection recovery scope.
+    GAMMA_CHECK_OK(node_->disk().ReadPage(pages_[page_index], page.data(),
+                                          sim::AccessPattern::kSequential));
     PageReader reader(page.data(), schema_->tuple_bytes());
     for (uint16_t slot = 0; slot < reader.count(); ++slot) {
       node_->ChargeCpu(node_->cost().cpu_read_tuple_seconds);

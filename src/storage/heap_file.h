@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "sim/node.h"
 #include "storage/page.h"
 #include "storage/schema.h"
@@ -37,12 +38,14 @@ class HeapFile {
   sim::Node* node() const { return node_; }
 
   /// Buffers one tuple (charges tuple-copy CPU); flushes a full page to
-  /// disk as a sequential write.
-  void Append(const Tuple& tuple);
+  /// disk as a sequential write. Fails (Status::Unavailable) when the
+  /// page write exhausts the disk's retry budget; the page's tuples stay
+  /// buffered in the writer, so a later Append or FlushAppends retries.
+  Status Append(const Tuple& tuple);
 
   /// Flushes a trailing partial page, if any. Idempotent. Must be called
   /// before scanning.
-  void FlushAppends();
+  Status FlushAppends();
 
   size_t tuple_count() const { return tuple_count_; }
   size_t page_count() const { return pages_.size(); }
@@ -62,8 +65,13 @@ class HeapFile {
    public:
     explicit Scanner(const HeapFile* file);
 
-    /// Advances to the next tuple; returns false at end of file.
+    /// Advances to the next tuple; returns false at end of file OR on an
+    /// I/O error — check status() to tell the two apart.
     bool Next(Tuple* out);
+
+    /// OK while the scan is healthy; the page-read failure that stopped
+    /// the scan otherwise.
+    const Status& status() const { return status_; }
 
     /// Pages actually read so far.
     size_t pages_read() const { return pages_read_; }
@@ -73,6 +81,7 @@ class HeapFile {
 
     const HeapFile* file_;
     std::vector<uint8_t> page_buf_;
+    Status status_;
     size_t next_page_ = 0;
     uint16_t page_tuples_ = 0;
     uint16_t next_slot_ = 0;
@@ -94,6 +103,11 @@ class HeapFile {
   /// update). Deleted records are compacted within their page; empty
   /// pages remain allocated. Returns the number of updated + deleted
   /// records. Must not be called with unflushed appends.
+  ///
+  /// NOTE: DML and index access paths (UpdateInPlace, FetchByRid,
+  /// ForEachRid) are outside the fault-injection recovery scope
+  /// (docs/fault_injection.md): an injected I/O error here aborts the
+  /// process via GAMMA_CHECK_OK rather than propagating.
   size_t UpdateInPlace(const std::function<UpdateAction(uint8_t*)>& fn);
 
   /// Record identifier for index entries: (page ordinal, slot).
@@ -113,6 +127,11 @@ class HeapFile {
 
  private:
   friend class Scanner;
+
+  /// Writes the writer's current page image to a fresh disk page. On
+  /// failure the image stays buffered (the retry path of Append /
+  /// FlushAppends).
+  Status WritePendingPage();
 
   sim::Node* node_;
   const Schema* schema_;

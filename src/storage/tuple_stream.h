@@ -2,6 +2,7 @@
 #ifndef GAMMA_STORAGE_TUPLE_STREAM_H_
 #define GAMMA_STORAGE_TUPLE_STREAM_H_
 
+#include "common/status.h"
 #include "storage/tuple.h"
 
 namespace gammadb::storage {
@@ -10,8 +11,13 @@ class TupleStream {
  public:
   virtual ~TupleStream() = default;
 
-  /// Produces the next tuple; returns false at end of stream.
+  /// Produces the next tuple; returns false at end of stream or on
+  /// error — check status() to tell the two apart.
   virtual bool Next(Tuple* out) = 0;
+
+  /// OK unless the stream stopped on an I/O failure (e.g. a sorted-run
+  /// page read exhausting its fault-injection retry budget).
+  virtual Status status() const { return Status::OK(); }
 };
 
 }  // namespace gammadb::storage

@@ -31,6 +31,25 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+}
+
+TEST(StatusTest, RecoveryCodesRenderCanonically) {
+  // kUnavailable and kAborted are the recovery triggers (sim/fault.h):
+  // join::ExecuteJoin restarts the operator on exactly these codes.
+  EXPECT_EQ(Status::Unavailable("disk gave up").ToString(),
+            "Unavailable: disk gave up");
+  EXPECT_EQ(Status::Aborted("node 3 crashed").ToString(),
+            "Aborted: node 3 crashed");
+}
+
+TEST(StatusTest, IgnoreErrorIsANoOp) {
+  const Status s = Status::Aborted("phase aborted");
+  s.IgnoreError();  // documents a deliberate discard; changes nothing
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+  EXPECT_EQ(s.message(), "phase aborted");
+  Status::OK().IgnoreError();
 }
 
 TEST(StatusTest, CopyIsCheapAndEqualityHolds) {

@@ -37,10 +37,12 @@ const Scenario kScenarios[] = {
 
 /// Runs joinABprime under `scenario` with `threads` executor threads
 /// and returns the serialized RunMetrics JSON plus the canonical result
-/// rows.
+/// rows. A non-null `faults` is armed after the load (fault ordinals
+/// count query events).
 void RunScenario(const Scenario& scenario, join::Algorithm algorithm,
                  int threads, std::string* metrics_json,
-                 std::vector<std::string>* result_rows) {
+                 std::vector<std::string>* result_rows,
+                 const sim::FaultPlan* faults = nullptr) {
   sim::MachineConfig config = testing::SmallConfig(4);
   config.num_threads = threads;
   sim::Machine machine(config);
@@ -54,6 +56,8 @@ void RunScenario(const Scenario& scenario, join::Algorithm algorithm,
                                           : wisconsin::fields::kUnique2;
   auto loaded = wisconsin::LoadJoinABprime(machine, catalog, options);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  if (faults != nullptr) machine.ArmFaults(*faults);
 
   join::JoinSpec spec;
   spec.inner_relation = "Bprime";
@@ -93,6 +97,62 @@ TEST(DeterminismTest, MetricsJsonIsThreadCountInvariant) {
         EXPECT_EQ(serial_json, pooled_json);
         EXPECT_EQ(serial_rows, pooled_rows);
       }
+    }
+  }
+}
+
+/// Fault injection composes with the determinism contract: with a fixed
+/// FaultPlan armed, the metrics JSON — retry counts, retransmissions,
+/// crash recovery time and all — is still byte-identical at 1, 4 and 8
+/// executor threads. Faults are keyed on counted events, never on
+/// thread interleaving.
+TEST(DeterminismTest, FaultedMetricsJsonIsThreadCountInvariant) {
+  sim::FaultPlan plan;
+  // One of each class, including a crash on the first phase so every
+  // algorithm takes an operator restart.
+  plan.AddPeriodic(sim::FaultKind::kDiskReadTransient, 1, /*period=*/3,
+                   /*count=*/2);
+  sim::FaultEvent e;
+  e.kind = sim::FaultKind::kDiskWriteTransient;
+  e.node = 2;
+  e.ordinal = 1;
+  plan.Add(e);
+  e.kind = sim::FaultKind::kPacketLoss;
+  e.node = 0;
+  e.ordinal = 2;
+  plan.Add(e);
+  e.kind = sim::FaultKind::kPacketDuplicate;
+  e.node = 3;
+  e.ordinal = 1;
+  plan.Add(e);
+  e.kind = sim::FaultKind::kNodeCrash;
+  e.node = 1;
+  e.ordinal = 1;
+  e.phase_label = "";
+  plan.Add(e);
+
+  const Scenario& scenario = kScenarios[1];  // non-HPJA: remote packets
+  for (join::Algorithm algorithm :
+       {join::Algorithm::kSortMerge, join::Algorithm::kSimpleHash,
+        join::Algorithm::kGraceHash, join::Algorithm::kHybridHash}) {
+    SCOPED_TRACE(join::AlgorithmName(algorithm));
+    std::string serial_json;
+    std::vector<std::string> serial_rows;
+    RunScenario(scenario, algorithm, 1, &serial_json, &serial_rows, &plan);
+    if (HasFatalFailure()) return;
+    EXPECT_FALSE(serial_rows.empty());
+    // The plan must actually engage the machinery it claims to test.
+    EXPECT_NE(serial_json.find("\"operator_restarts\""), std::string::npos);
+    EXPECT_NE(serial_json.find("\"io_retries\""), std::string::npos);
+    for (int threads : {4, 8}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      std::string pooled_json;
+      std::vector<std::string> pooled_rows;
+      RunScenario(scenario, algorithm, threads, &pooled_json, &pooled_rows,
+                  &plan);
+      if (HasFatalFailure()) return;
+      EXPECT_EQ(serial_json, pooled_json);
+      EXPECT_EQ(serial_rows, pooled_rows);
     }
   }
 }

@@ -53,6 +53,62 @@ TEST(CountersToJsonTest, EveryCountersFieldIsPresent) {
   EXPECT_EQ(json.AsObject().size(), expected.size() + 1);
 }
 
+TEST(CountersToJsonTest, FaultKeysAppearOnlyWhenFaultsEngaged) {
+  // Fault-free runs must serialize byte-identically to pre-fault
+  // baselines: no fault key may appear when every fault counter is zero.
+  const std::vector<std::string> fault_keys = {
+      "disk_read_faults",   "disk_write_faults",
+      "io_retries",         "packets_lost",
+      "packets_duplicated", "packets_retransmitted",
+      "node_crashes",       "operator_restarts",
+  };
+  const JsonValue clean = CountersToJson(FilledCounters());
+  for (const std::string& key : fault_keys) {
+    EXPECT_EQ(clean.Find(key), nullptr) << key;
+  }
+
+  Counters faulted = FilledCounters();
+  faulted.disk_read_faults = 15;
+  faulted.disk_write_faults = 16;
+  faulted.io_retries = 17;
+  faulted.packets_lost = 18;
+  faulted.packets_duplicated = 19;
+  faulted.packets_retransmitted = 20;
+  faulted.node_crashes = 21;
+  faulted.operator_restarts = 22;
+  ASSERT_TRUE(faulted.AnyFaults());
+  const JsonValue json = CountersToJson(faulted);
+  int64_t expected = 15;
+  for (const std::string& key : fault_keys) {
+    const JsonValue* field = json.Find(key);
+    ASSERT_NE(field, nullptr) << key;
+    EXPECT_EQ(field->AsInt(), expected++) << key;
+  }
+  // All fault keys, and nothing else, joined the schema.
+  EXPECT_EQ(json.AsObject().size(),
+            clean.AsObject().size() + fault_keys.size());
+
+  // A single nonzero fault counter is enough to switch the schema.
+  Counters one = FilledCounters();
+  one.operator_restarts = 1;
+  EXPECT_NE(CountersToJson(one).Find("disk_read_faults"), nullptr);
+}
+
+TEST(RunMetricsToJsonTest, RecoverySecondsAppearsOnlyWithFaults) {
+  RunMetrics metrics;
+  metrics.response_seconds = 2.0;
+  metrics.counters = FilledCounters();
+  EXPECT_EQ(RunMetricsToJson(metrics).Find("recovery_seconds"), nullptr);
+
+  metrics.counters.node_crashes = 1;
+  metrics.counters.operator_restarts = 1;
+  metrics.recovery_seconds = 0.75;
+  const JsonValue json = RunMetricsToJson(metrics);
+  const JsonValue* recovery = json.Find("recovery_seconds");
+  ASSERT_NE(recovery, nullptr);
+  EXPECT_DOUBLE_EQ(recovery->AsDouble(), 0.75);
+}
+
 TEST(PhaseRecordToJsonTest, SerializesPerNodeUsage) {
   PhaseRecord phase;
   phase.label = "partition R / build";

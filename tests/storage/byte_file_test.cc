@@ -118,5 +118,61 @@ TEST_F(ByteFileTest, FreeReleasesPages) {
   EXPECT_EQ(file.size(), 0u);
 }
 
+
+// --- Fault injection: converted Status I/O paths (docs/fault_injection.md) --
+
+TEST_F(ByteFileTest, AppendStaysConsistentAcrossHardWriteFault) {
+  sim::FaultPlan plan;
+  sim::FaultEvent e;
+  e.kind = sim::FaultKind::kDiskWriteTransient;
+  e.ordinal = 1;
+  e.repeat = sim::Disk::kMaxIoAttempts;
+  plan.Add(e);
+  // Arming is a between-phases operation; step out of the fixture's
+  // phase first (its destructor ends the one we reopen).
+  machine_.EndPhase().IgnoreError();
+  machine_.ArmFaults(plan);
+  machine_.BeginPhase("faulted append");
+
+  ByteFile file(&machine_.node(0), "bf");
+  std::vector<uint8_t> data(10000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  // The first full page's write exhausts its budget; the bytes stay
+  // buffered in the tail, so the file never loses data.
+  const Status append = file.Append(data.data(), data.size());
+  EXPECT_EQ(append.code(), StatusCode::kUnavailable);
+  Status flush = file.FlushAppends();
+  for (int i = 0; !flush.ok() && i < 3; ++i) flush = file.FlushAppends();
+  ASSERT_TRUE(flush.ok()) << flush.ToString();
+
+  EXPECT_EQ(file.size(), 10000u);
+  std::vector<uint8_t> out(10000);
+  ASSERT_TRUE(file.ReadAt(0, out.size(), out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(ByteFileTest, ReadAtSurfacesHardReadFault) {
+  ByteFile file(&machine_.node(0), "bf");
+  std::vector<uint8_t> data(10000, 0x5A);
+  ASSERT_TRUE(file.Append(data.data(), data.size()).ok());
+  ASSERT_TRUE(file.FlushAppends().ok());
+
+  sim::FaultPlan plan;
+  sim::FaultEvent e;
+  e.kind = sim::FaultKind::kDiskReadTransient;
+  e.ordinal = 1;
+  e.repeat = sim::Disk::kMaxIoAttempts;
+  plan.Add(e);
+  machine_.EndPhase().IgnoreError();
+  machine_.ArmFaults(plan);
+  machine_.BeginPhase("faulted read");
+
+  std::vector<uint8_t> out(100);
+  EXPECT_EQ(file.ReadAt(0, out.size(), out.data()).code(),
+            StatusCode::kUnavailable);
+  // The fault burst is consumed: the same read now succeeds.
+  EXPECT_TRUE(file.ReadAt(0, out.size(), out.data()).ok());
+}
+
 }  // namespace
 }  // namespace gammadb::storage

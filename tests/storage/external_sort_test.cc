@@ -151,5 +151,59 @@ TEST_F(ExternalSortTest, RunsFreedOnDestruction) {
   EXPECT_EQ(machine_.node(0).disk().live_pages(), live_before);
 }
 
+
+// --- Fault injection: converted Status I/O paths (docs/fault_injection.md) --
+
+TEST_F(ExternalSortTest, SpillWriteFailurePropagatesAndLeaksNothing) {
+  sim::FaultPlan plan;
+  sim::FaultEvent e;
+  e.kind = sim::FaultKind::kDiskWriteTransient;
+  e.ordinal = 1;
+  e.repeat = sim::Disk::kMaxIoAttempts;
+  plan.Add(e);
+  machine_.ArmFaults(plan);
+
+  machine_.BeginPhase("sort");
+  {
+    ExternalSort sort(&machine_.node(0), &schema_, 0, 3);  // 120-tuple buffer
+    Status first_failure;
+    for (int32_t i = 0; i < 500 && first_failure.ok(); ++i) {
+      first_failure = sort.Add(MakeTuple(i));
+    }
+    EXPECT_EQ(first_failure.code(), StatusCode::kUnavailable);
+  }
+  machine_.EndPhase().IgnoreError();
+  // The failed spill and the sort destructor released every page.
+  EXPECT_EQ(machine_.node(0).disk().live_pages(), 0u);
+}
+
+TEST_F(ExternalSortTest, StreamSurfacesHardReadFaultDuringMerge) {
+  machine_.BeginPhase("sort");
+  ExternalSort sort(&machine_.node(0), &schema_, 0, 3);
+  for (int32_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(sort.Add(MakeTuple(i)).ok());
+  }
+  ASSERT_TRUE(sort.FinishInput().ok());
+  ASSERT_GT(sort.run_count(), 0u);  // actually external
+  machine_.EndPhase().IgnoreError();
+
+  sim::FaultPlan plan;
+  sim::FaultEvent e;
+  e.kind = sim::FaultKind::kDiskReadTransient;
+  e.ordinal = 1;
+  e.repeat = sim::Disk::kMaxIoAttempts;
+  plan.Add(e);
+  machine_.ArmFaults(plan);
+
+  machine_.BeginPhase("merge");
+  auto stream = sort.OpenStream();
+  Tuple t;
+  int32_t seen = 0;
+  while (stream->Next(&t)) ++seen;
+  machine_.EndPhase().IgnoreError();
+  EXPECT_LT(seen, 500);
+  EXPECT_EQ(stream->status().code(), StatusCode::kUnavailable);
+}
+
 }  // namespace
 }  // namespace gammadb::storage

@@ -121,5 +121,76 @@ TEST_F(HeapFileTest, EmptyFileScansNothing) {
   machine_.EndPhase();
 }
 
+
+// --- Fault injection: converted Status I/O paths (docs/fault_injection.md) --
+
+TEST_F(HeapFileTest, AppendSurvivesHardWriteFaultViaRetry) {
+  // A write burst that exhausts the retry budget fails the Append, but
+  // the page image stays buffered: once the scheduled faults are
+  // consumed, FlushAppends lands the same page and no data is lost.
+  sim::FaultPlan plan;
+  sim::FaultEvent e;
+  e.kind = sim::FaultKind::kDiskWriteTransient;
+  e.ordinal = 1;
+  e.repeat = sim::Disk::kMaxIoAttempts;
+  plan.Add(e);
+  machine_.ArmFaults(plan);
+
+  HeapFile file(&machine_.node(0), &schema_, "t");
+  machine_.BeginPhase("w");
+  Status first_failure;
+  for (int32_t i = 0; i < 41; ++i) {  // 40 tuples/page: one page write
+    const Status st = file.Append(MakeTuple(i));
+    if (!st.ok() && first_failure.ok()) first_failure = st;
+  }
+  Status flush = file.FlushAppends();
+  for (int i = 0; !flush.ok() && i < 3; ++i) flush = file.FlushAppends();
+  machine_.EndPhase().IgnoreError();
+
+  EXPECT_EQ(first_failure.code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(flush.ok()) << flush.ToString();
+  EXPECT_EQ(file.tuple_count(), 41u);
+
+  machine_.BeginPhase("r");
+  auto scanner = file.Scan();
+  Tuple t;
+  int32_t expected = 0;
+  while (scanner.Next(&t)) EXPECT_EQ(t.GetInt32(schema_, 0), expected++);
+  EXPECT_EQ(expected, 41);
+  EXPECT_TRUE(scanner.status().ok());
+  machine_.EndPhase().IgnoreError();
+
+  const sim::Counters& c = machine_.node(0).counters();
+  EXPECT_EQ(c.disk_write_faults, sim::Disk::kMaxIoAttempts);
+  EXPECT_EQ(c.io_retries, sim::Disk::kMaxIoAttempts - 1);
+}
+
+TEST_F(HeapFileTest, ScannerSurfacesHardReadFault) {
+  HeapFile file(&machine_.node(0), &schema_, "t");
+  machine_.BeginPhase("w");
+  for (int32_t i = 0; i < 200; ++i) {  // 5 pages
+    ASSERT_TRUE(file.Append(MakeTuple(i)).ok());
+  }
+  ASSERT_TRUE(file.FlushAppends().ok());
+  machine_.EndPhase().IgnoreError();
+
+  sim::FaultPlan plan;
+  sim::FaultEvent e;
+  e.kind = sim::FaultKind::kDiskReadTransient;
+  e.ordinal = 1;  // counters start at zero on arming
+  e.repeat = sim::Disk::kMaxIoAttempts;
+  plan.Add(e);
+  machine_.ArmFaults(plan);
+
+  machine_.BeginPhase("r");
+  auto scanner = file.Scan();
+  Tuple t;
+  int32_t seen = 0;
+  while (scanner.Next(&t)) ++seen;
+  machine_.EndPhase().IgnoreError();
+  EXPECT_EQ(seen, 0);  // stopped by the failed first page, not EOF
+  EXPECT_EQ(scanner.status().code(), StatusCode::kUnavailable);
+}
+
 }  // namespace
 }  // namespace gammadb::storage
