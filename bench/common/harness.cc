@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/strings.h"
 #include "sim/metrics_json.h"
+#include "sim/trace.h"
 
 namespace gammadb::bench {
 
@@ -27,10 +28,13 @@ int DefaultBenchThreads() {
 struct BenchState {
   std::string benchmark_name;
   std::string json_path;                  // "" = JSON output disabled
+  std::string trace_path;                 // "" = tracing disabled
+  bool attribution = false;               // per-run attribution in JSON
   std::optional<uint32_t> outer_override;
   std::optional<uint32_t> inner_override;
   int threads = DefaultBenchThreads();
   JsonValue doc = JsonValue::MakeObject();
+  sim::Tracer tracer;
 };
 
 BenchState& State() {
@@ -39,6 +43,25 @@ BenchState& State() {
 }
 
 bool JsonEnabled() { return !State().json_path.empty(); }
+
+/// The process-wide tracer when --trace / GAMMA_BENCH_TRACE is active,
+/// else nullptr. Workload machines attach themselves to it.
+sim::Tracer* BenchTracer() {
+  BenchState& state = State();
+  return state.trace_path.empty() ? nullptr : &state.tracer;
+}
+
+void WriteBenchTrace() {
+  BenchState& state = State();
+  if (state.trace_path.empty()) return;
+  Status status = state.tracer.WriteFile(state.trace_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", state.trace_path.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "wrote trace JSON to %s\n", state.trace_path.c_str());
+}
 
 void WriteBenchJson() {
   BenchState& state = State();
@@ -55,10 +78,28 @@ void WriteBenchJson() {
 
 [[noreturn]] void Usage(const char* argv0, const std::string& error) {
   std::fprintf(stderr,
-               "%s\nusage: %s [--json <path>] [--smoke] [--outer <n>] "
+               "%s\nusage: %s [--json <path>] [--trace <path>] "
+               "[--attribution] [--smoke] [--outer <n>] "
                "[--inner <n>] [--threads <n>]\n",
                error.c_str(), argv0);
   std::exit(2);
+}
+
+/// Checked numeric flag parsing: atoi-style silent zeros are exactly
+/// how "--threads x" used to become a zero-thread run. Rejects
+/// non-numeric values and anything below `min_value` with a usage error.
+int64_t ParseIntFlag(const char* argv0, const char* flag, const char* text,
+                     int64_t min_value) {
+  int64_t value = 0;
+  if (!ParseInt64(text, &value)) {
+    Usage(argv0, StrFormat("%s: '%s' is not an integer", flag, text));
+  }
+  if (value < min_value) {
+    Usage(argv0, StrFormat("%s: %lld is below the minimum %lld", flag,
+                           static_cast<long long>(value),
+                           static_cast<long long>(min_value)));
+  }
+  return value;
 }
 
 JsonValue MachineConfigToJson(const sim::MachineConfig& config) {
@@ -105,7 +146,8 @@ void RecordJoinRun(const join::JoinSpec& spec, const join::JoinOutput& output,
   run.Set("real_seconds", real_seconds);
   run.Set("threads", State().threads);
   run.Set("stats", JoinStatsToJson(output.stats));
-  run.Set("metrics", sim::RunMetricsToJson(output.metrics));
+  run.Set("metrics",
+          sim::RunMetricsToJson(output.metrics, State().attribution));
   JsonValue* runs = State().doc.Find("runs");
   GAMMA_CHECK(runs != nullptr);
   runs->Append(std::move(run));
@@ -147,7 +189,12 @@ void InitBench(int argc, char** argv, const std::string& benchmark_name) {
   }
   if (const char* env = std::getenv("GAMMA_BENCH_THREADS");
       env != nullptr && env[0] != '\0') {
-    state.threads = std::atoi(env);
+    state.threads = static_cast<int>(
+        ParseIntFlag(argv[0], "GAMMA_BENCH_THREADS", env, 1));
+  }
+  if (const char* env = std::getenv("GAMMA_BENCH_TRACE");
+      env != nullptr && env[0] != '\0') {
+    state.trace_path = env;
   }
   const auto next_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) Usage(argv[0], StrFormat("%s requires a value", flag));
@@ -159,19 +206,27 @@ void InitBench(int argc, char** argv, const std::string& benchmark_name) {
       state.json_path = next_value(i, "--json");
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       state.json_path = arg + 7;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      state.trace_path = next_value(i, "--trace");
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      state.trace_path = arg + 8;
+    } else if (std::strcmp(arg, "--attribution") == 0) {
+      state.attribution = true;
     } else if (std::strcmp(arg, "--smoke") == 0) {
       state.outer_override = 10000;
       state.inner_override = 1000;
     } else if (std::strcmp(arg, "--outer") == 0) {
-      state.outer_override =
-          static_cast<uint32_t>(std::atoi(next_value(i, "--outer")));
+      state.outer_override = static_cast<uint32_t>(
+          ParseIntFlag(argv[0], "--outer", next_value(i, "--outer"), 1));
     } else if (std::strcmp(arg, "--inner") == 0) {
-      state.inner_override =
-          static_cast<uint32_t>(std::atoi(next_value(i, "--inner")));
+      state.inner_override = static_cast<uint32_t>(
+          ParseIntFlag(argv[0], "--inner", next_value(i, "--inner"), 1));
     } else if (std::strcmp(arg, "--threads") == 0) {
-      state.threads = std::atoi(next_value(i, "--threads"));
+      state.threads = static_cast<int>(
+          ParseIntFlag(argv[0], "--threads", next_value(i, "--threads"), 1));
     } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      state.threads = std::atoi(arg + 10);
+      state.threads =
+          static_cast<int>(ParseIntFlag(argv[0], "--threads", arg + 10, 1));
     } else {
       Usage(argv[0], StrFormat("unknown flag '%s'", arg));
     }
@@ -187,6 +242,7 @@ void InitBench(int argc, char** argv, const std::string& benchmark_name) {
     state.doc.Set("figures", JsonValue::MakeArray());
     std::atexit(WriteBenchJson);
   }
+  if (!state.trace_path.empty()) std::atexit(WriteBenchTrace);
 }
 
 bool BenchScaleOverridden() {
@@ -227,6 +283,9 @@ std::vector<double> IntegralBucketRatios() {
 Workload::Workload(sim::MachineConfig machine_config,
                    const WorkloadOptions& options)
     : options_(options), machine_(std::make_unique<sim::Machine>(machine_config)) {
+  if (sim::Tracer* tracer = BenchTracer()) {
+    machine_->set_tracer(tracer, State().benchmark_name);
+  }
   ApplyScaleOverrides(options_);
   RecordWorkload(machine_config, options_);
   wisconsin::DatasetOptions dataset;
@@ -366,6 +425,9 @@ const char* SkewBench::JoinTypeName(JoinType type) {
 }
 
 SkewBench::SkewBench() : machine_(std::make_unique<sim::Machine>(LocalConfig())) {
+  if (sim::Tracer* tracer = BenchTracer()) {
+    machine_->set_tracer(tracer, State().benchmark_name + " skew");
+  }
   wisconsin::GenOptions gen;
   gen.cardinality = 100000;
   gen.seed = 42;

@@ -40,6 +40,13 @@ namespace gammadb::bench {
 //                    host's hardware concurrency. Thread count never
 //                    changes simulated metrics (the determinism
 //                    contract, docs/benchmarking.md), only wall clock.
+//   --trace <path>  write a simulated-time Chrome trace_event JSON of
+//                    every join to <path> (also honoured via
+//                    GAMMA_BENCH_TRACE; the flag wins). Byte-identical
+//                    at any --threads; see docs/tracing.md.
+//   --attribution   include the per-node cost-attribution breakdown in
+//                    the JSON document's run metrics (off by default so
+//                    baseline documents keep their exact bytes)
 //
 /// Parses shared benchmark flags. Aborts with a usage message on
 /// unknown flags. Call once, before constructing any Workload.

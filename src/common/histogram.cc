@@ -1,6 +1,7 @@
 #include "common/histogram.h"
 
 #include <bit>
+#include <cmath>
 #include <limits>
 
 #include "common/logging.h"
@@ -32,8 +33,12 @@ void HashHistogram::Clear() {
 
 uint64_t HashHistogram::CutoffForFraction(double fraction) const {
   if (total_ == 0) return std::numeric_limits<uint64_t>::max();
-  const uint64_t target =
-      static_cast<uint64_t>(fraction * static_cast<double>(total_));
+  // Ceiling, not truncation: evicting "at least fraction of the
+  // population" must never round a fractional tuple requirement down,
+  // or the chosen cutoff can keep more resident than the caller asked
+  // to clear (e.g. 10% of 15 tuples must evict 2, not 1).
+  const uint64_t target = static_cast<uint64_t>(
+      std::ceil(fraction * static_cast<double>(total_)));
   uint64_t above = 0;
   // Walk bins from the top of the hash space downwards until enough
   // population lies above the candidate boundary.
@@ -48,13 +53,15 @@ uint64_t HashHistogram::CutoffForFraction(double fraction) const {
 }
 
 uint64_t HashHistogram::CountAtOrAbove(uint64_t cutoff) const {
+  // The count is only exact for bin boundaries (a mid-bin cutoff would
+  // include the below-cutoff part of its own bin); callers must pass
+  // boundaries produced by CutoffForFraction.
+  GAMMA_DCHECK(cutoff == BinLowerBound(BinOf(cutoff)))
+      << "cutoff " << cutoff << " is not a bin boundary";
   uint64_t count = 0;
   for (uint32_t bin = BinOf(cutoff); bin < num_bins(); ++bin) {
     count += bins_[bin];
   }
-  // BinOf(cutoff) may include hashes below the cutoff when the cutoff is
-  // not a bin boundary; callers in this codebase always pass boundaries
-  // produced by CutoffForFraction, where the count is exact.
   return count;
 }
 

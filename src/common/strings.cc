@@ -1,5 +1,7 @@
 #include "common/strings.h"
 
+#include <cerrno>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +34,42 @@ std::string WithThousandsSeparators(int64_t value) {
     out += digits[i];
   }
   return negative ? "-" + out : out;
+}
+
+bool ParseInt64(std::string_view text, int64_t* out) {
+  if (text.empty()) return false;
+  std::string_view digits = text;
+  // std::from_chars accepts '-' but not '+'; normalize the latter.
+  if (digits.front() == '+') {
+    digits.remove_prefix(1);
+    if (digits.empty() || digits.front() == '-') return false;
+  }
+  int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), value);
+  if (ec != std::errc() || ptr != digits.data() + digits.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  // strtod via a NUL-terminated copy: from_chars for floating point is
+  // incomplete in some supported standard libraries. Reject strtod's
+  // permissive extras (leading whitespace, hex, inf/nan) and partial
+  // consumption so a typo cannot parse as a number.
+  const std::string copy(text);
+  for (char ch : copy) {
+    const bool ok = (ch >= '0' && ch <= '9') || ch == '+' || ch == '-' ||
+                    ch == '.' || ch == 'e' || ch == 'E';
+    if (!ok) return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size() || errno == ERANGE) return false;
+  *out = value;
+  return true;
 }
 
 }  // namespace gammadb

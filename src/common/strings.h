@@ -3,7 +3,9 @@
 #ifndef GAMMA_COMMON_STRINGS_H_
 #define GAMMA_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace gammadb {
 
@@ -12,6 +14,13 @@ std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 
 /// "1234567" -> "1,234,567" (for human-readable benchmark tables).
 std::string WithThousandsSeparators(int64_t value);
+
+/// Strict full-string numeric parsing for command-line values. Unlike
+/// atoi/atof — which silently turn a typo into 0 — these accept only a
+/// complete, in-range numeric token (optional sign, no leading/trailing
+/// whitespace or garbage) and report failure instead of guessing.
+bool ParseInt64(std::string_view text, int64_t* out);
+bool ParseDouble(std::string_view text, double* out);
 
 }  // namespace gammadb
 

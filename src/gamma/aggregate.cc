@@ -154,7 +154,8 @@ Result<AggregateOutput> ExecuteAggregate(sim::Machine& machine,
     storage::Tuple t;
     while (scanner.Next(&t)) {
       if (!spec.predicate.empty()) {
-        n.ChargeCpu(n.cost().cpu_predicate_seconds);
+        n.ChargeCpu(n.cost().cpu_predicate_seconds,
+                    sim::CostCategory::kPredicate);
         if (!EvalAll(spec.predicate, in_schema, t)) continue;
       }
       const int32_t group =
@@ -165,13 +166,15 @@ Result<AggregateOutput> ExecuteAggregate(sim::Machine& machine,
           spec.function == AggFunction::kCount
               ? 0
               : t.GetInt32(in_schema, static_cast<size_t>(spec.value_field));
-      n.ChargeCpu(n.cost().cpu_aggregate_seconds);
+      n.ChargeCpu(n.cost().cpu_aggregate_seconds,
+                  sim::CostCategory::kAggregate);
       auto [it, inserted] = partials.try_emplace(
           group, Partial{InitialAccumulator(spec.function), 0});
       Fold(spec.function, it->second, value);
     }
     for (const auto& [group, partial] : partials) {
-      n.ChargeCpu(n.cost().cpu_hash_route_seconds);
+      n.ChargeCpu(n.cost().cpu_hash_route_seconds,
+                  sim::CostCategory::kHashRoute);
       const int dest =
           agg_table.Route(HashJoinAttribute(group, spec.hash_seed)).node;
       partial_exchange.Send(
@@ -194,7 +197,8 @@ Result<AggregateOutput> ExecuteAggregate(sim::Machine& machine,
     }
     std::unordered_map<int32_t, Partial> merged;
     for (const PartialMsg& m : partial_exchange.TakeInbox(n.id())) {
-      n.ChargeCpu(n.cost().cpu_aggregate_seconds);
+      n.ChargeCpu(n.cost().cpu_aggregate_seconds,
+                  sim::CostCategory::kAggregate);
       auto [it, inserted] = merged.try_emplace(
           m.group, Partial{InitialAccumulator(spec.function), 0});
       Merge(spec.function, it->second, Partial{m.accumulator, m.count});
@@ -211,7 +215,8 @@ Result<AggregateOutput> ExecuteAggregate(sim::Machine& machine,
       if (grouped) result.SetInt32(out_schema, field++, group);
       result.SetInt32(out_schema, field,
                       static_cast<int32_t>(partial.accumulator));
-      n.ChargeCpu(n.cost().cpu_write_tuple_seconds);
+      n.ChargeCpu(n.cost().cpu_write_tuple_seconds,
+                  sim::CostCategory::kWriteTuple);
       const size_t dest = rr[ai]++ % disks.size();
       const uint32_t bytes = result.size();
       store_exchange.Send(n.id(), disks[dest], std::move(result), bytes);

@@ -148,18 +148,22 @@ Result<SelectOutput> ExecuteSelect(sim::Machine& machine, Catalog& catalog,
     const auto process = [&](const storage::Tuple& t) {
       ++input_counts[di];
       if (!spec.predicate.empty()) {
-        n.ChargeCpu(n.cost().cpu_predicate_seconds);
+        n.ChargeCpu(n.cost().cpu_predicate_seconds,
+                    sim::CostCategory::kPredicate);
         if (!EvalAll(spec.predicate, input->schema(), t)) return;
       }
       storage::Tuple projected =
           ProjectTuple(input->schema(), t, out_schema, spec.projection);
-      n.ChargeCpu(n.cost().cpu_write_tuple_seconds);  // compose output
+      // compose output
+      n.ChargeCpu(n.cost().cpu_write_tuple_seconds,
+                  sim::CostCategory::kWriteTuple);
       size_t dest;
       switch (spec.output_strategy) {
         case PartitionStrategy::kHashed: {
           const int32_t key = projected.GetInt32(
               out_schema, static_cast<size_t>(spec.output_partition_field));
-          n.ChargeCpu(n.cost().cpu_hash_route_seconds);
+          n.ChargeCpu(n.cost().cpu_hash_route_seconds,
+                      sim::CostCategory::kHashRoute);
           dest = static_cast<size_t>(HashJoinAttribute(key, spec.hash_seed) %
                                      disks.size());
           break;

@@ -76,7 +76,8 @@ Result<DmlOutput> ExecuteUpdate(sim::Machine& machine, Catalog& catalog,
       [&](sim::Node& n, storage::HeapFile& fragment) {
         return fragment.UpdateInPlace([&](uint8_t* record) {
           if (!spec.predicate.empty()) {
-            n.ChargeCpu(n.cost().cpu_predicate_seconds);
+            n.ChargeCpu(n.cost().cpu_predicate_seconds,
+                        sim::CostCategory::kPredicate);
             storage::Tuple view(record, schema.tuple_bytes());
             if (!EvalAll(spec.predicate, schema, view)) {
               return storage::HeapFile::UpdateAction::kKeep;
@@ -104,7 +105,8 @@ Result<DmlOutput> ExecuteDelete(sim::Machine& machine, Catalog& catalog,
       [&](sim::Node& n, storage::HeapFile& fragment) {
         return fragment.UpdateInPlace([&](uint8_t* record) {
           if (!predicate.empty()) {
-            n.ChargeCpu(n.cost().cpu_predicate_seconds);
+            n.ChargeCpu(n.cost().cpu_predicate_seconds,
+                        sim::CostCategory::kPredicate);
             storage::Tuple view(record, schema.tuple_bytes());
             if (!EvalAll(predicate, schema, view)) {
               return storage::HeapFile::UpdateAction::kKeep;

@@ -9,6 +9,7 @@
 #include "gamma/split_table.h"
 #include "join/hash_engine.h"
 #include "join/sort_merge.h"
+#include "sim/trace.h"
 
 namespace gammadb::join {
 
@@ -300,6 +301,26 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
   out.stats.overflow_events = out.metrics.counters.ht_overflows;
   out.stats.filter_drops = out.metrics.counters.filter_drops;
   out.result_relation = result_name;
+
+  if (machine.tracer() != nullptr) {
+    // One query-level span over everything the join charged, on the
+    // query track above the per-phase node spans.
+    JsonValue args = JsonValue::MakeObject();
+    args.Set("algorithm", AlgorithmName(spec.algorithm));
+    args.Set("inner_relation", spec.inner_relation);
+    args.Set("outer_relation", spec.outer_relation);
+    args.Set("num_buckets", stats.num_buckets);
+    args.Set("result_tuples", out.stats.result_tuples);
+    args.Set("response_seconds", out.metrics.response_seconds);
+    if (out.metrics.recovery_seconds > 0) {
+      args.Set("recovery_seconds", out.metrics.recovery_seconds);
+    }
+    machine.tracer()->RecordQuery(
+        machine.trace_pid(), machine.trace_epoch_seconds(),
+        machine.trace_epoch_seconds() + out.metrics.response_seconds,
+        std::string("join ") + AlgorithmName(spec.algorithm),
+        std::move(args));
+  }
   return out;
 }
 

@@ -220,7 +220,8 @@ void HashJoinEngine::HandleProbeArrival(sim::Node& n, size_t ji,
   const int32_t key =
       t.GetInt32(*config_.outer_schema, static_cast<size_t>(config_.outer_field));
   st.table->Probe(key, hash, [&](const storage::Tuple& r) {
-    n.ChargeCpu(n.cost().cpu_build_result_seconds);
+    n.ChargeCpu(n.cost().cpu_build_result_seconds,
+                sim::CostCategory::kBuildResult);
     storage::Tuple result = storage::Tuple::Concat(r, t);
     ++n.counters().result_tuples;
     const size_t di = st.store_rr_next++ % config_.disk_nodes.size();
@@ -240,7 +241,7 @@ void HashJoinEngine::RouteFromProducer(sim::Node& n,
       side == Side::kInner ? config_.inner_field : config_.outer_field;
   const int32_t key = t.GetInt32(schema, static_cast<size_t>(field));
   const uint64_t hash = HashJoinAttribute(key, seed);
-  n.ChargeCpu(n.cost().cpu_hash_route_seconds);
+  n.ChargeCpu(n.cost().cpu_hash_route_seconds, sim::CostCategory::kHashRoute);
   const db::SplitEntry& entry = table.Route(hash);
 
   if (entry.bucket > 0) {
@@ -248,7 +249,8 @@ void HashJoinEngine::RouteFromProducer(sim::Node& n,
     // during the inner relation's bucket-forming pass are dropped
     // before they are ever transmitted or stored.
     if (side == Side::kOuter && forming_filter_ != nullptr) {
-      n.ChargeCpu(n.cost().cpu_filter_op_seconds);
+      n.ChargeCpu(n.cost().cpu_filter_op_seconds,
+                  sim::CostCategory::kFilterOp);
       if (!forming_filter_->MayContain(
               static_cast<int>(DiskIndexOf(entry.node)), hash)) {
         ++n.counters().filter_drops;
@@ -289,7 +291,7 @@ void HashJoinEngine::RouteFromProducer(sim::Node& n,
     return;
   }
   if (filter_ != nullptr) {
-    n.ChargeCpu(n.cost().cpu_filter_op_seconds);
+    n.ChargeCpu(n.cost().cpu_filter_op_seconds, sim::CostCategory::kFilterOp);
     if (!filter_->MayContain(static_cast<int>(ji), hash)) {
       ++n.counters().filter_drops;
       return;
@@ -336,7 +338,8 @@ void HashJoinEngine::BuildFilterFromResidents() {
     for (size_t ji = 0; ji < jstate_.size(); ++ji) {
       if (config_.join_nodes[ji] != n.id()) continue;
       jstate_[ji].table->ForEachResidentHash([&](uint64_t hash) {
-        n.ChargeCpu(n.cost().cpu_filter_op_seconds);
+        n.ChargeCpu(n.cost().cpu_filter_op_seconds,
+                    sim::CostCategory::kFilterOp);
         filter_->Set(static_cast<int>(ji), hash);
       });
     }
@@ -430,7 +433,8 @@ Status HashJoinEngine::PartitionPhase(const std::string& label,
                 if (forming_filter_ != nullptr) {
                   // Each receiving disk site contributes its slice as
                   // inner tuples arrive to be stored.
-                  n.ChargeCpu(n.cost().cpu_filter_op_seconds);
+                  n.ChargeCpu(n.cost().cpu_filter_op_seconds,
+                              sim::CostCategory::kFilterOp);
                   forming_filter_->Set(static_cast<int>(DiskIndexOf(n.id())),
                                        m.hash);
                 }
@@ -620,7 +624,8 @@ std::vector<Producer> HashJoinEngine::RelationProducers(
       const bool has_predicate = predicate != nullptr && !predicate->empty();
       while (scanner.Next(&t)) {
         if (has_predicate) {
-          n.ChargeCpu(n.cost().cpu_predicate_seconds);
+          n.ChargeCpu(n.cost().cpu_predicate_seconds,
+                      sim::CostCategory::kPredicate);
           if (!db::EvalAll(*predicate, relation->schema(), t)) continue;
         }
         yield(std::move(t));

@@ -25,7 +25,8 @@ JoinHashTable::JoinHashTable(sim::Node* node, const storage::Schema* schema,
 
 bool JoinHashTable::Insert(storage::Tuple&& tuple, uint64_t hash) {
   if (bytes_used_ + tuple.size() > capacity_bytes_) return false;
-  node_->ChargeCpu(node_->cost().cpu_ht_insert_seconds);
+  node_->ChargeCpu(node_->cost().cpu_ht_insert_seconds,
+                   sim::CostCategory::kHtInsert);
   ++node_->counters().ht_inserts;
   bytes_used_ += tuple.size();
   histogram_.Add(hash);
@@ -41,8 +42,9 @@ std::vector<std::pair<uint64_t, storage::Tuple>> JoinHashTable::EvictAtOrAbove(
     uint64_t cutoff) {
   // "the tuples in the hash table are examined and all qualifying tuples
   // are written to the overflow file" — a full table search, charged.
-  node_->ChargeCpu(static_cast<double>(entries_.size()) *
-                   node_->cost().cpu_compare_seconds);
+  node_->ChargeCpu(
+      static_cast<double>(entries_.size()) * node_->cost().cpu_compare_seconds,
+      sim::CostCategory::kCompare);
   std::vector<std::pair<uint64_t, storage::Tuple>> evicted;
   std::vector<Entry> kept;
   kept.reserve(entries_.size());

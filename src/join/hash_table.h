@@ -46,7 +46,8 @@ class JoinHashTable {
   /// invokes `fn(resident_tuple)` for every key-equal match.
   template <typename Fn>
   void Probe(int32_t key, uint64_t hash, Fn&& fn) const {
-    node_->ChargeCpu(node_->cost().cpu_ht_probe_seconds);
+    node_->ChargeCpu(node_->cost().cpu_ht_probe_seconds,
+                     sim::CostCategory::kHtProbe);
     ++node_->counters().ht_probes;
     size_t compares = 0;
     for (uint32_t idx = heads_[SlotOf(hash)]; idx != kNil;
@@ -54,8 +55,9 @@ class JoinHashTable {
       ++compares;
       if (entries_[idx].key == key) fn(entries_[idx].tuple);
     }
-    node_->ChargeCpu(static_cast<double>(compares) *
-                     node_->cost().cpu_compare_seconds);
+    node_->ChargeCpu(
+        static_cast<double>(compares) * node_->cost().cpu_compare_seconds,
+        sim::CostCategory::kCompare);
   }
 
   /// Invokes `fn(hash)` for every resident tuple (bit-filter rebuild).

@@ -43,7 +43,8 @@ void MergeJoinStreams(sim::Node& node, storage::TupleStream* r_stream,
                       const storage::Schema& s_schema, int s_field,
                       const EmitFn& emit) {
   const auto charge_compare = [&node] {
-    node.ChargeCpu(node.cost().cpu_compare_seconds);
+    node.ChargeCpu(node.cost().cpu_compare_seconds,
+                   sim::CostCategory::kCompare);
   };
   storage::Tuple r, s;
   bool rv = r_stream->Next(&r);
@@ -142,13 +143,15 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
                 predicate != nullptr && !predicate->empty();
             while (scanner.Next(&t)) {
               if (has_predicate) {
-                n.ChargeCpu(n.cost().cpu_predicate_seconds);
+                n.ChargeCpu(n.cost().cpu_predicate_seconds,
+                            sim::CostCategory::kPredicate);
                 if (!db::EvalAll(*predicate, rel->schema(), t)) continue;
               }
               const int32_t key =
                   t.GetInt32(rel->schema(), static_cast<size_t>(field));
               const uint64_t hash = HashJoinAttribute(key, params.hash_seed);
-              n.ChargeCpu(n.cost().cpu_hash_route_seconds);
+              n.ChargeCpu(n.cost().cpu_hash_route_seconds,
+                          sim::CostCategory::kHashRoute);
               const db::SplitEntry& entry = joining.Route(hash);
               // The assembled filter is applied by the producers of the
               // outer relation: eliminated tuples are never transmitted,
@@ -158,7 +161,8 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
                 for (size_t i = 0; i < d; ++i) {
                   if (disks[i] == entry.node) site = i;
                 }
-                n.ChargeCpu(n.cost().cpu_filter_op_seconds);
+                n.ChargeCpu(n.cost().cpu_filter_op_seconds,
+                            sim::CostCategory::kFilterOp);
                 if (!filter->MayContain(static_cast<int>(site), hash)) {
                   ++n.counters().filter_drops;
                   continue;
@@ -186,7 +190,8 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
             Status st;
             for (HashedTuple& m : exchange.TakeInbox(n.id())) {
               if (is_inner && filter != nullptr) {
-                n.ChargeCpu(n.cost().cpu_filter_op_seconds);
+                n.ChargeCpu(n.cost().cpu_filter_op_seconds,
+                            sim::CostCategory::kFilterOp);
                 filter->Set(static_cast<int>(di), m.hash);
               }
               const Status append = temp->Append(m.tuple);
@@ -293,7 +298,8 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
               n, r_stream.get(), s_stream.get(), r_schema, params.inner_field,
               s_schema, params.outer_field,
               [&](const storage::Tuple& r, const storage::Tuple& s) {
-                n.ChargeCpu(n.cost().cpu_build_result_seconds);
+                n.ChargeCpu(n.cost().cpu_build_result_seconds,
+                            sim::CostCategory::kBuildResult);
                 storage::Tuple result = storage::Tuple::Concat(r, s);
                 ++n.counters().result_tuples;
                 const size_t target = sites[di].store_rr_next++ % d;

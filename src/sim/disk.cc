@@ -36,8 +36,10 @@ Status Disk::RunIoAttempts(AccessPattern pattern, bool is_write) const {
   for (int attempt = 1;; ++attempt) {
     // Every attempt pays full device + issue-CPU time: a retried I/O is
     // a real arm movement plus a fresh WiSS call.
-    owner_->ChargeDisk(device);
-    owner_->ChargeCpu(cost_->cpu_page_io_seconds);
+    owner_->ChargeDisk(device, pattern == AccessPattern::kSequential
+                                   ? CostCategory::kDiskSeq
+                                   : CostCategory::kDiskRand);
+    owner_->ChargeCpu(cost_->cpu_page_io_seconds, CostCategory::kIoIssue);
     FaultInjector* faults = owner_->fault_injector();
     const bool failed =
         faults != nullptr && (is_write ? faults->OnPageWrite(owner_->id())

@@ -111,11 +111,16 @@ FaultInjector::FaultInjector(const FaultPlan& plan, int num_nodes) {
   }
 }
 
-uint64_t FaultInjector::Advance(Track& track, uint64_t events) {
+uint64_t FaultInjector::Advance(Track& track, uint64_t events,
+                                bool* tail_fired) {
   track.count += events;
+  if (tail_fired != nullptr) *tail_fired = false;
   uint64_t fired = 0;
   while (track.next < track.ordinals.size() &&
          track.ordinals[track.next] <= track.count) {
+    if (tail_fired != nullptr && track.ordinals[track.next] == track.count) {
+      *tail_fired = true;
+    }
     ++track.next;
     ++fired;
   }
@@ -126,9 +131,11 @@ FaultInjector::PacketFaults FaultInjector::OnPacketsDelivered(
     int dst, uint64_t packets) {
   PacketFaults faults;
   faults.lost = static_cast<int64_t>(
-      Advance(tracks_[kLossTrack][static_cast<size_t>(dst)], packets));
+      Advance(tracks_[kLossTrack][static_cast<size_t>(dst)], packets,
+              &faults.lost_tail));
   faults.duplicated = static_cast<int64_t>(
-      Advance(tracks_[kDupTrack][static_cast<size_t>(dst)], packets));
+      Advance(tracks_[kDupTrack][static_cast<size_t>(dst)], packets,
+              &faults.duplicated_tail));
   return faults;
 }
 

@@ -132,6 +132,12 @@ class FaultInjector {
   struct PacketFaults {
     int64_t lost = 0;
     int64_t duplicated = 0;
+    /// Whether the batch's final packet — the (possibly partial) tail
+    /// packet of a traffic cell — is among the lost / duplicated ones.
+    /// The network uses this to charge the tail's actual payload for
+    /// the extra wire copy instead of a full packet_payload_bytes.
+    bool lost_tail = false;
+    bool duplicated_tail = false;
   };
 
   /// Counts `packets` remote packets delivered to `dst` and returns how
@@ -159,8 +165,11 @@ class FaultInjector {
   };
 
   /// Advances `track` by `events` and returns how many scheduled
-  /// ordinals fall inside the advanced range (consuming them).
-  static uint64_t Advance(Track& track, uint64_t events);
+  /// ordinals fall inside the advanced range (consuming them). A
+  /// non-null `tail_fired` reports whether the range's final ordinal is
+  /// among them.
+  static uint64_t Advance(Track& track, uint64_t events,
+                          bool* tail_fired = nullptr);
 
   enum { kReadTrack = 0, kWriteTrack, kLossTrack, kDupTrack, kNumTracks };
 

@@ -1,8 +1,10 @@
 #include "sim/machine.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
+#include "sim/trace.h"
 
 namespace gammadb::sim {
 
@@ -54,6 +56,17 @@ std::vector<int> Machine::DisklessNodeIds() const {
   return ids;
 }
 
+void Machine::set_tracer(Tracer* tracer, const std::string& label) {
+  GAMMA_CHECK(!in_phase_) << "cannot attach a tracer inside a phase";
+  tracer_ = tracer;
+  trace_pid_ = 0;
+  trace_epoch_seconds_ = 0;
+  if (tracer_ != nullptr) {
+    trace_pid_ =
+        tracer_->RegisterMachine(num_nodes(), num_disk_nodes(), label);
+  }
+}
+
 void Machine::BeginPhase(std::string label) {
   GAMMA_CHECK(!in_phase_) << "phase '" << phase_label_
                           << "' still open when starting '" << label << "'";
@@ -85,17 +98,34 @@ Status Machine::EndPhase() {
   std::vector<Node*> raw;
   raw.reserve(nodes_.size());
   for (auto& node : nodes_) raw.push_back(node.get());
-  record.ring_seconds = network_.FlushPhase(raw, machine_counters_);
+  record.ring_seconds =
+      network_.FlushPhase(raw, machine_counters_, &record.ring);
+  GAMMA_DCHECK(std::abs(record.ring.Total() - record.ring_seconds) <=
+               1e-9 * std::max(1.0, record.ring_seconds))
+      << "ring attribution (" << record.ring.Total()
+      << ") does not account for ring occupancy (" << record.ring_seconds
+      << ") in phase '" << record.label << "'";
 
   record.usage.reserve(nodes_.size());
   double slowest_node = 0;
   for (auto& node : nodes_) {
-    record.usage.push_back(node->phase_usage());
-    slowest_node = std::max(slowest_node, node->phase_usage().Elapsed());
+    const NodeUsage& usage = node->phase_usage();
+    const double charged = usage.cpu_seconds + usage.disk_seconds;
+    GAMMA_DCHECK(std::abs(usage.AttributedSeconds() - charged) <=
+                 1e-9 * std::max(1.0, charged))
+        << "cost attribution (" << usage.AttributedSeconds()
+        << ") does not account for node " << node->id() << "'s " << charged
+        << " charged seconds in phase '" << record.label << "'";
+    record.usage.push_back(usage);
+    slowest_node = std::max(slowest_node, usage.Elapsed());
   }
   // Node work overlaps ring transfers; scheduler messages serialize.
   record.elapsed_seconds =
       std::max(slowest_node, record.ring_seconds) + record.sched_seconds;
+  if (tracer_ != nullptr) {
+    tracer_->RecordPhase(trace_pid_, trace_epoch_seconds_ + response_seconds_,
+                         record);
+  }
   response_seconds_ += record.elapsed_seconds;
   const std::string label = record.label;
   phases_.push_back(std::move(record));
@@ -144,6 +174,10 @@ void Machine::RecordOperatorRestart(double wasted_seconds) {
   GAMMA_CHECK(!in_phase_);
   ++machine_counters_.operator_restarts;
   recovery_seconds_ += wasted_seconds;
+  if (tracer_ != nullptr) {
+    const double end = trace_epoch_seconds_ + response_seconds_;
+    tracer_->RecordRestart(trace_pid_, end - wasted_seconds, end);
+  }
 }
 
 RunMetrics Machine::Metrics() const {
@@ -170,6 +204,8 @@ RunMetrics Machine::Metrics() const {
 
 void Machine::ResetMetrics() {
   GAMMA_CHECK(!in_phase_);
+  // Keep the trace timeline contiguous across queries on one machine.
+  trace_epoch_seconds_ += response_seconds_;
   response_seconds_ = 0;
   recovery_seconds_ = 0;
   machine_counters_ = Counters{};

@@ -25,6 +25,8 @@
 
 namespace gammadb::sim {
 
+class Tracer;
+
 struct MachineConfig {
   /// Processors with attached disk drives (Gamma default: 8).
   int num_disk_nodes = 8;
@@ -66,6 +68,22 @@ class Machine {
   void DisarmFaults();
 
   bool faults_armed() const { return faults_ != nullptr; }
+
+  // --- Tracing (sim/trace.h) ----------------------------------------------
+
+  /// Attaches a tracer (nullptr detaches). The machine registers itself
+  /// with `label` and thereafter records every completed phase, restart
+  /// and reset. Tracing is pure observation — attaching one cannot
+  /// change any metric.
+  void set_tracer(Tracer* tracer, const std::string& label = "machine");
+
+  Tracer* tracer() const { return tracer_; }
+  /// This machine's trace process id (0 when no tracer is attached).
+  int trace_pid() const { return trace_pid_; }
+  /// Simulated time of the current query's start on the shared trace
+  /// timeline. ResetMetrics advances it by the elapsed response time, so
+  /// successive queries on one machine lay out end to end.
+  double trace_epoch_seconds() const { return trace_epoch_seconds_; }
 
   // --- Phase control -----------------------------------------------------
 
@@ -124,6 +142,9 @@ class Machine {
   Network network_;
   Executor executor_;
   std::unique_ptr<FaultInjector> faults_;
+  Tracer* tracer_ = nullptr;
+  int trace_pid_ = 0;
+  double trace_epoch_seconds_ = 0;
 
   bool in_phase_ = false;
   std::string phase_label_;

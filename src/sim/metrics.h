@@ -11,18 +11,104 @@
 #define GAMMA_SIM_METRICS_H_
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace gammadb::sim {
 
-/// Time consumed by one node during one phase.
+/// Cost-model primitive a simulated-time charge is attributed to. Every
+/// ChargeCpu/ChargeDisk names the primitive being paid for, so a
+/// node-phase's seconds can be decomposed exactly the way the paper
+/// explains its figures (protocol CPU vs. disk vs. hash-table work,
+/// Sections 4-5). The breakdown is pure observability: it never feeds
+/// back into any cost.
+enum class CostCategory : uint8_t {
+  kDiskSeq = 0,   // sequential page device time
+  kDiskRand,      // random page device time
+  kIoIssue,       // CPU issuing a page I/O (buffer manager, WiSS call)
+  kReadTuple,     // extracting a tuple from a page
+  kWriteTuple,    // copying a tuple into an output/temp page
+  kHashRoute,     // hashing the join attribute + split-table lookup
+  kHtInsert,      // join hash-table insert
+  kHtProbe,       // join hash-table probe (excluding chain compares)
+  kCompare,       // key compares (hash chains, merge join, evict scan)
+  kSortCompare,   // compares inside sort run formation / merge
+  kBuildResult,   // composing a result tuple
+  kPredicate,     // selection predicate evaluation
+  kAggregate,     // aggregate accumulator update
+  kFilterOp,      // bit-vector-filter set/test
+  kNetSend,       // remote-packet send protocol CPU
+  kNetRecv,       // remote-packet receive protocol CPU
+  kNetLocal,      // short-circuited (same-node) packet protocol CPU
+  kReceiveTuple,  // copying a tuple out of a received packet
+  kNetFault,      // injected-fault protocol work (loss detect/resend,
+                  // duplicate receive path)
+  kOther,         // uncategorized (should stay zero in production code)
+};
+
+inline constexpr size_t kNumCostCategories =
+    static_cast<size_t>(CostCategory::kOther) + 1;
+
+/// Stable snake_case name used in trace args and attribution JSON.
+inline const char* CostCategoryName(CostCategory category) {
+  switch (category) {
+    case CostCategory::kDiskSeq: return "disk_seq";
+    case CostCategory::kDiskRand: return "disk_rand";
+    case CostCategory::kIoIssue: return "io_issue";
+    case CostCategory::kReadTuple: return "read_tuple";
+    case CostCategory::kWriteTuple: return "write_tuple";
+    case CostCategory::kHashRoute: return "hash_route";
+    case CostCategory::kHtInsert: return "ht_insert";
+    case CostCategory::kHtProbe: return "ht_probe";
+    case CostCategory::kCompare: return "compare";
+    case CostCategory::kSortCompare: return "sort_compare";
+    case CostCategory::kBuildResult: return "build_result";
+    case CostCategory::kPredicate: return "predicate";
+    case CostCategory::kAggregate: return "aggregate";
+    case CostCategory::kFilterOp: return "filter_op";
+    case CostCategory::kNetSend: return "net_send";
+    case CostCategory::kNetRecv: return "net_recv";
+    case CostCategory::kNetLocal: return "net_local";
+    case CostCategory::kReceiveTuple: return "receive_tuple";
+    case CostCategory::kNetFault: return "net_fault";
+    case CostCategory::kOther: return "other";
+  }
+  return "?";
+}
+
+/// Time consumed by one node during one phase, with the same seconds
+/// decomposed by cost-model primitive. The category array sums to
+/// cpu_seconds + disk_seconds (within float re-association error; the
+/// machine asserts the match at every phase end).
 struct NodeUsage {
   double cpu_seconds = 0;
   double disk_seconds = 0;
+  std::array<double, kNumCostCategories> by_category{};
 
   double Elapsed() const { return std::max(cpu_seconds, disk_seconds); }
+
+  double AttributedSeconds() const {
+    double total = 0;
+    for (double v : by_category) total += v;
+    return total;
+  }
+};
+
+/// Ring-occupancy decomposition of one phase. payload_seconds is the
+/// occupancy of the phase's own traffic; the fault components are the
+/// extra copies injected packet faults put on the wire. The three
+/// components sum to PhaseRecord::ring_seconds (within float
+/// re-association error; asserted at phase end).
+struct RingAttribution {
+  double payload_seconds = 0;
+  double retransmit_seconds = 0;  // resent copies of lost packets
+  double duplicate_seconds = 0;   // second copies of duplicated packets
+
+  double Total() const {
+    return payload_seconds + retransmit_seconds + duplicate_seconds;
+  }
 };
 
 /// One completed phase.
@@ -30,6 +116,7 @@ struct PhaseRecord {
   std::string label;
   std::vector<NodeUsage> usage;   // indexed by node id
   double ring_seconds = 0;        // shared-ring occupancy
+  RingAttribution ring;           // ring_seconds decomposed
   double sched_seconds = 0;       // serialized scheduler work
   double elapsed_seconds = 0;     // contribution to response time
 };

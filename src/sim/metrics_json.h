@@ -23,12 +23,21 @@ inline constexpr int kMetricsSchemaVersion = 1;
 JsonValue CountersToJson(const Counters& counters);
 
 /// Phase label, scheduler/ring/elapsed seconds, and per-node
-/// {cpu_seconds, disk_seconds} indexed by node id.
-JsonValue PhaseRecordToJson(const PhaseRecord& phase);
+/// {cpu_seconds, disk_seconds} indexed by node id. With
+/// `include_attribution` each node additionally carries an
+/// "attribution" object (nonzero cost categories only,
+/// sim/metrics.h CostCategoryName keys) and the phase a "ring"
+/// decomposition; off by default so existing baselines stay
+/// byte-identical.
+JsonValue PhaseRecordToJson(const PhaseRecord& phase,
+                            bool include_attribution = false);
 
 /// Full RunMetrics: response_seconds, aggregate cpu/disk seconds,
-/// counters, and the phase list.
-JsonValue RunMetricsToJson(const RunMetrics& metrics);
+/// counters, and the phase list. With `include_attribution`, phases
+/// carry per-node attribution and the document gains an
+/// "attribution_totals" object summing every category over the run.
+JsonValue RunMetricsToJson(const RunMetrics& metrics,
+                           bool include_attribution = false);
 
 }  // namespace gammadb::sim
 

@@ -9,7 +9,8 @@ namespace gammadb::sim {
 Network::Network(size_t num_nodes, const CostModel* cost)
     : num_nodes_(num_nodes), cost_(cost), matrix_(num_nodes * num_nodes) {}
 
-double Network::FlushPhase(std::vector<Node*>& nodes, Counters& counters) {
+double Network::FlushPhase(std::vector<Node*>& nodes, Counters& counters,
+                           RingAttribution* attribution) {
   GAMMA_CHECK_EQ(nodes.size(), num_nodes_);
   double ring_seconds = 0;
   for (size_t src = 0; src < num_nodes_; ++src) {
@@ -23,19 +24,27 @@ double Network::FlushPhase(std::vector<Node*>& nodes, Counters& counters) {
         // Short-circuited: no ring occupancy, reduced protocol cost paid
         // once (sender and receiver are the same CPU).
         nodes[src]->ChargeCpu(static_cast<double>(packets) *
-                              cost_->net_local_packet_cpu_seconds);
+                                  cost_->net_local_packet_cpu_seconds,
+                              CostCategory::kNetLocal);
         counters.packets_local += static_cast<int64_t>(packets);
         counters.bytes_local += static_cast<int64_t>(c.bytes);
         counters.tuples_sent_local += static_cast<int64_t>(c.tuples);
       } else {
         nodes[src]->ChargeCpu(static_cast<double>(packets) *
-                              cost_->net_remote_packet_send_cpu_seconds);
-        nodes[dst]->ChargeCpu(
+                                  cost_->net_remote_packet_send_cpu_seconds,
+                              CostCategory::kNetSend);
+        nodes[dst]->ChargeCpuSplit(
             static_cast<double>(packets) *
-                cost_->net_remote_packet_recv_cpu_seconds +
-            static_cast<double>(c.tuples) * cost_->cpu_receive_tuple_seconds);
-        ring_seconds +=
+                cost_->net_remote_packet_recv_cpu_seconds,
+            CostCategory::kNetRecv,
+            static_cast<double>(c.tuples) * cost_->cpu_receive_tuple_seconds,
+            CostCategory::kReceiveTuple);
+        const double payload_seconds =
             static_cast<double>(c.bytes) * cost_->net_wire_seconds_per_byte;
+        ring_seconds += payload_seconds;
+        if (attribution != nullptr) {
+          attribution->payload_seconds += payload_seconds;
+        }
         if (faults_ != nullptr) {
           // Injected ring faults, counted against the dst's delivered-
           // packet ordinal. The sliding-window protocol (paper
@@ -44,26 +53,50 @@ double Network::FlushPhase(std::vector<Node*>& nodes, Counters& counters) {
           // retransmission (send CPU + ring occupancy for the resent
           // payload); a duplicated packet costs the receiver one extra
           // receive path before the sequence number discards it, and
-          // occupies the ring for the duplicate copy.
+          // occupies the ring for the duplicate copy. The cell's final
+          // packet carries only the residual payload, so a fault on that
+          // ordinal puts just those bytes back on the wire, not a full
+          // packet_payload_bytes.
           const FaultInjector::PacketFaults pf = faults_->OnPacketsDelivered(
               static_cast<int>(dst), packets);
-          const double payload_wire =
+          const double full_payload_wire =
               static_cast<double>(cost_->packet_payload_bytes) *
+              cost_->net_wire_seconds_per_byte;
+          const double tail_payload_wire =
+              static_cast<double>(c.bytes -
+                                  (packets - 1) * cost_->packet_payload_bytes) *
               cost_->net_wire_seconds_per_byte;
           if (pf.lost > 0) {
             nodes[src]->ChargeCpu(
                 static_cast<double>(pf.lost) *
-                (cost_->net_retransmit_detect_cpu_seconds +
-                 cost_->net_remote_packet_send_cpu_seconds));
-            ring_seconds += static_cast<double>(pf.lost) * payload_wire;
+                    (cost_->net_retransmit_detect_cpu_seconds +
+                     cost_->net_remote_packet_send_cpu_seconds),
+                CostCategory::kNetFault);
+            const double lost_wire =
+                static_cast<double>(pf.lost - (pf.lost_tail ? 1 : 0)) *
+                    full_payload_wire +
+                (pf.lost_tail ? tail_payload_wire : 0.0);
+            ring_seconds += lost_wire;
+            if (attribution != nullptr) {
+              attribution->retransmit_seconds += lost_wire;
+            }
             counters.packets_lost += pf.lost;
             counters.packets_retransmitted += pf.lost;
           }
           if (pf.duplicated > 0) {
             nodes[dst]->ChargeCpu(
                 static_cast<double>(pf.duplicated) *
-                cost_->net_remote_packet_recv_cpu_seconds);
-            ring_seconds += static_cast<double>(pf.duplicated) * payload_wire;
+                    cost_->net_remote_packet_recv_cpu_seconds,
+                CostCategory::kNetFault);
+            const double dup_wire =
+                static_cast<double>(pf.duplicated -
+                                    (pf.duplicated_tail ? 1 : 0)) *
+                    full_payload_wire +
+                (pf.duplicated_tail ? tail_payload_wire : 0.0);
+            ring_seconds += dup_wire;
+            if (attribution != nullptr) {
+              attribution->duplicate_seconds += dup_wire;
+            }
             counters.packets_duplicated += pf.duplicated;
           }
         }

@@ -48,8 +48,12 @@ class Network {
 
   /// Packetizes the phase's traffic: charges protocol CPU to the nodes,
   /// updates `counters`, and returns the ring occupancy in seconds.
-  /// Clears the traffic matrix for the next phase.
-  double FlushPhase(std::vector<Node*>& nodes, Counters& counters);
+  /// Clears the traffic matrix for the next phase. A non-null
+  /// `attribution` receives the occupancy decomposed into payload /
+  /// retransmit / duplicate components (their sum equals the return
+  /// value up to float re-association).
+  double FlushPhase(std::vector<Node*>& nodes, Counters& counters,
+                    RingAttribution* attribution = nullptr);
 
  private:
   struct Cell {

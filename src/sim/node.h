@@ -32,10 +32,30 @@ class Node {
 
   const CostModel& cost() const { return *cost_; }
 
-  /// Adds CPU time to the current phase.
-  void ChargeCpu(double seconds) { phase_usage_.cpu_seconds += seconds; }
+  /// Adds CPU time to the current phase, attributed to `category`.
+  /// Attribution is a parallel account: the cpu_seconds accumulation
+  /// order is independent of how charges are categorized, so
+  /// categorizing a call site can never change the simulated clock.
+  void ChargeCpu(double seconds, CostCategory category = CostCategory::kOther) {
+    phase_usage_.cpu_seconds += seconds;
+    phase_usage_.by_category[static_cast<size_t>(category)] += seconds;
+  }
   /// Adds disk-device time to the current phase.
-  void ChargeDisk(double seconds) { phase_usage_.disk_seconds += seconds; }
+  void ChargeDisk(double seconds,
+                  CostCategory category = CostCategory::kDiskSeq) {
+    phase_usage_.disk_seconds += seconds;
+    phase_usage_.by_category[static_cast<size_t>(category)] += seconds;
+  }
+  /// Adds `a + b` of CPU time in a single accumulation while attributing
+  /// the two parts separately. Exists for call sites that historically
+  /// charged one combined sum: splitting the clock addition in two would
+  /// change float association and break byte-identical baselines.
+  void ChargeCpuSplit(double a, CostCategory category_a, double b,
+                      CostCategory category_b) {
+    phase_usage_.cpu_seconds += a + b;
+    phase_usage_.by_category[static_cast<size_t>(category_a)] += a;
+    phase_usage_.by_category[static_cast<size_t>(category_b)] += b;
+  }
 
   /// Current-phase account (read by Machine::EndPhase).
   const NodeUsage& phase_usage() const { return phase_usage_; }

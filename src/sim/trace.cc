@@ -1,0 +1,172 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gammadb::sim {
+namespace {
+
+constexpr int kQueryTid = 0;
+constexpr int kSchedulerTid = 1;
+constexpr int kRingTid = 2;
+constexpr int kFirstNodeTid = 3;
+
+double ToMicros(double seconds) { return seconds * 1e6; }
+
+JsonValue MetadataEvent(int pid, int tid, const char* name,
+                        const char* arg_key, std::string arg_value) {
+  JsonValue e = JsonValue::MakeObject();
+  e.Set("ph", "M");
+  e.Set("pid", pid);
+  e.Set("tid", tid);
+  e.Set("name", name);
+  JsonValue args = JsonValue::MakeObject();
+  args.Set(arg_key, std::move(arg_value));
+  e.Set("args", std::move(args));
+  return e;
+}
+
+JsonValue CompleteEvent(int pid, int tid, const std::string& name,
+                        double start_seconds, double dur_seconds) {
+  JsonValue e = JsonValue::MakeObject();
+  e.Set("ph", "X");
+  e.Set("pid", pid);
+  e.Set("tid", tid);
+  e.Set("name", name);
+  e.Set("ts", ToMicros(start_seconds));
+  e.Set("dur", ToMicros(dur_seconds));
+  return e;
+}
+
+}  // namespace
+
+JsonValue NodeUsageTraceArgs(const NodeUsage& usage) {
+  JsonValue args = JsonValue::MakeObject();
+  args.Set("cpu_seconds", usage.cpu_seconds);
+  args.Set("disk_seconds", usage.disk_seconds);
+  JsonValue attribution = JsonValue::MakeObject();
+  for (size_t c = 0; c < kNumCostCategories; ++c) {
+    if (usage.by_category[c] != 0) {
+      attribution.Set(CostCategoryName(static_cast<CostCategory>(c)),
+                      usage.by_category[c]);
+    }
+  }
+  args.Set("attribution", std::move(attribution));
+  return args;
+}
+
+int Tracer::RegisterMachine(int num_nodes, int num_disk_nodes,
+                            const std::string& label) {
+  const int pid = next_pid_++;
+  metadata_.push_back(MetadataEvent(pid, kQueryTid, "process_name",
+                                    "name", label));
+  metadata_.push_back(
+      MetadataEvent(pid, kQueryTid, "thread_name", "name", "query"));
+  metadata_.push_back(
+      MetadataEvent(pid, kSchedulerTid, "thread_name", "name", "scheduler"));
+  metadata_.push_back(
+      MetadataEvent(pid, kRingTid, "thread_name", "name", "ring"));
+  for (int i = 0; i < num_nodes; ++i) {
+    std::string name = "node " + std::to_string(i);
+    if (i >= num_disk_nodes) name += " (diskless)";
+    metadata_.push_back(MetadataEvent(pid, kFirstNodeTid + i, "thread_name",
+                                      "name", std::move(name)));
+  }
+  return pid;
+}
+
+void Tracer::RecordPhase(int pid, double start_seconds,
+                         const PhaseRecord& record) {
+  for (size_t i = 0; i < record.usage.size(); ++i) {
+    const NodeUsage& usage = record.usage[i];
+    const double elapsed = usage.Elapsed();
+    if (elapsed == 0) continue;
+    JsonValue e = CompleteEvent(pid, kFirstNodeTid + static_cast<int>(i),
+                                record.label, start_seconds, elapsed);
+    e.Set("args", NodeUsageTraceArgs(usage));
+    Emit(start_seconds, std::move(e));
+  }
+  if (record.ring_seconds != 0) {
+    JsonValue e = CompleteEvent(pid, kRingTid, record.label, start_seconds,
+                                record.ring_seconds);
+    JsonValue args = JsonValue::MakeObject();
+    args.Set("payload_seconds", record.ring.payload_seconds);
+    if (record.ring.retransmit_seconds != 0) {
+      args.Set("retransmit_seconds", record.ring.retransmit_seconds);
+    }
+    if (record.ring.duplicate_seconds != 0) {
+      args.Set("duplicate_seconds", record.ring.duplicate_seconds);
+    }
+    e.Set("args", std::move(args));
+    Emit(start_seconds, std::move(e));
+  }
+  if (record.sched_seconds != 0) {
+    // Scheduler work serializes after the overlapped node/ring interval.
+    const double sched_start =
+        start_seconds + (record.elapsed_seconds - record.sched_seconds);
+    Emit(sched_start, CompleteEvent(pid, kSchedulerTid, record.label,
+                                    sched_start, record.sched_seconds));
+  }
+}
+
+void Tracer::RecordRestart(int pid, double start_seconds,
+                           double end_seconds) {
+  JsonValue e = CompleteEvent(pid, kQueryTid, "operator restart",
+                              start_seconds, end_seconds - start_seconds);
+  JsonValue args = JsonValue::MakeObject();
+  args.Set("wasted_seconds", end_seconds - start_seconds);
+  e.Set("args", std::move(args));
+  Emit(start_seconds, std::move(e));
+}
+
+void Tracer::RecordQuery(int pid, double start_seconds, double end_seconds,
+                         const std::string& name, JsonValue args) {
+  JsonValue e = CompleteEvent(pid, kQueryTid, name, start_seconds,
+                              end_seconds - start_seconds);
+  if (!args.is_null()) e.Set("args", std::move(args));
+  Emit(start_seconds, std::move(e));
+}
+
+void Tracer::Emit(double ts_seconds, JsonValue json) {
+  events_.push_back(Event{ts_seconds, next_seq_++, std::move(json)});
+}
+
+std::string Tracer::Dump() const {
+  std::vector<const Event*> ordered;
+  ordered.reserve(events_.size());
+  for (const Event& e : events_) ordered.push_back(&e);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Event* a, const Event* b) {
+              if (a->ts_seconds != b->ts_seconds) {
+                return a->ts_seconds < b->ts_seconds;
+              }
+              return a->seq < b->seq;
+            });
+
+  JsonValue doc = JsonValue::MakeObject();
+  doc.Set("displayTimeUnit", "ms");
+  JsonValue trace_events = JsonValue::MakeArray();
+  for (const JsonValue& m : metadata_) trace_events.Append(m);
+  for (const Event* e : ordered) trace_events.Append(e->json);
+  doc.Set("traceEvents", std::move(trace_events));
+  return doc.Dump(1);
+}
+
+Status Tracer::WriteFile(const std::string& path) const {
+  const std::string text = Dump();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file for writing: " + path);
+  }
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const int close_rc = std::fclose(f);
+  if (written != text.size() || close_rc != 0) {
+    return Status::Internal("failed writing trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace gammadb::sim

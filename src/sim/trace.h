@@ -1,0 +1,86 @@
+// Deterministic simulated-time tracing (Chrome trace_event JSON).
+//
+// A Tracer collects per-node, per-phase spans stamped in *simulated*
+// seconds. Because every record is derived from the machine's phase
+// clock — which the determinism contract (DESIGN.md) makes a pure
+// function of the query plan — the serialized trace is byte-identical
+// at any executor thread count. The output is the Chrome trace_event
+// JSON object format ({"traceEvents": [...]}), loadable in Perfetto or
+// chrome://tracing; docs/tracing.md documents the schema.
+//
+// Track layout per registered machine (one trace "process"):
+//   tid 0            query      — whole-query spans and operator restarts
+//   tid 1            scheduler  — serialized control-message work
+//   tid 2            ring       — token-ring wire occupancy
+//   tid 3 + node_id  node N     — max(cpu, disk) span per phase, with the
+//                                 cost-attribution breakdown in args
+#ifndef GAMMA_SIM_TRACE_H_
+#define GAMMA_SIM_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "sim/metrics.h"
+
+namespace gammadb::sim {
+
+class Tracer {
+ public:
+  /// Allocates a trace process for one machine and emits its metadata
+  /// (process / thread names). Returns the pid to pass to the Record*
+  /// calls. `label` names the process in the viewer (e.g. the benchmark
+  /// workload); node tracks are named "node N" (disk) / "node N (diskless)".
+  int RegisterMachine(int num_nodes, int num_disk_nodes,
+                      const std::string& label);
+
+  /// Records one completed phase starting at simulated `start_seconds`:
+  /// one span per participating node (with the by-category breakdown as
+  /// args), plus ring and scheduler spans when those components are
+  /// nonzero.
+  void RecordPhase(int pid, double start_seconds, const PhaseRecord& record);
+
+  /// Records an aborted operator attempt: a span on the query track
+  /// covering the wasted [start, end) interval.
+  void RecordRestart(int pid, double start_seconds, double end_seconds);
+
+  /// Records a whole-query span on the query track. `args` (may be
+  /// null-typed) is attached verbatim — drivers use it for algorithm,
+  /// relation sizes and result counts.
+  void RecordQuery(int pid, double start_seconds, double end_seconds,
+                   const std::string& name, JsonValue args);
+
+  size_t event_count() const { return events_.size(); }
+
+  /// Serializes the trace: metadata events first, then spans stably
+  /// sorted by simulated timestamp (so consumers see a globally
+  /// monotonic timeline). Pretty-printed with 1-space indent.
+  std::string Dump() const;
+
+  /// Writes Dump() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Event {
+    double ts_seconds = 0;
+    uint64_t seq = 0;  // insertion order, the stable sort tie-break
+    JsonValue json;
+  };
+
+  void Emit(double ts_seconds, JsonValue json);
+
+  int next_pid_ = 1;
+  uint64_t next_seq_ = 0;
+  std::vector<JsonValue> metadata_;
+  std::vector<Event> events_;
+};
+
+/// Builds the args object for one node's phase span: cpu/disk seconds
+/// plus an "attribution" object holding every nonzero category.
+/// Exposed for tools and tests.
+JsonValue NodeUsageTraceArgs(const NodeUsage& usage);
+
+}  // namespace gammadb::sim
+
+#endif  // GAMMA_SIM_TRACE_H_

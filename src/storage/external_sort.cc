@@ -92,7 +92,8 @@ class MergeStream : public TupleStream {
   void ChargeCompares() {
     if (compares_ > 0) {
       node_->ChargeCpu(static_cast<double>(compares_) *
-                       node_->cost().cpu_sort_compare_seconds);
+                           node_->cost().cpu_sort_compare_seconds,
+                       sim::CostCategory::kSortCompare);
       compares_ = 0;
     }
   }
@@ -169,8 +170,9 @@ void ExternalSort::SortBuffer() {
               ++compares;
               return a.GetInt32(*schema_, key) < b.GetInt32(*schema_, key);
             });
-  node_->ChargeCpu(static_cast<double>(compares) *
-                   node_->cost().cpu_sort_compare_seconds);
+  node_->ChargeCpu(
+      static_cast<double>(compares) * node_->cost().cpu_sort_compare_seconds,
+      sim::CostCategory::kSortCompare);
 }
 
 Status ExternalSort::SpillRun() {

@@ -40,7 +40,8 @@ Status HeapFile::Append(const Tuple& tuple) {
     // A previous full-page write failed; retry before accepting more.
     GAMMA_RETURN_NOT_OK(WritePendingPage());
   }
-  node_->ChargeCpu(node_->cost().cpu_write_tuple_seconds);
+  node_->ChargeCpu(node_->cost().cpu_write_tuple_seconds,
+                   sim::CostCategory::kWriteTuple);
   writer_->Append(tuple.data());
   ++tuple_count_;
   if (writer_->Full()) {
@@ -93,7 +94,8 @@ bool HeapFile::Scanner::Next(Tuple* out) {
   PageReader reader(page_buf_.data(), file_->schema_->tuple_bytes());
   const uint8_t* rec = reader.Record(next_slot_);
   ++next_slot_;
-  file_->node_->ChargeCpu(file_->node_->cost().cpu_read_tuple_seconds);
+  file_->node_->ChargeCpu(file_->node_->cost().cpu_read_tuple_seconds,
+                          sim::CostCategory::kReadTuple);
   *out = Tuple(rec, file_->schema_->tuple_bytes());
   return true;
 }
@@ -117,13 +119,15 @@ size_t HeapFile::UpdateInPlace(const std::function<UpdateAction(uint8_t*)>& fn) 
       // Mutable access into our local page image.
       uint8_t* record = page.data() + kPageHeaderBytes +
                         static_cast<size_t>(slot) * record_bytes;
-      node_->ChargeCpu(node_->cost().cpu_read_tuple_seconds);
+      node_->ChargeCpu(node_->cost().cpu_read_tuple_seconds,
+                       sim::CostCategory::kReadTuple);
       switch (fn(record)) {
         case UpdateAction::kKeep:
           rebuilt.Append(record);
           break;
         case UpdateAction::kUpdated:
-          node_->ChargeCpu(node_->cost().cpu_write_tuple_seconds);
+          node_->ChargeCpu(node_->cost().cpu_write_tuple_seconds,
+                           sim::CostCategory::kWriteTuple);
           rebuilt.Append(record);
           ++touched;
           modified = true;
@@ -157,7 +161,8 @@ Tuple HeapFile::FetchByRid(uint64_t rid) const {
   }
   PageReader reader(fetch_buf_.data(), schema_->tuple_bytes());
   GAMMA_CHECK_LT(slot, reader.count());
-  node_->ChargeCpu(node_->cost().cpu_read_tuple_seconds);
+  node_->ChargeCpu(node_->cost().cpu_read_tuple_seconds,
+                   sim::CostCategory::kReadTuple);
   return Tuple(reader.Record(slot), schema_->tuple_bytes());
 }
 
@@ -172,7 +177,8 @@ void HeapFile::ForEachRid(
                                           sim::AccessPattern::kSequential));
     PageReader reader(page.data(), schema_->tuple_bytes());
     for (uint16_t slot = 0; slot < reader.count(); ++slot) {
-      node_->ChargeCpu(node_->cost().cpu_read_tuple_seconds);
+      node_->ChargeCpu(node_->cost().cpu_read_tuple_seconds,
+                       sim::CostCategory::kReadTuple);
       fn(MakeRid(page_index, slot), reader.Record(slot));
     }
   }

@@ -79,6 +79,60 @@ TEST(HashHistogramTest, SkewedPopulationStillFindsCutoff) {
   EXPECT_EQ(h.CountAtOrAbove(cutoff), 1000u);
 }
 
+TEST(HashHistogramTest, TinyTotalRoundsEvictionTargetUp) {
+  // Regression: 10% of 15 tuples is 1.5 — truncation set the target to
+  // 1 and the cutoff could leave the table fuller than requested. The
+  // ceiling makes the target 2.
+  HashHistogram h(16);
+  // One tuple per bin in the top 15 bins.
+  for (uint32_t bin = 1; bin < 16; ++bin) h.Add(h.BinLowerBound(bin));
+  const uint64_t cutoff = h.CutoffForFraction(0.10);
+  EXPECT_EQ(h.CountAtOrAbove(cutoff), 2u);
+  EXPECT_EQ(cutoff, h.BinLowerBound(14));
+}
+
+TEST(HashHistogramTest, FractionNearZeroStillEvictsSomething) {
+  // A nonzero fraction of a nonempty population must evict at least one
+  // tuple: ceil keeps the target >= 1 (truncation gave 0, and the
+  // "above > 0" guard then walked to the topmost populated bin anyway —
+  // now the two agree by construction).
+  HashHistogram h(16);
+  for (uint32_t bin = 0; bin < 16; ++bin) h.Add(h.BinLowerBound(bin));
+  const uint64_t cutoff = h.CutoffForFraction(1e-9);
+  EXPECT_EQ(h.CountAtOrAbove(cutoff), 1u);
+  EXPECT_EQ(cutoff, h.BinLowerBound(15));
+}
+
+TEST(HashHistogramTest, FractionOneEvictsEverything) {
+  HashHistogram h(16);
+  for (uint32_t bin = 4; bin < 12; ++bin) h.Add(h.BinLowerBound(bin));
+  const uint64_t cutoff = h.CutoffForFraction(1.0);
+  EXPECT_EQ(h.CountAtOrAbove(cutoff), h.total());
+  // The lowest populated bin satisfies the target; no need to fall to 0.
+  EXPECT_EQ(cutoff, h.BinLowerBound(4));
+}
+
+TEST(HashHistogramTest, SingleTupleAnyFractionEvictsIt) {
+  HashHistogram h(16);
+  h.Add(h.BinLowerBound(7));
+  for (double fraction : {0.01, 0.5, 1.0}) {
+    const uint64_t cutoff = h.CutoffForFraction(fraction);
+    EXPECT_EQ(cutoff, h.BinLowerBound(7)) << "fraction " << fraction;
+    EXPECT_EQ(h.CountAtOrAbove(cutoff), 1u);
+  }
+}
+
+TEST(HashHistogramTest, CutoffIsAlwaysABinBoundary) {
+  HashHistogram h;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) h.Add(rng.Next());
+  for (double fraction : {1e-6, 0.1, 0.25, 0.9, 1.0}) {
+    const uint64_t cutoff = h.CutoffForFraction(fraction);
+    EXPECT_EQ(cutoff, h.BinLowerBound(h.BinOf(cutoff)))
+        << "fraction " << fraction;
+  }
+}
+
 TEST(HashHistogramTest, ClearResets) {
   HashHistogram h(32);
   h.Add(1);

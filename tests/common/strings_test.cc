@@ -28,5 +28,59 @@ TEST(StringsTest, ThousandsSeparators) {
   EXPECT_EQ(WithThousandsSeparators(100000), "100,000");
 }
 
+TEST(StringsTest, ParseInt64Accepts) {
+  int64_t v = -1;
+  EXPECT_TRUE(ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseInt64("100000", &v));
+  EXPECT_EQ(v, 100000);
+  EXPECT_TRUE(ParseInt64("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_TRUE(ParseInt64("+7", &v));
+  EXPECT_EQ(v, 7);
+}
+
+TEST(StringsTest, ParseInt64RejectsWhatAtoiSilentlyZeroes) {
+  int64_t v = 123;
+  // atoi("abc") == 0; the checked parser must refuse instead.
+  EXPECT_FALSE(ParseInt64("abc", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));   // trailing junk
+  EXPECT_FALSE(ParseInt64("1 2", &v));   // embedded space
+  EXPECT_FALSE(ParseInt64(" 12", &v));   // leading space
+  EXPECT_FALSE(ParseInt64("1.5", &v));   // not an integer
+  EXPECT_FALSE(ParseInt64("99999999999999999999", &v));  // overflow
+  EXPECT_EQ(v, 123);  // output untouched on failure
+}
+
+TEST(StringsTest, ParseDoubleAccepts) {
+  double v = -1;
+  EXPECT_TRUE(ParseDouble("0", &v));
+  EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_TRUE(ParseDouble("0.125", &v));
+  EXPECT_DOUBLE_EQ(v, 0.125);
+  EXPECT_TRUE(ParseDouble("1e-2", &v));
+  EXPECT_DOUBLE_EQ(v, 0.01);
+  EXPECT_TRUE(ParseDouble("-3.5E2", &v));
+  EXPECT_DOUBLE_EQ(v, -350.0);
+  EXPECT_TRUE(ParseDouble("+.5", &v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+}
+
+TEST(StringsTest, ParseDoubleRejectsWhatAtofSilentlyZeroes) {
+  double v = 123.0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1e-2x", &v));  // the motivating bug: atof -> 0.01,
+                                           // atoi-style gate -> exact match
+  EXPECT_FALSE(ParseDouble("0x10", &v));   // hex floats are config typos
+  EXPECT_FALSE(ParseDouble("inf", &v));
+  EXPECT_FALSE(ParseDouble("nan", &v));
+  EXPECT_FALSE(ParseDouble(" 1.0", &v));
+  EXPECT_FALSE(ParseDouble("1.0 ", &v));
+  EXPECT_FALSE(ParseDouble("1e999", &v));  // out of range
+  EXPECT_DOUBLE_EQ(v, 123.0);
+}
+
 }  // namespace
 }  // namespace gammadb

@@ -349,6 +349,73 @@ TEST_F(NetFaultTest, PacketDuplicateChargesReceiverDiscard) {
                        cost.net_wire_seconds_per_byte);
 }
 
+// Regression: a faulted *tail* packet carries only the cell's residual
+// bytes, so its extra wire copy must be charged at the actual payload,
+// not a full packet_payload_bytes (the old code overcharged the ring by
+// nearly a full packet per tail fault).
+TEST_F(NetFaultTest, PacketLossOnPartialTailChargesActualPayload) {
+  FaultPlan plan;
+  plan.Add(Ev(FaultKind::kPacketLoss, 1, 2));  // second packet = the tail
+  machine_.ArmFaults(plan);
+  const CostModel& cost = machine_.cost();
+  const uint64_t bytes = cost.packet_payload_bytes + 1;  // tail carries 1 byte
+  machine_.BeginPhase("xfer");
+  machine_.network().AccountBytes(0, 1, bytes);
+  EXPECT_TRUE(machine_.EndPhase().ok());
+  const RunMetrics m = machine_.Metrics();
+  EXPECT_EQ(m.counters.packets_remote, 2);
+  EXPECT_EQ(m.counters.packets_lost, 1);
+  EXPECT_EQ(m.counters.packets_retransmitted, 1);
+  const double wire = cost.net_wire_seconds_per_byte;
+  // Payload once, plus the 1-byte tail resent — not a full extra packet.
+  EXPECT_DOUBLE_EQ(m.phases[0].ring_seconds,
+                   static_cast<double>(bytes) * wire + 1 * wire);
+  EXPECT_DOUBLE_EQ(m.phases[0].ring.payload_seconds,
+                   static_cast<double>(bytes) * wire);
+  EXPECT_DOUBLE_EQ(m.phases[0].ring.retransmit_seconds, 1 * wire);
+  EXPECT_DOUBLE_EQ(m.phases[0].ring.duplicate_seconds, 0.0);
+}
+
+TEST_F(NetFaultTest, PacketLossBeforeTailStillChargesFullPayload) {
+  FaultPlan plan;
+  plan.Add(Ev(FaultKind::kPacketLoss, 1, 1));  // first packet is full
+  machine_.ArmFaults(plan);
+  const CostModel& cost = machine_.cost();
+  const uint64_t bytes = cost.packet_payload_bytes + 1;
+  machine_.BeginPhase("xfer");
+  machine_.network().AccountBytes(0, 1, bytes);
+  EXPECT_TRUE(machine_.EndPhase().ok());
+  const RunMetrics m = machine_.Metrics();
+  const double wire = cost.net_wire_seconds_per_byte;
+  EXPECT_DOUBLE_EQ(m.phases[0].ring.retransmit_seconds,
+                   cost.packet_payload_bytes * wire);
+  EXPECT_DOUBLE_EQ(m.phases[0].ring_seconds,
+                   static_cast<double>(bytes) * wire +
+                       cost.packet_payload_bytes * wire);
+}
+
+TEST_F(NetFaultTest, PacketDuplicateOnPartialTailChargesActualPayload) {
+  FaultPlan plan;
+  plan.Add(Ev(FaultKind::kPacketDuplicate, 1, 3));  // tail of 3 packets
+  machine_.ArmFaults(plan);
+  const CostModel& cost = machine_.cost();
+  const uint64_t tail = cost.packet_payload_bytes / 2;
+  const uint64_t bytes = 2 * cost.packet_payload_bytes + tail;
+  machine_.BeginPhase("xfer");
+  machine_.network().AccountBytes(0, 1, bytes);
+  EXPECT_TRUE(machine_.EndPhase().ok());
+  const RunMetrics m = machine_.Metrics();
+  EXPECT_EQ(m.counters.packets_remote, 3);
+  EXPECT_EQ(m.counters.packets_duplicated, 1);
+  const double wire = cost.net_wire_seconds_per_byte;
+  EXPECT_DOUBLE_EQ(m.phases[0].ring.duplicate_seconds,
+                   static_cast<double>(tail) * wire);
+  EXPECT_DOUBLE_EQ(m.phases[0].ring_seconds,
+                   static_cast<double>(bytes + tail) * wire);
+  // The attribution identity ring == payload + retransmit + duplicate.
+  EXPECT_DOUBLE_EQ(m.phases[0].ring.Total(), m.phases[0].ring_seconds);
+}
+
 TEST_F(NetFaultTest, LocalDeliveryNeverFaults) {
   FaultPlan plan;
   plan.Add(Ev(FaultKind::kPacketLoss, 0, 1));

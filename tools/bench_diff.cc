@@ -18,6 +18,7 @@
 
 #include "bench_diff_lib.h"
 #include "common/json.h"
+#include "common/strings.h"
 
 namespace {
 
@@ -29,6 +30,17 @@ namespace {
   std::exit(2);
 }
 
+/// A mistyped tolerance must not silently gate at 0 (atof would turn
+/// "--tolerance=1e-2x" into exact-match mode). 0 itself stays legal:
+/// it is the byte-identity assertion.
+double ParseTolerance(const char* argv0, const char* text) {
+  double value = 0;
+  if (!gammadb::ParseDouble(text, &value) || value < 0) {
+    Usage(argv0, "--tolerance must be a non-negative number");
+  }
+  return value;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -38,9 +50,9 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--tolerance") == 0) {
       if (i + 1 >= argc) Usage(argv[0], "--tolerance requires a value");
-      options.seconds_tolerance = std::atof(argv[++i]);
+      options.seconds_tolerance = ParseTolerance(argv[0], argv[++i]);
     } else if (std::strncmp(arg, "--tolerance=", 12) == 0) {
-      options.seconds_tolerance = std::atof(arg + 12);
+      options.seconds_tolerance = ParseTolerance(argv[0], arg + 12);
     } else if (std::strcmp(arg, "--lenient-counters") == 0) {
       options.strict_counters = false;
     } else if (arg[0] == '-') {

@@ -21,6 +21,10 @@
 //   --seed=N           workload seed                          [42]
 //   --threads=N        executor threads                       [1]
 //   --phases           print the per-phase time breakdown
+//   --attribution      print the cost-attribution table (where every
+//                      simulated second went, by cost-model primitive)
+//   --trace=FILE       write a simulated-time Chrome trace_event JSON
+//                      (open in Perfetto; see docs/tracing.md)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +35,7 @@
 #include "gamma/loader.h"
 #include "join/driver.h"
 #include "sim/machine.h"
+#include "sim/trace.h"
 #include "wisconsin/wisconsin.h"
 
 using namespace gammadb;
@@ -53,6 +58,8 @@ struct Options {
   uint64_t seed = 42;
   int threads = 1;
   bool phases = false;
+  bool attribution = false;
+  std::string trace_path;
 };
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
@@ -75,9 +82,35 @@ int Usage(const char* argv0) {
                "[--ratio=R]\n  [--outer=N] [--inner=N] [--disks=N] "
                "[--diskless=N] [--remote] [--filters]\n  "
                "[--forming-filters] [--non-hpja] [--skew] [--buckets=N] "
-               "[--seed=N]\n  [--threads=N] [--phases]\n",
+               "[--seed=N]\n  [--threads=N] [--phases] [--attribution] "
+               "[--trace=FILE]\n",
                argv0);
   return 2;
+}
+
+/// Checked parsing for numeric flag values: rejects non-numeric text
+/// and out-of-range values instead of silently reading them as 0.
+bool ParseIntValue(const char* flag, const char* text, int64_t min_value,
+                   int64_t* out) {
+  if (!ParseInt64(text, out)) {
+    std::fprintf(stderr, "%s: '%s' is not an integer\n", flag, text);
+    return false;
+  }
+  if (*out < min_value) {
+    std::fprintf(stderr, "%s: %lld is below the minimum %lld\n", flag,
+                 static_cast<long long>(*out),
+                 static_cast<long long>(min_value));
+    return false;
+  }
+  return true;
+}
+
+bool ParseDoubleValue(const char* flag, const char* text, double* out) {
+  if (!ParseDouble(text, out) || *out <= 0) {
+    std::fprintf(stderr, "%s: '%s' is not a positive number\n", flag, text);
+    return false;
+  }
+  return true;
 }
 
 bool ParseArgs(int argc, char** argv, Options* options) {
@@ -98,21 +131,39 @@ bool ParseArgs(int argc, char** argv, Options* options) {
         return false;
       }
     } else if (ParseFlag(argv[i], "--ratio", &v) && v != nullptr) {
-      options->ratio = std::atof(v);
+      if (!ParseDoubleValue("--ratio", v, &options->ratio)) return false;
     } else if (ParseFlag(argv[i], "--outer", &v) && v != nullptr) {
-      options->outer = static_cast<uint32_t>(std::atol(v));
+      int64_t n = 0;
+      if (!ParseIntValue("--outer", v, 1, &n)) return false;
+      options->outer = static_cast<uint32_t>(n);
     } else if (ParseFlag(argv[i], "--inner", &v) && v != nullptr) {
-      options->inner = static_cast<uint32_t>(std::atol(v));
+      int64_t n = 0;
+      if (!ParseIntValue("--inner", v, 1, &n)) return false;
+      options->inner = static_cast<uint32_t>(n);
     } else if (ParseFlag(argv[i], "--disks", &v) && v != nullptr) {
-      options->disks = std::atoi(v);
+      int64_t n = 0;
+      if (!ParseIntValue("--disks", v, 1, &n)) return false;
+      options->disks = static_cast<int>(n);
     } else if (ParseFlag(argv[i], "--diskless", &v) && v != nullptr) {
-      options->diskless = std::atoi(v);
+      int64_t n = 0;
+      if (!ParseIntValue("--diskless", v, 0, &n)) return false;
+      options->diskless = static_cast<int>(n);
     } else if (ParseFlag(argv[i], "--buckets", &v) && v != nullptr) {
-      options->buckets = std::atoi(v);
+      int64_t n = 0;
+      if (!ParseIntValue("--buckets", v, 1, &n)) return false;
+      options->buckets = static_cast<int>(n);
     } else if (ParseFlag(argv[i], "--seed", &v) && v != nullptr) {
-      options->seed = static_cast<uint64_t>(std::atoll(v));
+      int64_t n = 0;
+      if (!ParseIntValue("--seed", v, 0, &n)) return false;
+      options->seed = static_cast<uint64_t>(n);
     } else if (ParseFlag(argv[i], "--threads", &v) && v != nullptr) {
-      options->threads = std::atoi(v);
+      int64_t n = 0;
+      if (!ParseIntValue("--threads", v, 1, &n)) return false;
+      options->threads = static_cast<int>(n);
+    } else if (ParseFlag(argv[i], "--trace", &v) && v != nullptr) {
+      options->trace_path = v;
+    } else if (ParseFlag(argv[i], "--attribution", &v)) {
+      options->attribution = true;
     } else if (ParseFlag(argv[i], "--remote", &v)) {
       options->remote = true;
     } else if (ParseFlag(argv[i], "--filters", &v)) {
@@ -146,6 +197,10 @@ int main(int argc, char** argv) {
   config.num_diskless_nodes = options.diskless;
   config.num_threads = options.threads;
   sim::Machine machine(config);
+  sim::Tracer tracer;
+  if (!options.trace_path.empty()) {
+    machine.set_tracer(&tracer, "gammajoin_cli");
+  }
   db::Catalog catalog;
 
   wisconsin::DatasetOptions dataset;
@@ -232,6 +287,37 @@ int main(int argc, char** argv) {
       std::printf("  %-28s %8.2f s\n", phase.label.c_str(),
                   phase.elapsed_seconds);
     }
+  }
+  if (options.attribution) {
+    // Where the simulated seconds went, summed over all nodes and
+    // phases, by cost-model primitive (docs/tracing.md).
+    double by_category[sim::kNumCostCategories] = {};
+    double total = 0;
+    for (const auto& phase : output->metrics.phases) {
+      for (const auto& usage : phase.usage) {
+        for (size_t cat = 0; cat < sim::kNumCostCategories; ++cat) {
+          by_category[cat] += usage.by_category[cat];
+          total += usage.by_category[cat];
+        }
+      }
+    }
+    std::printf("\ncost attribution (all nodes, %.2f charged seconds):\n",
+                total);
+    for (size_t cat = 0; cat < sim::kNumCostCategories; ++cat) {
+      if (by_category[cat] == 0) continue;
+      std::printf("  %-16s %10.2f s  %5.1f%%\n",
+                  sim::CostCategoryName(static_cast<sim::CostCategory>(cat)),
+                  by_category[cat], 100 * by_category[cat] / total);
+    }
+  }
+  if (!options.trace_path.empty()) {
+    Status status = tracer.WriteFile(options.trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote trace JSON to %s\n",
+                 options.trace_path.c_str());
   }
   return 0;
 }

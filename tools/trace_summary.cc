@@ -1,0 +1,165 @@
+// trace_summary: report on (and validate) a simulated-time trace
+// produced by --trace / GAMMA_BENCH_TRACE (sim/trace.h, docs/tracing.md).
+//
+//   trace_summary <trace.json>           print per-track and per-category
+//                                        time totals
+//   trace_summary --check <trace.json>   additionally validate the trace:
+//     * simulated timestamps are monotonically non-decreasing across the
+//       event stream (the writer sorts by simulated time);
+//     * every node span's attribution entries sum to its charged
+//       cpu + disk seconds within 1e-9 (relative), and its duration is
+//       max(cpu, disk);
+//     * every ring span's payload/retransmit/duplicate components sum to
+//       its duration within 1e-9.
+//
+// Exit status: 0 = OK, 1 = validation failure, 2 = usage / unreadable file.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/json.h"
+
+using gammadb::JsonValue;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--check] <trace.json>\n", argv0);
+  return 2;
+}
+
+double NumberField(const JsonValue& object, const char* key) {
+  const JsonValue* v = object.Find(key);
+  return (v != nullptr && v->is_number()) ? v->AsDouble() : 0.0;
+}
+
+bool WithinTolerance(double actual, double expected) {
+  return std::abs(actual - expected) <= 1e-9 * std::max(1.0, expected);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool check = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (path.empty()) return Usage(argv[0]);
+
+  auto doc = gammadb::ReadJsonFile(path);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "%s\n", doc.status().ToString().c_str());
+    return 2;
+  }
+  const JsonValue* events = doc->Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "%s: no traceEvents array\n", path.c_str());
+    return 2;
+  }
+
+  // Thread names from metadata, keyed by (pid, tid).
+  std::map<std::pair<int64_t, int64_t>, std::string> track_names;
+  for (const JsonValue& e : events->AsArray()) {
+    const JsonValue* ph = e.Find("ph");
+    const JsonValue* name = e.Find("name");
+    if (ph == nullptr || ph->AsString() != "M" || name == nullptr) continue;
+    if (name->AsString() != "thread_name") continue;
+    const JsonValue* args = e.Find("args");
+    if (args == nullptr || args->Find("name") == nullptr) continue;
+    track_names[{static_cast<int64_t>(NumberField(e, "pid")),
+                 static_cast<int64_t>(NumberField(e, "tid"))}] =
+        args->Find("name")->AsString();
+  }
+
+  std::map<std::string, double> track_seconds;
+  std::map<std::string, double> category_seconds;
+  size_t spans = 0;
+  int failures = 0;
+  double last_ts = -1;
+  const auto fail = [&](const std::string& message) {
+    std::fprintf(stderr, "CHECK FAILED: %s\n", message.c_str());
+    ++failures;
+  };
+
+  for (const JsonValue& e : events->AsArray()) {
+    const JsonValue* ph = e.Find("ph");
+    if (ph == nullptr || ph->AsString() != "X") continue;
+    ++spans;
+    const double ts = NumberField(e, "ts");
+    const double dur_seconds = NumberField(e, "dur") / 1e6;
+    if (check && ts < last_ts) {
+      fail("timestamps not monotonic: ts " + std::to_string(ts) +
+           " after " + std::to_string(last_ts));
+    }
+    last_ts = ts;
+
+    const auto key = std::make_pair(
+        static_cast<int64_t>(NumberField(e, "pid")),
+        static_cast<int64_t>(NumberField(e, "tid")));
+    const auto name_it = track_names.find(key);
+    const std::string track =
+        name_it != track_names.end() ? name_it->second : "?";
+    track_seconds[track] += dur_seconds;
+
+    const JsonValue* args = e.Find("args");
+    if (args == nullptr) continue;
+    if (const JsonValue* attribution = args->Find("attribution")) {
+      double attributed = 0;
+      for (const auto& [category, seconds] : attribution->AsObject()) {
+        category_seconds[category] += seconds.AsDouble();
+        attributed += seconds.AsDouble();
+      }
+      const double cpu = NumberField(*args, "cpu_seconds");
+      const double disk = NumberField(*args, "disk_seconds");
+      if (check && !WithinTolerance(attributed, cpu + disk)) {
+        fail("attribution sums to " + std::to_string(attributed) +
+             " but node charged " + std::to_string(cpu + disk) +
+             " seconds at ts " + std::to_string(ts));
+      }
+      if (check && !WithinTolerance(dur_seconds, std::max(cpu, disk))) {
+        fail("span duration " + std::to_string(dur_seconds) +
+             " != max(cpu, disk) at ts " + std::to_string(ts));
+      }
+    } else if (args->Find("payload_seconds") != nullptr) {
+      const double components = NumberField(*args, "payload_seconds") +
+                                NumberField(*args, "retransmit_seconds") +
+                                NumberField(*args, "duplicate_seconds");
+      if (check && !WithinTolerance(components, dur_seconds)) {
+        fail("ring components sum to " + std::to_string(components) +
+             " but span lasts " + std::to_string(dur_seconds) +
+             " seconds at ts " + std::to_string(ts));
+      }
+    }
+  }
+
+  std::printf("%s: %zu spans\n", path.c_str(), spans);
+  std::printf("\ntrack totals:\n");
+  for (const auto& [track, seconds] : track_seconds) {
+    std::printf("  %-20s %12.4f s\n", track.c_str(), seconds);
+  }
+  if (!category_seconds.empty()) {
+    std::printf("\ncost attribution totals:\n");
+    for (const auto& [category, seconds] : category_seconds) {
+      std::printf("  %-20s %12.4f s\n", category.c_str(), seconds);
+    }
+  }
+  if (check) {
+    if (failures > 0) {
+      std::fprintf(stderr, "\n%d check(s) failed\n", failures);
+      return 1;
+    }
+    std::printf("\nall checks passed\n");
+  }
+  return 0;
+}
