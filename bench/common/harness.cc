@@ -121,6 +121,13 @@ JsonValue JoinStatsToJson(const join::JoinStats& stats) {
   out.Set("outer_sort_passes", stats.outer_sort_passes);
   out.Set("result_tuples", stats.result_tuples);
   out.Set("filter_drops", stats.filter_drops);
+  // Rebalance keys appear only when a plan actually fired, so every
+  // skew-free baseline document keeps its exact bytes.
+  if (stats.rebalance_plans > 0) {
+    out.Set("rebalance_plans", stats.rebalance_plans);
+    out.Set("rebalance_moved_tuples", stats.rebalance_moved_tuples);
+    out.Set("rebalance_replica_tuples", stats.rebalance_replica_tuples);
+  }
   return out;
 }
 
@@ -142,6 +149,7 @@ void RecordJoinRun(const join::JoinSpec& spec, const join::JoinOutput& output,
   run.Set("bit_filters", spec.use_bit_filters);
   run.Set("forming_bit_filters", spec.use_forming_bit_filters);
   run.Set("remote_join_nodes", !spec.join_nodes.empty());
+  if (spec.adaptive_repartition) run.Set("adaptive_repartition", true);
   run.Set("response_seconds", output.response_seconds());
   run.Set("real_seconds", real_seconds);
   run.Set("threads", State().threads);
@@ -477,6 +485,56 @@ join::JoinOutput SkewBench::Run(join::Algorithm algorithm, JoinType type,
         join::OptimizerBucketCount((*inner)->total_bytes(), memory_bytes) + 1;
   }
   spec.result_name = "skew_result_" + std::to_string(run_counter_++);
+  const auto start = std::chrono::steady_clock::now();
+  auto output = join::ExecuteJoin(*machine_, catalog_, spec);
+  const std::chrono::duration<double> real =
+      std::chrono::steady_clock::now() - start;
+  GAMMA_CHECK(output.ok()) << output.status().ToString();
+  GAMMA_CHECK_OK(catalog_.Drop(spec.result_name));
+  RecordJoinRun(spec, *output, real.count());
+  return std::move(output).value();
+}
+
+ZipfBench::ZipfBench(double theta)
+    : machine_(std::make_unique<sim::Machine>(LocalConfig())) {
+  if (sim::Tracer* tracer = BenchTracer()) {
+    machine_->set_tracer(tracer, State().benchmark_name + " zipf");
+  }
+  const uint32_t outer_n = State().outer_override.value_or(20000);
+  const uint32_t inner_n = State().inner_override.value_or(2000);
+  wisconsin::GenOptions gen;
+  gen.cardinality = outer_n;
+  gen.seed = 42;
+  gen.with_zipf_attr = true;
+  gen.zipf_theta = theta;
+  const auto outer_tuples = wisconsin::Generate(gen);
+  const auto inner_tuples =
+      wisconsin::SampleWithoutReplacement(outer_tuples, inner_n, 43);
+  const auto load = [&](const std::string& name,
+                        const std::vector<storage::Tuple>& tuples) {
+    auto rel = catalog_.Create(*machine_, name, wisconsin::WisconsinSchema());
+    GAMMA_CHECK(rel.ok()) << rel.status().ToString();
+    db::LoadOptions options;
+    options.strategy = db::PartitionStrategy::kRangeUniform;
+    options.partition_field = wisconsin::fields::kNormal;
+    GAMMA_CHECK_OK(db::LoadRelation(*rel, tuples, options));
+  };
+  load("A_z", outer_tuples);
+  load("B_z", inner_tuples);
+}
+
+join::JoinOutput ZipfBench::Run(join::Algorithm algorithm, bool adaptive,
+                                double memory_ratio, bool bit_filters) {
+  join::JoinSpec spec;
+  spec.inner_relation = "B_z";
+  spec.outer_relation = "A_z";
+  spec.inner_field = wisconsin::fields::kNormal;
+  spec.outer_field = wisconsin::fields::kNormal;
+  spec.algorithm = algorithm;
+  spec.memory_ratio = memory_ratio;
+  spec.use_bit_filters = bit_filters;
+  spec.adaptive_repartition = adaptive;
+  spec.result_name = "zipf_result_" + std::to_string(run_counter_++);
   const auto start = std::chrono::steady_clock::now();
   auto output = join::ExecuteJoin(*machine_, catalog_, spec);
   const std::chrono::duration<double> real =

@@ -169,6 +169,32 @@ class SkewBench {
   int run_counter_ = 0;
 };
 
+/// The adaptive-repartitioning skew setup (docs/skew.md): a
+/// joinABprime-style pair whose `normal` column is Zipf(theta)
+/// distributed on both sides (the inner is sampled from the outer),
+/// range-declustered on the join attribute so the static placement is
+/// equal-share before hashing concentrates the heavy values.
+/// Default scale is 20k x 2k; --smoke / --outer / --inner apply.
+class ZipfBench {
+ public:
+  explicit ZipfBench(double theta);
+
+  sim::Machine& machine() { return *machine_; }
+
+  /// Runs the Zipf join on the `normal` attribute. `adaptive` toggles
+  /// skew-aware adaptive repartitioning. The default memory ratio
+  /// leaves headroom so heavy-bin replication stays byte-feasible and
+  /// the rebalance planner never has to defer to the overflow protocol
+  /// (docs/skew.md).
+  join::JoinOutput Run(join::Algorithm algorithm, bool adaptive,
+                       double memory_ratio = 2.0, bool bit_filters = false);
+
+ private:
+  std::unique_ptr<sim::Machine> machine_;
+  db::Catalog catalog_;
+  int run_counter_ = 0;
+};
+
 }  // namespace gammadb::bench
 
 #endif  // GAMMA_BENCH_COMMON_HARNESS_H_

@@ -1,5 +1,7 @@
 #include "gamma/bucket_analyzer.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace gammadb::db {
@@ -33,6 +35,18 @@ int AnalyzeBucketCount(BucketAlgorithm algorithm, int num_buckets,
     if (i * num_disks >= join_nodes) return num_buckets;
     ++num_buckets;
   }
+}
+
+double LoadImbalance(const std::vector<double>& loads) {
+  if (loads.empty()) return 0;
+  double max = 0;
+  double sum = 0;
+  for (double l : loads) {
+    max = std::max(max, l);
+    sum += l;
+  }
+  if (sum <= 0) return 0;
+  return max * static_cast<double>(loads.size()) / sum;
 }
 
 }  // namespace gammadb::db

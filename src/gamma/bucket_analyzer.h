@@ -10,6 +10,8 @@
 #ifndef GAMMA_GAMMA_BUCKET_ANALYZER_H_
 #define GAMMA_GAMMA_BUCKET_ANALYZER_H_
 
+#include <vector>
+
 namespace gammadb::db {
 
 enum class BucketAlgorithm { kGrace, kHybrid };
@@ -20,6 +22,12 @@ enum class BucketAlgorithm { kGrace, kHybrid };
 /// single-bucket early-out).
 int AnalyzeBucketCount(BucketAlgorithm algorithm, int num_buckets,
                        int num_disks, int join_nodes);
+
+/// Max-over-mean imbalance of a per-process load vector: 1.0 means
+/// perfectly balanced, 2.0 means the slowest process carries twice the
+/// mean. Returns 0 for an empty or all-zero vector. Shared by the
+/// adaptive-repartitioning planner (gamma/rebalance) and its tests.
+double LoadImbalance(const std::vector<double>& loads);
 
 }  // namespace gammadb::db
 

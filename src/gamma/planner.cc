@@ -39,11 +39,14 @@ Result<ColumnStats> AnalyzeColumn(const StoredRelation& relation, int field) {
 }
 
 join::Algorithm ChooseJoinAlgorithm(const ColumnStats& inner_join_column,
-                                    double memory_ratio) {
+                                    double memory_ratio,
+                                    bool adaptive_repartition_available) {
   const bool memory_limited = memory_ratio < 1.0 / 3.0;
-  if (inner_join_column.HighlySkewed() && memory_limited) {
+  if (inner_join_column.HighlySkewed() && memory_limited &&
+      !adaptive_repartition_available) {
     // Hash joins would overflow repeatedly on the duplicate chains; be
-    // conservative (paper Section 5).
+    // conservative (paper Section 5). With run-time rebalancing the
+    // Hybrid bucket sub-joins spread the duplicate chains themselves.
     return join::Algorithm::kSortMerge;
   }
   return join::Algorithm::kHybridHash;

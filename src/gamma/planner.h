@@ -47,8 +47,16 @@ Result<ColumnStats> AnalyzeColumn(const StoredRelation& relation, int field);
 /// The Section 5 rule. `memory_ratio` is aggregate join memory over the
 /// inner relation's size; "memory is limited" = less than ~1/3 (below
 /// the Figure 5 regime where Hybrid's advantage has mostly eroded).
+/// `adaptive_repartition_available` reflects whether the executor can
+/// install run-time rebalance plans (docs/skew.md): an adaptive Hybrid
+/// absorbs skew inside each bucket's sub-join (bucket builds fit in
+/// memory, so the rebalance planner rarely has to defer to the
+/// overflow protocol), which retires the conservative sort-merge
+/// fallback the paper recommends for static executors.
 join::Algorithm ChooseJoinAlgorithm(const ColumnStats& inner_join_column,
-                                    double memory_ratio);
+                                    double memory_ratio,
+                                    bool adaptive_repartition_available =
+                                        false);
 
 }  // namespace gammadb::db
 

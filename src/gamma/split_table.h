@@ -72,7 +72,14 @@ class SplitTable {
 
   /// Bytes needed to ship this table to an operator process.
   uint64_t SerializedBytes() const {
-    return static_cast<uint64_t>(entries_.size()) * kSplitEntryBytes;
+    return SerializedBytesFor(entries_.size());
+  }
+
+  /// Wire size of `num_entries` split-table entries. Rebalance override
+  /// tables (gamma/rebalance.h) reuse the entry format, so their
+  /// broadcast cost is computed with the same arithmetic.
+  static uint64_t SerializedBytesFor(uint64_t num_entries) {
+    return num_entries * kSplitEntryBytes;
   }
 
   /// Largest bucket number in the table (0 for loading/joining tables).

@@ -124,6 +124,9 @@ Status RunHybrid(sim::Machine& machine, HashJoinEngine& engine,
       "hybrid partition R", table,
       engine.RelationProducers(inner, &spec.inner_predicate), spec.hash_seed,
       HashJoinEngine::Side::kInner, r_files));
+  // Adaptive repartitioning of bucket 0 happens before S is scanned, so
+  // an overridden bin's probe tuples route straight to their new homes.
+  GAMMA_RETURN_NOT_OK(engine.MaybeRebalance("hybrid rebalance"));
   GAMMA_RETURN_NOT_OK(engine.PartitionPhase(
       "hybrid partition S", table,
       engine.RelationProducers(outer, &spec.outer_predicate), spec.hash_seed,
@@ -218,6 +221,8 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
                              spec.use_bit_filters,
                              spec.hash_seed,
                              result};
+      params.rebalance = spec.rebalance;
+      params.rebalance.enabled = spec.adaptive_repartition;
       return RunSortMergeJoin(machine, params, &stats);
     }
     HashJoinEngine::Config config;
@@ -230,6 +235,8 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
     config.capacity_bytes_per_node = capacity_per_node;
     config.use_bit_filters = spec.use_bit_filters;
     config.use_forming_bit_filters = spec.use_forming_bit_filters;
+    config.rebalance = spec.rebalance;
+    config.rebalance.enabled = spec.adaptive_repartition;
     config.result = result;
     config.stats = &stats;
     HashJoinEngine engine(&machine, config);
@@ -300,6 +307,11 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
   out.stats.result_tuples = result->total_tuples();
   out.stats.overflow_events = out.metrics.counters.ht_overflows;
   out.stats.filter_drops = out.metrics.counters.filter_drops;
+  out.stats.rebalance_plans = out.metrics.counters.rebalance_plans;
+  out.stats.rebalance_moved_tuples =
+      out.metrics.counters.rebalance_moved_tuples;
+  out.stats.rebalance_replica_tuples =
+      out.metrics.counters.rebalance_replica_tuples;
   out.result_relation = result_name;
 
   if (machine.tracer() != nullptr) {

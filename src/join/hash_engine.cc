@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "gamma/rebalance.h"
 #include "gamma/scheduler.h"
 
 namespace gammadb::join {
@@ -146,6 +147,9 @@ std::vector<int> HashJoinEngine::Participants(bool with_disk_nodes) const {
 
 void HashJoinEngine::StartSubJoin() {
   filter_.reset();
+  rebalance_plan_ = db::RebalancePlan{};
+  rebalance_rr_.clear();
+  build_finalize_deferred_ = false;
   for (size_t ji = 0; ji < jstate_.size(); ++ji) {
     JoinNodeState& st = jstate_[ji];
     GAMMA_CHECK(st.r_overflow == nullptr && st.s_overflow == nullptr)
@@ -272,7 +276,7 @@ void HashJoinEngine::RouteFromProducer(sim::Node& n,
   // the join PROCESS index — the paper's split tables are per-process,
   // which permits several join processes on one node (Appendix A's
   // "fifth join process" remedy).
-  const size_t ji = table.IndexOf(hash);
+  size_t ji = table.IndexOf(hash);
   GAMMA_DCHECK(ji < jstate_.size());
   GAMMA_DCHECK(config_.join_nodes[ji] == entry.node);
   if (side == Side::kInner) {
@@ -283,6 +287,21 @@ void HashJoinEngine::RouteFromProducer(sim::Node& n,
                    bytes);
     return;
   }
+
+  // Rebalanced routing: an overridden bin's probe tuples go to its
+  // destination set instead of the static (mod J) process — each tuple
+  // to exactly ONE destination, chosen by this producer's per-bin
+  // round-robin cursor, so a replicated bin's probes spread evenly and
+  // every result pair is still produced exactly once.
+  if (rebalance_plan_.active) {
+    if (const std::vector<int>* dests =
+            rebalance_plan_.DestinationsFor(hash)) {
+      uint32_t& rr =
+          rebalance_rr_[DiskIndexOf(n.id())][rebalance_plan_.BinOf(hash)];
+      ji = static_cast<size_t>((*dests)[rr++ % dests->size()]);
+    }
+  }
+  const int dest_node = config_.join_nodes[ji];
 
   // Outer side: the augmented split table routes overflow-range tuples
   // "directly to the S' overflow files" (paper Section 3.2, step 3).
@@ -298,7 +317,7 @@ void HashJoinEngine::RouteFromProducer(sim::Node& n,
     }
   }
   const uint32_t bytes = t.size();
-  exchange_.Send(n.id(), entry.node,
+  exchange_.Send(n.id(), dest_node,
                  RoutedTuple{std::move(t), hash, kProbe,
                              static_cast<int32_t>(ji)},
                  bytes);
@@ -362,6 +381,106 @@ void HashJoinEngine::CollectChainStats() {
         static_cast<double>(chain_tuples_total_) /
         static_cast<double>(chain_slots_total_);
   }
+}
+
+Status HashJoinEngine::MaybeRebalance(const std::string& label) {
+  if (!config_.rebalance.enabled) return Status::OK();
+  const size_t num_processes = jstate_.size();
+  machine_->BeginPhase(label);
+
+  // Each join site scans its resident histogram (charged like any other
+  // table scan of that length) and ships the counts to the scheduler.
+  std::vector<std::vector<uint64_t>> counts(num_processes);
+  machine_->RunOnNodes(Participants(false), [&](sim::Node& n) {
+    for (size_t ji = 0; ji < num_processes; ++ji) {
+      if (config_.join_nodes[ji] != n.id()) continue;
+      const HashHistogram& h = jstate_[ji].table->histogram();
+      counts[ji].resize(h.num_bins());
+      for (uint32_t b = 0; b < h.num_bins(); ++b) {
+        counts[ji][b] = h.bin_count(b);
+      }
+      n.ChargeCpu(
+          static_cast<double>(h.num_bins()) * n.cost().cpu_compare_seconds,
+          sim::CostCategory::kCompare);
+    }
+  });
+
+  // An overflow-engaged sub-join keeps the static route: overflow files
+  // were already written under the static mapping, and replicated
+  // residents would reach overflow resolution twice.
+  bool overflow_engaged = false;
+  for (const JoinNodeState& st : jstate_) {
+    if (st.cutoff != UINT64_MAX) overflow_engaged = true;
+  }
+  rebalance_plan_ = db::RebalancePlan{};
+  if (!overflow_engaged) {
+    rebalance_plan_ = db::ComputeRebalancePlan(
+        counts, config_.inner_schema->tuple_bytes(),
+        config_.capacity_bytes_per_node, config_.rebalance);
+  }
+  db::ChargeRebalance(*machine_, static_cast<int>(num_processes),
+                      static_cast<int>(config_.disk_nodes.size()),
+                      rebalance_plan_.SerializedBytes());
+
+  if (rebalance_plan_.active) {
+    ++machine_->node(config_.join_nodes[0]).counters().rebalance_plans;
+    rebalance_rr_.resize(config_.disk_nodes.size());
+    for (size_t di = 0; di < rebalance_rr_.size(); ++di) {
+      rebalance_rr_[di].assign(rebalance_plan_.num_bins,
+                               static_cast<uint32_t>(di));
+    }
+
+    // Round A: every process extracts its overridden-bin residents and
+    // ships a copy to each destination (possibly itself — a
+    // short-circuited local delivery).
+    machine_->RunOnNodes(Participants(false), [&](sim::Node& n) {
+      for (size_t ji = 0; ji < num_processes; ++ji) {
+        if (config_.join_nodes[ji] != n.id()) continue;
+        auto moved = jstate_[ji].table->ExtractIf([&](uint64_t hash) {
+          return rebalance_plan_.DestinationsFor(hash) != nullptr;
+        });
+        for (auto& [hash, tuple] : moved) {
+          const std::vector<int>& dests =
+              *rebalance_plan_.DestinationsFor(hash);
+          ++n.counters().rebalance_moved_tuples;
+          n.counters().rebalance_replica_tuples +=
+              static_cast<int64_t>(dests.size()) - 1;
+          for (size_t k = 0; k < dests.size(); ++k) {
+            storage::Tuple copy = (k + 1 == dests.size())
+                                      ? std::move(tuple)
+                                      : storage::Tuple(tuple);
+            const uint32_t bytes = copy.size();
+            exchange_.Send(
+                n.id(), config_.join_nodes[static_cast<size_t>(dests[k])],
+                RoutedTuple{std::move(copy), hash, kMigrate, dests[k]},
+                bytes);
+          }
+        }
+      }
+    });
+
+    // Round B: destinations absorb the migrated residents. The plan's
+    // feasibility math is exact (fixed-width tuples), so an insert here
+    // can never overflow.
+    machine_->RunOnNodes(Participants(false), [&](sim::Node& n) {
+      for (RoutedTuple& m : exchange_.TakeInbox(n.id())) {
+        GAMMA_DCHECK(m.kind == kMigrate);
+        JoinNodeState& st = jstate_[static_cast<size_t>(m.aux)];
+        GAMMA_CHECK(st.table->Insert(std::move(m.tuple), m.hash))
+            << "rebalance migration overflowed a hash table";
+      }
+    });
+  }
+
+  // Deferred build-side finalization: the bit filter is built from the
+  // post-migration residency (stale pre-migration bits would be false
+  // NEGATIVES at the new destinations and drop results).
+  if (build_finalize_deferred_) {
+    build_finalize_deferred_ = false;
+    if (config_.use_bit_filters) BuildFilterFromResidents();
+    CollectChainStats();
+  }
+  return machine_->EndPhase();
 }
 
 Status HashJoinEngine::PartitionPhase(const std::string& label,
@@ -456,9 +575,17 @@ Status HashJoinEngine::PartitionPhase(const std::string& label,
   // statistics before any probing happens. Pure bucket-forming tables
   // (Grace) have no immediate bucket, hence nothing resident to filter
   // ("filtering is only applied during bucket-joining", Section 4.2).
+  // With adaptive repartitioning the finalization is deferred into
+  // MaybeRebalance (which always runs next): the filter slices are
+  // keyed by join-process index, so they must be built from the
+  // residency AFTER any heavy-bin migration.
   if (side == Side::kInner && table.HasImmediateBucket()) {
-    if (config_.use_bit_filters) BuildFilterFromResidents();
-    CollectChainStats();
+    if (config_.rebalance.enabled) {
+      build_finalize_deferred_ = true;
+    } else {
+      if (config_.use_bit_filters) BuildFilterFromResidents();
+      CollectChainStats();
+    }
   }
   if (side == Side::kInner && forming_filter_ != nullptr &&
       has_stored_buckets) {
@@ -558,6 +685,7 @@ Status HashJoinEngine::ResolveOverflows(const std::string& label,
     Status st = PartitionPhase(label + " build" + level_tag, joining,
                                make_producers(true), seed, Side::kInner,
                                nullptr);
+    if (st.ok()) st = MaybeRebalance(label + " rebalance" + level_tag);
     if (st.ok()) {
       st = PartitionPhase(label + " probe" + level_tag, joining,
                           make_producers(false), seed, Side::kOuter, nullptr);
@@ -582,6 +710,7 @@ Status HashJoinEngine::RunSubJoin(const std::string& label,
   GAMMA_RETURN_NOT_OK(PartitionPhase(label + " build", joining,
                                      build_producers, seed, Side::kInner,
                                      nullptr));
+  GAMMA_RETURN_NOT_OK(MaybeRebalance(label + " rebalance"));
   GAMMA_RETURN_NOT_OK(PartitionPhase(label + " probe", joining,
                                      probe_producers, seed, Side::kOuter,
                                      nullptr));

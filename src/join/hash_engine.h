@@ -35,6 +35,7 @@
 #include "common/status.h"
 #include "gamma/bit_filter.h"
 #include "gamma/catalog.h"
+#include "gamma/rebalance.h"
 #include "gamma/split_table.h"
 #include "join/hash_table.h"
 #include "join/spec.h"
@@ -101,6 +102,11 @@ class HashJoinEngine {
     /// Extension: filter the outer relation's bucket-forming pass with
     /// a filter built while the inner relation's buckets formed.
     bool use_forming_bit_filters = false;
+    /// Extension: skew-aware adaptive repartitioning (docs/skew.md).
+    /// When rebalance.enabled, each sub-join gathers resident histogram
+    /// counts after its build and may install a heavy-bin override
+    /// table before the probing phase (MaybeRebalance).
+    db::RebalanceOptions rebalance;
     db::StoredRelation* result;  // fragments parallel to disk_nodes
     JoinStats* stats;
   };
@@ -126,6 +132,15 @@ class HashJoinEngine {
   Status PartitionPhase(const std::string& label, const db::SplitTable& table,
                         const std::vector<Producer>& producers, uint64_t seed,
                         Side side, BucketFileSet* buckets);
+
+  /// Adaptive repartitioning: runs between a sub-join's build and probe
+  /// phases. Gathers the per-process resident histograms, computes a
+  /// heavy-bin override plan (gamma/rebalance.h), migrates or
+  /// replicates the overridden residents, and installs the plan for the
+  /// probing phase — all inside its own charged phase whose label
+  /// contains "rebalance" (fault injection can target it). A no-op
+  /// returning OK when config.rebalance.enabled is false.
+  Status MaybeRebalance(const std::string& label);
 
   /// Joins overflow files recursively with fresh hash functions until
   /// none remain (the paper's Simple-hash overflow resolution).
@@ -176,7 +191,13 @@ class HashJoinEngine {
     bool is_inner;
   };
 
-  enum RoutedKind : uint8_t { kBuild, kProbe, kBucketInner, kBucketOuter };
+  enum RoutedKind : uint8_t {
+    kBuild,
+    kProbe,
+    kBucketInner,
+    kBucketOuter,
+    kMigrate,  // rebalance: resident moving to its override destination
+  };
 
   size_t DiskIndexOf(int node_id) const;
   std::vector<int> Participants(bool with_disk_nodes) const;
@@ -205,6 +226,18 @@ class HashJoinEngine {
   /// Forming-phase filter (sliced per receiving disk site).
   std::unique_ptr<db::BitFilterSet> forming_filter_;
   int overflow_file_counter_ = 0;
+
+  // Adaptive repartitioning state, reset per sub-join.
+  db::RebalancePlan rebalance_plan_;
+  /// Per-producer, per-bin round-robin cursors spreading a replicated
+  /// bin's probe tuples over its destinations. Each producer owns its
+  /// row (no races) and the cursors are seeded with the producer index,
+  /// so routing is identical at any thread count.
+  std::vector<std::vector<uint32_t>> rebalance_rr_;
+  /// Build-side finalization (bit filter, chain stats) postponed from
+  /// PartitionPhase to MaybeRebalance so the filter reflects residency
+  /// after any migration.
+  bool build_finalize_deferred_ = false;
 
   // Chain-statistics accumulation across sub-joins.
   size_t chain_tuples_total_ = 0;

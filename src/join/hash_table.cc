@@ -42,24 +42,7 @@ std::vector<std::pair<uint64_t, storage::Tuple>> JoinHashTable::EvictAtOrAbove(
     uint64_t cutoff) {
   // "the tuples in the hash table are examined and all qualifying tuples
   // are written to the overflow file" — a full table search, charged.
-  node_->ChargeCpu(
-      static_cast<double>(entries_.size()) * node_->cost().cpu_compare_seconds,
-      sim::CostCategory::kCompare);
-  std::vector<std::pair<uint64_t, storage::Tuple>> evicted;
-  std::vector<Entry> kept;
-  kept.reserve(entries_.size());
-  for (Entry& e : entries_) {
-    if (e.hash >= cutoff) {
-      bytes_used_ -= e.tuple.size();
-      histogram_.Remove(e.hash);
-      evicted.emplace_back(e.hash, std::move(e.tuple));
-    } else {
-      kept.push_back(std::move(e));
-    }
-  }
-  entries_ = std::move(kept);
-  RebuildChains();
-  return evicted;
+  return ExtractIf([cutoff](uint64_t hash) { return hash >= cutoff; });
 }
 
 void JoinHashTable::RebuildChains() {

@@ -42,6 +42,32 @@ class JoinHashTable {
   std::vector<std::pair<uint64_t, storage::Tuple>> EvictAtOrAbove(
       uint64_t cutoff);
 
+  /// Removes and returns every resident whose hash satisfies `pred`,
+  /// charging the same full-table search as an eviction scan. Used by
+  /// adaptive repartitioning to migrate heavy-bin residents
+  /// (gamma/rebalance.h); EvictAtOrAbove is the cutoff special case.
+  template <typename Pred>
+  std::vector<std::pair<uint64_t, storage::Tuple>> ExtractIf(Pred&& pred) {
+    node_->ChargeCpu(static_cast<double>(entries_.size()) *
+                         node_->cost().cpu_compare_seconds,
+                     sim::CostCategory::kCompare);
+    std::vector<std::pair<uint64_t, storage::Tuple>> extracted;
+    std::vector<Entry> kept;
+    kept.reserve(entries_.size());
+    for (Entry& e : entries_) {
+      if (pred(e.hash)) {
+        bytes_used_ -= e.tuple.size();
+        histogram_.Remove(e.hash);
+        extracted.emplace_back(e.hash, std::move(e.tuple));
+      } else {
+        kept.push_back(std::move(e));
+      }
+    }
+    entries_ = std::move(kept);
+    RebuildChains();
+    return extracted;
+  }
+
   /// Probes with an outer key (charging probe + chain-compare CPU) and
   /// invokes `fn(resident_tuple)` for every key-equal match.
   template <typename Fn>

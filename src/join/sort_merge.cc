@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "common/histogram.h"
 #include "common/logging.h"
 #include "gamma/bit_filter.h"
+#include "gamma/rebalance.h"
 #include "gamma/scheduler.h"
 #include "gamma/split_table.h"
 #include "sim/exchange.h"
@@ -116,6 +118,17 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
     filter = std::make_unique<db::BitFilterSet>(static_cast<int>(d));
   }
 
+  // Adaptive repartitioning (docs/skew.md): each site histograms R' as
+  // it arrives (free alongside the append, like the hash tables'
+  // overflow histograms); the plan computed from those counts overrides
+  // heavy bins' routing for S and redistributes R' before sorting.
+  const bool adaptive = params.rebalance.enabled && d >= 2;
+  std::vector<HashHistogram> site_hist(adaptive ? d : 0);
+  db::RebalancePlan plan;
+  // Per-producer, per-bin round-robin cursors for replicated bins,
+  // seeded with the producer index (deterministic at any thread count).
+  std::vector<std::vector<uint32_t>> plan_rr;
+
   const auto partition_phase = [&](const char* label,
                                    const db::StoredRelation* rel,
                                    const db::PredicateList* predicate,
@@ -152,15 +165,22 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
               const uint64_t hash = HashJoinAttribute(key, params.hash_seed);
               n.ChargeCpu(n.cost().cpu_hash_route_seconds,
                           sim::CostCategory::kHashRoute);
-              const db::SplitEntry& entry = joining.Route(hash);
+              // For a joining table the entry index IS the site index.
+              size_t site = joining.IndexOf(hash);
+              // Rebalanced routing: an overridden bin's S tuples go to
+              // its destination set — each tuple to exactly one
+              // destination via this producer's round-robin cursor.
+              if (!is_inner && plan.active) {
+                if (const std::vector<int>* dests =
+                        plan.DestinationsFor(hash)) {
+                  uint32_t& cur = plan_rr[di][plan.BinOf(hash)];
+                  site = static_cast<size_t>((*dests)[cur++ % dests->size()]);
+                }
+              }
               // The assembled filter is applied by the producers of the
               // outer relation: eliminated tuples are never transmitted,
               // stored, sorted or merged.
               if (!is_inner && filter != nullptr) {
-                size_t site = 0;
-                for (size_t i = 0; i < d; ++i) {
-                  if (disks[i] == entry.node) site = i;
-                }
                 n.ChargeCpu(n.cost().cpu_filter_op_seconds,
                             sim::CostCategory::kFilterOp);
                 if (!filter->MayContain(static_cast<int>(site), hash)) {
@@ -169,7 +189,7 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
                 }
               }
               const uint32_t bytes = t.size();
-              exchange.Send(n.id(), entry.node,
+              exchange.Send(n.id(), disks[site],
                             HashedTuple{std::move(t), hash}, bytes);
             }
             return scanner.status();
@@ -194,6 +214,7 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
                             sim::CostCategory::kFilterOp);
                 filter->Set(static_cast<int>(di), m.hash);
               }
+              if (is_inner && adaptive) site_hist[di].Add(m.hash);
               const Status append = temp->Append(m.tuple);
               if (st.ok()) st = append;
             }
@@ -217,6 +238,123 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
                                         params.inner_predicate,
                                         params.inner_field,
                                         /*is_inner=*/true, sites));
+
+    // Phase 1b (adaptive, docs/skew.md): gather the sites' R'
+    // histograms; if heavy bins make a rebalance worthwhile, rewrite R'
+    // with the overridden bins migrated (replicas get a full copy) so
+    // the heavy keys' merge work spreads over their destination sites.
+    // S has not been read yet, so its producers route straight to the
+    // new homes. Sort-merge has no hash-table byte budget, hence the
+    // unbounded capacity.
+    if (adaptive) {
+      machine.BeginPhase("sm rebalance R");
+      std::vector<std::vector<uint64_t>> counts(d);
+      machine.RunOnNodes(disks, [&](sim::Node& n) {
+        size_t di = 0;
+        for (size_t i = 0; i < d; ++i) {
+          if (disks[i] == n.id()) di = i;
+        }
+        const HashHistogram& h = site_hist[di];
+        counts[di].resize(h.num_bins());
+        for (uint32_t b = 0; b < h.num_bins(); ++b) {
+          counts[di][b] = h.bin_count(b);
+        }
+        n.ChargeCpu(
+            static_cast<double>(h.num_bins()) * n.cost().cpu_compare_seconds,
+            sim::CostCategory::kCompare);
+      });
+      plan = db::ComputeRebalancePlan(counts, r_schema.tuple_bytes(),
+                                      UINT64_MAX, params.rebalance);
+      db::ChargeRebalance(machine, static_cast<int>(d), static_cast<int>(d),
+                          plan.SerializedBytes());
+      Status reb_status;
+      if (plan.active) {
+        ++machine.node(disks[0]).counters().rebalance_plans;
+        plan_rr.resize(d);
+        for (size_t di = 0; di < d; ++di) {
+          plan_rr[di].assign(plan.num_bins, static_cast<uint32_t>(di));
+        }
+        // Round A: every site rewrites its R' — overridden bins ship a
+        // copy to each destination, the rest land in the replacement
+        // file. An honest full read + rewrite of R', charged as such.
+        std::vector<std::unique_ptr<storage::HeapFile>> keep(d);
+        for (size_t di = 0; di < d; ++di) {
+          keep[di] = std::make_unique<storage::HeapFile>(
+              &machine.node(disks[di]), &r_schema,
+              "smR.reb." + std::to_string(di));
+        }
+        reb_status = machine.TryRunOnNodes(disks, [&](sim::Node& n) -> Status {
+          size_t di = 0;
+          for (size_t i = 0; i < d; ++i) {
+            if (disks[i] == n.id()) di = i;
+          }
+          auto scanner = sites[di].r_temp->Scan();
+          storage::Tuple t;
+          Status st;
+          while (scanner.Next(&t)) {
+            const int32_t key = t.GetInt32(
+                r_schema, static_cast<size_t>(params.inner_field));
+            const uint64_t hash = HashJoinAttribute(key, params.hash_seed);
+            n.ChargeCpu(n.cost().cpu_hash_route_seconds,
+                        sim::CostCategory::kHashRoute);
+            if (const std::vector<int>* dests = plan.DestinationsFor(hash)) {
+              ++n.counters().rebalance_moved_tuples;
+              n.counters().rebalance_replica_tuples +=
+                  static_cast<int64_t>(dests->size()) - 1;
+              for (size_t k = 0; k < dests->size(); ++k) {
+                storage::Tuple copy = (k + 1 == dests->size())
+                                          ? std::move(t)
+                                          : storage::Tuple(t);
+                const uint32_t bytes = copy.size();
+                exchange.Send(
+                    n.id(), disks[static_cast<size_t>((*dests)[k])],
+                    HashedTuple{std::move(copy), hash}, bytes);
+              }
+            } else {
+              const Status append = keep[di]->Append(t);
+              if (st.ok()) st = append;
+            }
+          }
+          if (st.ok()) st = scanner.status();
+          return st;
+        });
+        // Round B: destinations absorb the migrated tuples, setting
+        // their filter slice — the slices are per-site, so the bits
+        // must live where the probes will now arrive.
+        {
+          const Status round =
+              machine.TryRunOnNodes(disks, [&](sim::Node& n) -> Status {
+                size_t di = 0;
+                for (size_t i = 0; i < d; ++i) {
+                  if (disks[i] == n.id()) di = i;
+                }
+                Status st;
+                for (HashedTuple& m : exchange.TakeInbox(n.id())) {
+                  if (filter != nullptr) {
+                    n.ChargeCpu(n.cost().cpu_filter_op_seconds,
+                                sim::CostCategory::kFilterOp);
+                    filter->Set(static_cast<int>(di), m.hash);
+                  }
+                  const Status append = keep[di]->Append(m.tuple);
+                  if (st.ok()) st = append;
+                }
+                const Status flush = keep[di]->FlushAppends();
+                if (st.ok()) st = flush;
+                return st;
+              });
+          if (reb_status.ok()) reb_status = round;
+        }
+        // The rebalanced R' replaces the static one (unconditionally,
+        // so a faulted attempt's cleanup frees the right files).
+        for (size_t di = 0; di < d; ++di) {
+          sites[di].r_temp->Free();
+          sites[di].r_temp = std::move(keep[di]);
+        }
+      }
+      const Status end = machine.EndPhase();
+      if (reb_status.ok()) reb_status = end;
+      GAMMA_RETURN_NOT_OK(reb_status);
+    }
 
     // Phase 2: sort the local R' files in parallel.
     machine.BeginPhase("sm sort R");

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "gamma/catalog.h"
+#include "gamma/rebalance.h"
 #include "join/spec.h"
 #include "sim/machine.h"
 
@@ -26,6 +27,11 @@ struct SortMergeParams {
   bool use_bit_filters;
   uint64_t hash_seed;
   db::StoredRelation* result;
+  /// Skew-aware adaptive repartitioning (docs/skew.md): when enabled,
+  /// the sites histogram R' as it arrives, and a heavy-bin override
+  /// plan may redistribute R' (replicating heavy bins) before it is
+  /// sorted; S then routes overridden bins to the new homes.
+  db::RebalanceOptions rebalance{};
 };
 
 Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,

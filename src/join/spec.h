@@ -11,6 +11,7 @@
 
 #include "common/hash.h"
 #include "gamma/predicate.h"
+#include "gamma/rebalance.h"
 #include "sim/metrics.h"
 
 namespace gammadb::join {
@@ -70,6 +71,17 @@ struct JoinSpec {
   /// Requires use_bit_filters; ignored by Simple and sort-merge.
   bool use_forming_bit_filters = false;
 
+  /// Extension (docs/skew.md): skew-aware adaptive repartitioning.
+  /// After each sub-join's build the engines gather resident histogram
+  /// counts and may override heavy bins' routing for the probing phase
+  /// (dedicated or replicated destinations). All statistics exchange,
+  /// migration and broadcast work is charged through the cost model.
+  /// Works for all four algorithms; no-op on skew-free inputs.
+  bool adaptive_repartition = false;
+  /// Thresholds for the rebalance decision (enabled is derived from
+  /// adaptive_repartition; the flag here is ignored).
+  db::RebalanceOptions rebalance;
+
   /// Grace/Hybrid: overrides the optimizer's ceil(|R| / memory) choice.
   std::optional<int> num_buckets;
   /// Run the Appendix A bucket analyzer over the chosen bucket count.
@@ -104,6 +116,11 @@ struct JoinStats {
   size_t result_tuples = 0;
   /// Tuples of the outer relation eliminated by bit filters.
   int64_t filter_drops = 0;
+  /// Adaptive repartitioning (docs/skew.md): all zero unless a plan
+  /// activated, and only then serialized by the bench harness.
+  int64_t rebalance_plans = 0;
+  int64_t rebalance_moved_tuples = 0;
+  int64_t rebalance_replica_tuples = 0;
 };
 
 struct JoinOutput {

@@ -198,6 +198,9 @@ RunMetrics Machine::Metrics() const {
     m.counters.disk_read_faults += c.disk_read_faults;
     m.counters.disk_write_faults += c.disk_write_faults;
     m.counters.io_retries += c.io_retries;
+    m.counters.rebalance_plans += c.rebalance_plans;
+    m.counters.rebalance_moved_tuples += c.rebalance_moved_tuples;
+    m.counters.rebalance_replica_tuples += c.rebalance_replica_tuples;
   }
   return m;
 }

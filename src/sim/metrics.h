@@ -150,11 +150,25 @@ struct Counters {
   int64_t node_crashes = 0;         // mid-phase node failures
   int64_t operator_restarts = 0;    // Gamma-style abort-and-rerun recoveries
 
+  // --- Adaptive repartitioning (gamma/rebalance.h, docs/skew.md). All
+  // --- remain zero unless a rebalance plan activates; serialization
+  // --- omits them in that case so skew-free metrics JSON is
+  // --- byte-identical to pre-rebalance baselines.
+  int64_t rebalance_plans = 0;           // override tables installed
+  int64_t rebalance_moved_tuples = 0;    // residents extracted & migrated
+  int64_t rebalance_replica_tuples = 0;  // extra copies from replication
+
   /// True when any fault machinery engaged during the run.
   bool AnyFaults() const {
     return (disk_read_faults | disk_write_faults | io_retries | packets_lost |
             packets_duplicated | packets_retransmitted | node_crashes |
             operator_restarts) != 0;
+  }
+
+  /// True when adaptive repartitioning installed at least one plan.
+  bool AnyRebalance() const {
+    return (rebalance_plans | rebalance_moved_tuples |
+            rebalance_replica_tuples) != 0;
   }
 
   /// Fraction of routed tuples that never crossed the ring.

@@ -7,7 +7,7 @@ JsonValue CountersToJson(const Counters& counters) {
   // field without emitting it would silently drop it from every
   // baseline. The size check below fails the build until this function
   // (and the schema test) are updated.
-  static_assert(sizeof(Counters) == 22 * sizeof(int64_t),
+  static_assert(sizeof(Counters) == 25 * sizeof(int64_t),
                 "Counters changed: update CountersToJson, "
                 "metrics_json_test.cc and docs/benchmarking.md");
   JsonValue out = JsonValue::MakeObject();
@@ -26,9 +26,9 @@ JsonValue CountersToJson(const Counters& counters) {
   out.Set("filter_drops", counters.filter_drops);
   out.Set("result_tuples", counters.result_tuples);
   // Fault counters are emitted only when fault machinery engaged:
-  // fault-free runs must stay byte-identical to pre-fault baselines
-  // (bench_diff ignores candidate-only keys, so fault baselines and
-  // plain baselines coexist).
+  // fault-free runs must stay byte-identical to pre-fault baselines.
+  // (bench_diff flags candidate-only keys, so a baseline recorded with
+  // the condition engaged keeps gating it.)
   if (counters.AnyFaults()) {
     out.Set("disk_read_faults", counters.disk_read_faults);
     out.Set("disk_write_faults", counters.disk_write_faults);
@@ -38,6 +38,13 @@ JsonValue CountersToJson(const Counters& counters) {
     out.Set("packets_retransmitted", counters.packets_retransmitted);
     out.Set("node_crashes", counters.node_crashes);
     out.Set("operator_restarts", counters.operator_restarts);
+  }
+  // Same contract for adaptive repartitioning: skew-free runs stay
+  // byte-identical to pre-rebalance baselines.
+  if (counters.AnyRebalance()) {
+    out.Set("rebalance_plans", counters.rebalance_plans);
+    out.Set("rebalance_moved_tuples", counters.rebalance_moved_tuples);
+    out.Set("rebalance_replica_tuples", counters.rebalance_replica_tuples);
   }
   out.Set("short_circuit_fraction", counters.ShortCircuitFraction());
   return out;

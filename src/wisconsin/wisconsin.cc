@@ -22,6 +22,19 @@ std::string WisconsinString(int32_t value) {
   return s;
 }
 
+/// Cumulative Zipf(theta) distribution over `n` ranks: weight of rank r
+/// is 1/(r+1)^theta. theta == 0 is uniform.
+std::vector<double> ZipfCdf(uint32_t n, double theta) {
+  std::vector<double> cdf(n);
+  double total = 0;
+  for (uint32_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r) + 1.0, theta);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+  return cdf;
+}
+
 }  // namespace
 
 storage::Schema WisconsinSchema() {
@@ -50,7 +63,12 @@ std::vector<storage::Tuple> Generate(const GenOptions& options) {
   const storage::Schema schema = WisconsinSchema();
   GAMMA_CHECK_EQ(schema.tuple_bytes(), 208u);
   const uint32_t n = options.cardinality;
+  GAMMA_CHECK(!(options.with_normal_attr && options.with_zipf_attr));
   Rng rng(options.seed);
+  std::vector<double> zipf_cdf;
+  if (options.with_zipf_attr && n > 0) {
+    zipf_cdf = ZipfCdf(n, options.zipf_theta);
+  }
 
   std::vector<int32_t> unique1(n), unique2(n), third(n);
   for (uint32_t i = 0; i < n; ++i) {
@@ -81,7 +99,13 @@ std::vector<storage::Tuple> Generate(const GenOptions& options) {
     t.SetInt32(schema, fields::kTwentyPercent, u1 % 5);
     t.SetInt32(schema, fields::kFiftyPercent, u1 % 2);
     int32_t normal_value = third[i];
-    if (options.with_normal_attr) {
+    if (options.with_zipf_attr) {
+      const double u = rng.NextDouble();
+      const auto it = std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), u);
+      normal_value = static_cast<int32_t>(
+          std::min<size_t>(static_cast<size_t>(it - zipf_cdf.begin()),
+                           zipf_cdf.size() - 1));
+    } else if (options.with_normal_attr) {
       const double draw =
           std::round(rng.NextGaussian(options.normal_mean, options.normal_stddev));
       normal_value = static_cast<int32_t>(
@@ -117,6 +141,8 @@ Result<Dataset> LoadJoinABprime(sim::Machine& machine, db::Catalog& catalog,
   gen.cardinality = options.outer_cardinality;
   gen.seed = options.seed;
   gen.with_normal_attr = options.with_normal_attr;
+  gen.with_zipf_attr = options.with_zipf_attr;
+  gen.zipf_theta = options.zipf_theta;
   // Scale the skew distribution with the domain: at the paper's 100k
   // cardinality this is exactly N(50000, 750) over 0..99999.
   gen.normal_mean = options.outer_cardinality / 2.0;

@@ -60,6 +60,13 @@ struct GenOptions {
   double normal_stddev = 750;
   int32_t normal_min = 0;
   int32_t normal_max = 99999;
+  /// Fill the `normal` column from a Zipf(zipf_theta) distribution over
+  /// ranks 0..cardinality-1 instead (rank 0 is the hottest value;
+  /// theta 0 degenerates to uniform). Used by the adaptive-repartition
+  /// experiments (docs/skew.md). Mutually exclusive with
+  /// `with_normal_attr`.
+  bool with_zipf_attr = false;
+  double zipf_theta = 1.0;
 };
 
 /// Generates `cardinality` Wisconsin tuples deterministically.
@@ -78,6 +85,10 @@ struct DatasetOptions {
   uint32_t inner_cardinality = 10000;
   uint64_t seed = 42;
   bool with_normal_attr = false;
+  /// See GenOptions: Zipf-distributed `normal` column for the
+  /// skew-adaptive experiments.
+  bool with_zipf_attr = false;
+  double zipf_theta = 1.0;
   /// Declustering applied to both relations at load time.
   db::PartitionStrategy strategy = db::PartitionStrategy::kHashed;
   int partition_field = fields::kUnique1;

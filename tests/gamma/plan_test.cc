@@ -169,6 +169,16 @@ TEST_F(PlanTest, ChooserFollowsSectionFiveRule) {
   EXPECT_EQ(ChooseJoinAlgorithm(skewed, 1.0), join::Algorithm::kHybridHash);
   // Skewed inner and limited memory: sort-merge (Section 5).
   EXPECT_EQ(ChooseJoinAlgorithm(skewed, 0.17), join::Algorithm::kSortMerge);
+
+  // With run-time rebalancing available (docs/skew.md), the
+  // conservative fallback retires: adaptive Hybrid absorbs the skew
+  // inside each bucket's sub-join.
+  EXPECT_EQ(ChooseJoinAlgorithm(skewed, 0.17,
+                                /*adaptive_repartition_available=*/true),
+            join::Algorithm::kHybridHash);
+  EXPECT_EQ(ChooseJoinAlgorithm(uniform, 0.17,
+                                /*adaptive_repartition_available=*/true),
+            join::Algorithm::kHybridHash);
 }
 
 TEST_F(PlanTest, PlannerPicksSortMergeForSkewedLowMemoryJoin) {

@@ -94,6 +94,43 @@ TEST(CountersToJsonTest, FaultKeysAppearOnlyWhenFaultsEngaged) {
   EXPECT_NE(CountersToJson(one).Find("disk_read_faults"), nullptr);
 }
 
+TEST(CountersToJsonTest, RebalanceKeysAppearOnlyWhenRebalanceEngaged) {
+  // Skew-free runs must serialize byte-identically to pre-rebalance
+  // baselines, exactly like the fault keys.
+  const std::vector<std::string> rebalance_keys = {
+      "rebalance_plans",
+      "rebalance_moved_tuples",
+      "rebalance_replica_tuples",
+  };
+  const JsonValue clean = CountersToJson(FilledCounters());
+  for (const std::string& key : rebalance_keys) {
+    EXPECT_EQ(clean.Find(key), nullptr) << key;
+  }
+
+  Counters rebalanced = FilledCounters();
+  rebalanced.rebalance_plans = 23;
+  rebalanced.rebalance_moved_tuples = 24;
+  rebalanced.rebalance_replica_tuples = 25;
+  ASSERT_TRUE(rebalanced.AnyRebalance());
+  const JsonValue json = CountersToJson(rebalanced);
+  int64_t expected = 23;
+  for (const std::string& key : rebalance_keys) {
+    const JsonValue* field = json.Find(key);
+    ASSERT_NE(field, nullptr) << key;
+    EXPECT_EQ(field->AsInt(), expected++) << key;
+  }
+  EXPECT_EQ(json.AsObject().size(),
+            clean.AsObject().size() + rebalance_keys.size());
+
+  // A single nonzero rebalance counter is enough to switch the schema,
+  // and the fault keys stay independent of it.
+  Counters one = FilledCounters();
+  one.rebalance_moved_tuples = 1;
+  const JsonValue partial = CountersToJson(one);
+  EXPECT_NE(partial.Find("rebalance_plans"), nullptr);
+  EXPECT_EQ(partial.Find("disk_read_faults"), nullptr);
+}
+
 TEST(RunMetricsToJsonTest, RecoverySecondsAppearsOnlyWithFaults) {
   RunMetrics metrics;
   metrics.response_seconds = 2.0;

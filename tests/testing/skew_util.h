@@ -1,0 +1,55 @@
+// Skewed key-distribution generators for the adaptive-repartitioning
+// tests (docs/skew.md). Everything is seeded and deterministic.
+#ifndef GAMMA_TESTS_TESTING_SKEW_UTIL_H_
+#define GAMMA_TESTS_TESTING_SKEW_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace gammadb::testing {
+
+/// n Zipf(theta)-distributed keys over 0..domain-1 (key 0 is the
+/// hottest; theta 0 degenerates to uniform).
+inline std::vector<int32_t> ZipfKeys(size_t n, uint32_t domain, double theta,
+                                     uint64_t seed) {
+  std::vector<double> cdf(domain);
+  double total = 0;
+  for (uint32_t r = 0; r < domain; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r) + 1.0, theta);
+    cdf[r] = total;
+  }
+  for (double& c : cdf) c /= total;
+  Rng rng(seed);
+  std::vector<int32_t> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    const auto it =
+        std::lower_bound(cdf.begin(), cdf.end(), rng.NextDouble());
+    keys[i] = static_cast<int32_t>(
+        std::min<size_t>(static_cast<size_t>(it - cdf.begin()), domain - 1));
+  }
+  return keys;
+}
+
+/// n keys where roughly `heavy_fraction` of the draws are the single
+/// value `heavy_key` and the rest are uniform over 0..domain-1.
+inline std::vector<int32_t> HeavyHitterKeys(size_t n, uint32_t domain,
+                                            int32_t heavy_key,
+                                            double heavy_fraction,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int32_t> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys[i] = rng.NextDouble() < heavy_fraction
+                  ? heavy_key
+                  : static_cast<int32_t>(rng.Uniform(domain));
+  }
+  return keys;
+}
+
+}  // namespace gammadb::testing
+
+#endif  // GAMMA_TESTS_TESTING_SKEW_UTIL_H_

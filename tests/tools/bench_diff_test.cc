@@ -85,12 +85,37 @@ TEST(BenchDiffTest, MissingMetricFails) {
   EXPECT_EQ(report.entries[0].path, "runs[1].metrics.counters");
 }
 
-TEST(BenchDiffTest, ExtraCandidateMetricsAreIgnored) {
+// A candidate-only metric means the baseline predates a schema change:
+// it must fail the gate (otherwise new metrics would ship ungated) and
+// name every new key so the refresh is a deliberate, reviewable step.
+TEST(BenchDiffTest, ExtraCandidateMetricsFail) {
   JsonValue candidate = Doc(kBaseline);
   candidate.Set("new_top_level_metric", 7);
   candidate.Find("runs")->AsArray()[0].Set("new_per_run_metric", 1.5);
-  EXPECT_TRUE(
-      DiffBenchJson(Doc(kBaseline), candidate, DiffOptions{}).Passed());
+  const DiffReport report =
+      DiffBenchJson(Doc(kBaseline), candidate, DiffOptions{});
+  EXPECT_FALSE(report.Passed());
+  EXPECT_EQ(report.regressions(), 0);
+  EXPECT_EQ(report.extras(), 2);
+  const std::string text = FormatReport(report);
+  EXPECT_NE(text.find("EXTRA"), std::string::npos);
+  EXPECT_NE(text.find("new_top_level_metric"), std::string::npos);
+  EXPECT_NE(text.find("runs[0].new_per_run_metric"), std::string::npos);
+  EXPECT_NE(text.find("2 extra"), std::string::npos);
+}
+
+TEST(BenchDiffTest, ExtraHostMetricIsInformational) {
+  // A baseline recorded before host metrics existed must not fail when
+  // the candidate carries them.
+  JsonValue baseline = Doc(R"({"runs": [{"response_seconds": 10.0}]})");
+  JsonValue candidate = Doc(
+      R"({"runs": [{"response_seconds": 10.0, "real_seconds": 3.0,
+          "threads": 8}]})");
+  const DiffReport report =
+      DiffBenchJson(baseline, candidate, DiffOptions{});
+  EXPECT_TRUE(report.Passed()) << FormatReport(report);
+  EXPECT_EQ(report.extras(), 0);
+  EXPECT_GT(report.CountOf(DiffKind::kInfo), 0);
 }
 
 TEST(BenchDiffTest, StrictCounterDriftFails) {

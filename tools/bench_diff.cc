@@ -5,7 +5,8 @@
 //
 // Compares every metric of the baseline against the candidate (schema:
 // docs/benchmarking.md). Exit status: 0 when the candidate passes, 1 on
-// regression or missing metric, 2 on usage/parse errors. Identical
+// regression, missing metric, or candidate-only metric (a stale
+// baseline must be refreshed deliberately), 2 on usage/parse errors. Identical
 // documents always pass; time metrics (keys ending in "seconds") pass
 // within the relative tolerance; all other numeric metrics are
 // deterministic simulator counters and must match exactly unless

@@ -61,6 +61,17 @@ class Differ {
           Add(DiffKind::kMissing, child, "metric missing from candidate");
         }
       }
+      for (const auto& [key, value] : cand.AsObject()) {
+        if (base.Find(key) != nullptr) continue;
+        const std::string child = path.empty() ? key : path + "." + key;
+        if (IsHostMetric(key)) {
+          Add(DiffKind::kInfo, child,
+              "host metric only in candidate (not gated)");
+        } else {
+          Add(DiffKind::kExtra, child,
+              "metric only in candidate (baseline is stale)");
+        }
+      }
       return;
     }
     if (base.is_array()) {
@@ -149,6 +160,8 @@ const char* KindLabel(DiffKind kind) {
       return "info";
     case DiffKind::kMissing:
       return "MISSING";
+    case DiffKind::kExtra:
+      return "EXTRA";
   }
   return "?";
 }
@@ -178,9 +191,10 @@ std::string FormatReport(const DiffReport& report) {
                      entry.path.c_str(), entry.message.c_str());
   }
   out += StrFormat(
-      "%d metrics compared: %d regressions, %d missing, %d improvements\n",
+      "%d metrics compared: %d regressions, %d missing, %d extra, "
+      "%d improvements\n",
       report.compared_metrics, report.regressions(), report.missing(),
-      report.CountOf(DiffKind::kImprovement));
+      report.extras(), report.CountOf(DiffKind::kImprovement));
   return out;
 }
 

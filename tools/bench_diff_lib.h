@@ -29,6 +29,7 @@ enum class DiffKind {
   kImprovement,  // time metric below baseline by more than tolerance
   kInfo,         // non-gated difference
   kMissing,      // metric present in baseline, absent in candidate
+  kExtra,        // metric present in candidate, absent in baseline
 };
 
 struct DiffEntry {
@@ -44,13 +45,20 @@ struct DiffReport {
   int CountOf(DiffKind kind) const;
   int regressions() const { return CountOf(DiffKind::kRegression); }
   int missing() const { return CountOf(DiffKind::kMissing); }
-  /// The CI gate: regressions or missing metrics fail the build.
-  bool Passed() const { return regressions() == 0 && missing() == 0; }
+  int extras() const { return CountOf(DiffKind::kExtra); }
+  /// The CI gate: regressions, missing metrics, or candidate-only
+  /// metrics fail the build (an extra key means the baseline is stale —
+  /// refresh it deliberately rather than letting new metrics go
+  /// ungated; see docs/skew.md).
+  bool Passed() const {
+    return regressions() == 0 && missing() == 0 && extras() == 0;
+  }
 };
 
 /// Compares every metric of `baseline` against `candidate`. Metrics
-/// present only in the candidate are ignored (schema growth is backward
-/// compatible); metrics present only in the baseline are kMissing.
+/// present only in the baseline are kMissing; metrics present only in
+/// the candidate are kExtra — both fail the gate, so schema growth
+/// always comes with a baseline refresh.
 /// Host metrics ("real_seconds", "wall_seconds", "threads",
 /// "num_threads") describe the machine running the benchmark, not the
 /// simulated workload: they are always kInfo, never gated or missing.
