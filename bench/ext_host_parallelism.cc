@@ -60,5 +60,36 @@ int main(int argc, char** argv) {
     table.Append(std::move(row));
   }
   gammadb::bench::RecordBenchExtra("host_parallelism", std::move(table));
+
+  // Probe-dominated configuration: Simple hash at 1.5x memory keeps the
+  // whole inner relation resident in one bucket, so the run is scan +
+  // exchange + hash-table probes with no overflow or bucket I/O — the
+  // host hot path the batched block pipeline targets. Single-threaded
+  // so the number is a clean before/after wall-clock comparison
+  // (docs/performance.md), independent of executor scaling.
+  {
+    gammadb::sim::MachineConfig config = gammadb::bench::LocalConfig();
+    config.num_threads = 1;
+    gammadb::bench::WorkloadOptions options;
+    options.hpja = true;
+    Workload workload(config, options);
+    const auto start = std::chrono::steady_clock::now();
+    auto out = workload.Run(Algorithm::kSimpleHash, 1.5, false, false);
+    const double probe_real =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    gammadb::bench::CheckResultCount(
+        out, gammadb::bench::ExpectedJoinABprimeResult());
+    std::printf("\nProbe-dominated: joinABprime, Simple @ 1.5 memory, "
+                "1 thread\n");
+    std::printf("%-10s%14s%14s\n", "threads", "real sec", "simulated sec");
+    std::printf("%-10d%14.3f%14.2f\n", 1, probe_real, out.response_seconds());
+    JsonValue probe = JsonValue::MakeObject();
+    probe.Set("threads", JsonValue(1));
+    probe.Set("real_seconds", JsonValue(probe_real));
+    probe.Set("simulated_response_seconds",
+              JsonValue(out.response_seconds()));
+    gammadb::bench::RecordBenchExtra("probe_dominated", std::move(probe));
+  }
   return 0;
 }

@@ -67,19 +67,22 @@ KeyRange DeriveKeyRange(const PredicateList& predicate, int field) {
   return range;
 }
 
-/// Copies the projected fields of `in` into a tuple of `out_schema`.
+/// Copies the projected fields of the record at `in` (`size` bytes)
+/// into a tuple of `out_schema`. Raw-bytes input so the block-granular
+/// scan path projects straight off the page image; an empty projection
+/// materializes the record as-is (one copy).
 storage::Tuple ProjectTuple(const storage::Schema& in_schema,
-                            const storage::Tuple& in,
+                            const uint8_t* in, uint32_t size,
                             const storage::Schema& out_schema,
                             const std::vector<int>& projection) {
-  if (projection.empty()) return in;
+  if (projection.empty()) return storage::Tuple(in, size);
   storage::Tuple out(out_schema.tuple_bytes());
   for (size_t i = 0; i < projection.size(); ++i) {
     const size_t src = static_cast<size_t>(projection[i]);
     if (in_schema.field(src).type == storage::FieldType::kInt32) {
-      out.SetInt32(out_schema, i, in.GetInt32(in_schema, src));
+      out.SetInt32(out_schema, i, in_schema.GetInt32(in, src));
     } else {
-      out.SetChars(out_schema, i, in.GetChars(in_schema, src));
+      out.SetChars(out_schema, i, in_schema.GetChars(in, src));
     }
   }
   return out;
@@ -145,15 +148,16 @@ Result<SelectOutput> ExecuteSelect(sim::Machine& machine, Catalog& catalog,
       if (disks[i] == n.id()) di = i;
     }
     store_exchange.ReserveRow(n.id(), input->fragment(di).tuple_count());
-    const auto process = [&](const storage::Tuple& t) {
+    const auto process = [&](const uint8_t* data, uint32_t size) {
       ++input_counts[di];
       if (!spec.predicate.empty()) {
         n.ChargeCpu(n.cost().cpu_predicate_seconds,
                     sim::CostCategory::kPredicate);
-        if (!EvalAll(spec.predicate, input->schema(), t)) return;
+        if (!EvalAll(spec.predicate, input->schema(), data)) return;
       }
       storage::Tuple projected =
-          ProjectTuple(input->schema(), t, out_schema, spec.projection);
+          ProjectTuple(input->schema(), data, size, out_schema,
+                       spec.projection);
       // compose output
       n.ChargeCpu(n.cost().cpu_write_tuple_seconds,
                   sim::CostCategory::kWriteTuple);
@@ -179,12 +183,23 @@ Result<SelectOutput> ExecuteSelect(sim::Machine& machine, Catalog& catalog,
       const storage::HeapFile& fragment = input->fragment(di);
       for (const auto& [key, rid] :
            input->fragment_index(di).RangeScan(key_range.lo, key_range.hi)) {
-        process(fragment.FetchByRid(rid));
+        const storage::Tuple t = fragment.FetchByRid(rid);
+        process(t.data(), t.size());
       }
     } else {
+      // Block-granular scan: the per-tuple read CPU the scalar Next()
+      // charged is charged here per view, keeping the charge chain
+      // (read, predicate, write, route) in scan order.
       auto scanner = input->fragment(di).Scan();
-      storage::Tuple t;
-      while (scanner.Next(&t)) process(t);
+      storage::TupleBlock block;
+      while (scanner.NextBlock(&block)) {
+        for (size_t i = 0; i < block.size(); ++i) {
+          n.ChargeCpu(n.cost().cpu_read_tuple_seconds,
+                      sim::CostCategory::kReadTuple);
+          const storage::TupleView v = block.view(i);
+          process(v.data, v.size);
+        }
+      }
     }
   });
   machine.RunOnNodes(disks, [&](sim::Node& n) {
@@ -192,11 +207,15 @@ Result<SelectOutput> ExecuteSelect(sim::Machine& machine, Catalog& catalog,
     for (size_t i = 0; i < disks.size(); ++i) {
       if (disks[i] == n.id()) di = i;
     }
-    for (storage::Tuple& t : store_exchange.TakeInbox(n.id())) {
-      // Non-join operators are outside the fault-injection recovery
-      // scope (docs/fault_injection.md): hard write errors abort.
-      GAMMA_CHECK_OK(output->fragment(di).Append(t));
-    }
+    store_exchange.DrainInboxBlocks(
+        n.id(), [&](std::vector<storage::Tuple>& lane) {
+          for (storage::Tuple& t : lane) {
+            // Non-join operators are outside the fault-injection
+            // recovery scope (docs/fault_injection.md): hard write
+            // errors abort.
+            GAMMA_CHECK_OK(output->fragment(di).Append(t));
+          }
+        });
     GAMMA_CHECK_OK(output->fragment(di).FlushAppends());
   });
   machine.EndPhase().IgnoreError();

@@ -21,7 +21,13 @@ struct Predicate {
   int32_t value;
 
   bool Eval(const storage::Schema& schema, const storage::Tuple& t) const {
-    const int32_t v = t.GetInt32(schema, static_cast<size_t>(field));
+    return Eval(schema, t.data());
+  }
+
+  /// Raw-bytes overload: the block-granular scan path evaluates
+  /// predicates on page-image views without materializing a Tuple.
+  bool Eval(const storage::Schema& schema, const uint8_t* tuple) const {
+    const int32_t v = schema.GetInt32(tuple, static_cast<size_t>(field));
     switch (op) {
       case Op::kLt:
         return v < value;
@@ -46,6 +52,14 @@ inline bool EvalAll(const PredicateList& preds, const storage::Schema& schema,
                     const storage::Tuple& t) {
   for (const Predicate& p : preds) {
     if (!p.Eval(schema, t)) return false;
+  }
+  return true;
+}
+
+inline bool EvalAll(const PredicateList& preds, const storage::Schema& schema,
+                    const uint8_t* tuple) {
+  for (const Predicate& p : preds) {
+    if (!p.Eval(schema, tuple)) return false;
   }
   return true;
 }

@@ -217,110 +217,184 @@ void HashJoinEngine::HandleBuildArrival(sim::Node& n, size_t ji,
   }
 }
 
-void HashJoinEngine::HandleProbeArrival(sim::Node& n, size_t ji,
-                                        uint64_t hash,
-                                        const storage::Tuple& t) {
+void HashJoinEngine::HandleProbeBatch(sim::Node& n, size_t ji,
+                                      const RoutedTuple* msgs, size_t count) {
+  GAMMA_DCHECK(count <= JoinHashTable::kProbeBatchMax);
   JoinNodeState& st = jstate_[ji];
-  const int32_t key =
-      t.GetInt32(*config_.outer_schema, static_cast<size_t>(config_.outer_field));
-  st.table->Probe(key, hash, [&](const storage::Tuple& r) {
-    n.ChargeCpu(n.cost().cpu_build_result_seconds,
-                sim::CostCategory::kBuildResult);
-    storage::Tuple result = storage::Tuple::Concat(r, t);
-    ++n.counters().result_tuples;
-    const size_t di = st.store_rr_next++ % config_.disk_nodes.size();
-    const uint32_t bytes = result.size();
-    store_exchange_.Send(n.id(), config_.disk_nodes[di], std::move(result),
-                         bytes);
-  });
+  int32_t keys[JoinHashTable::kProbeBatchMax];
+  uint64_t hashes[JoinHashTable::kProbeBatchMax];
+  // Key extraction is uncharged (as in the scalar probe path); hoisting
+  // it out of the probe loop lets ProbeBatch prefetch every probe's
+  // index line before the first compare.
+  const storage::Schema& schema = *config_.outer_schema;
+  const size_t field = static_cast<size_t>(config_.outer_field);
+  for (size_t k = 0; k < count; ++k) {
+    keys[k] = schema.GetInt32(msgs[k].data, field);
+    hashes[k] = msgs[k].hash;
+  }
+  st.table->ProbeBatch(
+      keys, hashes, count, [&](size_t k, const storage::Tuple& r) {
+        n.ChargeCpu(n.cost().cpu_build_result_seconds,
+                    sim::CostCategory::kBuildResult);
+        storage::Tuple result =
+            storage::Tuple::Concat(r, msgs[k].data, msgs[k].size);
+        ++n.counters().result_tuples;
+        const size_t di = st.store_rr_next++ % config_.disk_nodes.size();
+        const uint32_t bytes = result.size();
+        store_exchange_.Send(n.id(), config_.disk_nodes[di],
+                             std::move(result), bytes);
+      });
 }
 
-void HashJoinEngine::RouteFromProducer(sim::Node& n,
-                                       const db::SplitTable& table,
-                                       uint64_t seed, Side side,
-                                       storage::Tuple&& t) {
+void HashJoinEngine::RouteBlock(sim::Node& n, const db::SplitTable& table,
+                                uint64_t seed, Side side,
+                                const storage::TupleBlock& block,
+                                const db::PredicateList* predicate,
+                                RouteScratch* s) {
   const storage::Schema& schema =
       side == Side::kInner ? *config_.inner_schema : *config_.outer_schema;
   const int field =
       side == Side::kInner ? config_.inner_field : config_.outer_field;
-  const int32_t key = t.GetInt32(schema, static_cast<size_t>(field));
-  const uint64_t hash = HashJoinAttribute(key, seed);
-  n.ChargeCpu(n.cost().cpu_hash_route_seconds, sim::CostCategory::kHashRoute);
-  const db::SplitEntry& entry = table.Route(hash);
+  const size_t count = block.size();
+  const bool has_pred = predicate != nullptr && !predicate->empty();
 
-  if (entry.bucket > 0) {
-    // Forming-filter extension: outer tuples failing the filter built
-    // during the inner relation's bucket-forming pass are dropped
-    // before they are ever transmitted or stored.
-    if (side == Side::kOuter && forming_filter_ != nullptr) {
-      n.ChargeCpu(n.cost().cpu_filter_op_seconds,
-                  sim::CostCategory::kFilterOp);
-      if (!forming_filter_->MayContain(
-              static_cast<int>(DiskIndexOf(entry.node)), hash)) {
-        ++n.counters().filter_drops;
-        return;
+  // Pass 1 (uncharged, batch-friendly): keys, predicate verdicts,
+  // hashes and split-table indices for the whole block. Hashing a tuple
+  // the predicate later drops is harmless — nothing here charges or
+  // mutates engine state.
+  for (size_t i = 0; i < count; ++i) {
+    const uint8_t* data = block.view(i).data;
+    s->keys[i] = schema.GetInt32(data, static_cast<size_t>(field));
+    s->pred_ok[i] = !has_pred || db::EvalAll(*predicate, schema, data);
+  }
+  for (size_t i = 0; i < count; ++i) {
+    s->hashes[i] = HashJoinAttribute(s->keys[i], seed);
+  }
+  table.RouteIndices(s->hashes.data(), count, s->route.data());
+
+  // Pass 2 (sequential): the scalar path's per-tuple charge chain
+  // (read, predicate, route, filter), routing decisions, overflow
+  // spools and rebalance cursor updates, in scan order — so the
+  // floating-point accumulation order is identical tuple for tuple.
+  size_t m = 0;
+  for (size_t i = 0; i < count; ++i) {
+    n.ChargeCpu(n.cost().cpu_read_tuple_seconds,
+                sim::CostCategory::kReadTuple);
+    if (has_pred) {
+      n.ChargeCpu(n.cost().cpu_predicate_seconds,
+                  sim::CostCategory::kPredicate);
+      if (!s->pred_ok[i]) continue;
+    }
+    const uint64_t hash = s->hashes[i];
+    n.ChargeCpu(n.cost().cpu_hash_route_seconds,
+                sim::CostCategory::kHashRoute);
+    const db::SplitEntry& entry = table.entry(s->route[i]);
+    const uint32_t bytes = block.view(i).size;
+
+    if (entry.bucket > 0) {
+      // Forming-filter extension: outer tuples failing the filter built
+      // during the inner relation's bucket-forming pass are dropped
+      // before they are ever transmitted or stored.
+      if (side == Side::kOuter && forming_filter_ != nullptr) {
+        n.ChargeCpu(n.cost().cpu_filter_op_seconds,
+                    sim::CostCategory::kFilterOp);
+        if (!forming_filter_->MayContain(
+                static_cast<int>(DiskIndexOf(entry.node)), hash)) {
+          ++n.counters().filter_drops;
+          continue;
+        }
+      }
+      exchange_.Account(n.id(), entry.node, bytes);
+      s->staged[m] = RoutedTuple{
+          block.view(i).data, bytes, hash,
+          side == Side::kInner ? kBucketInner : kBucketOuter, entry.bucket};
+      s->send_dest[m] = entry.node;
+      ++m;
+      continue;
+    }
+
+    // Bucket-0 (joining) entries occupy the first J table slots in both
+    // the joining and Hybrid-partitioning layouts, so the entry index
+    // IS the join PROCESS index — the paper's split tables are
+    // per-process, which permits several join processes on one node
+    // (Appendix A's "fifth join process" remedy).
+    size_t ji = s->route[i];
+    GAMMA_DCHECK(ji < jstate_.size());
+    GAMMA_DCHECK(config_.join_nodes[ji] == entry.node);
+    if (side == Side::kInner) {
+      exchange_.Account(n.id(), entry.node, bytes);
+      s->staged[m] = RoutedTuple{block.view(i).data, bytes, hash, kBuild,
+                                 static_cast<int32_t>(ji)};
+      s->send_dest[m] = entry.node;
+      ++m;
+      continue;
+    }
+
+    // Rebalanced routing: an overridden bin's probe tuples go to its
+    // destination set instead of the static (mod J) process — each
+    // tuple to exactly ONE destination, chosen by this producer's
+    // per-bin round-robin cursor, so a replicated bin's probes spread
+    // evenly and every result pair is still produced exactly once.
+    if (rebalance_plan_.active) {
+      if (const std::vector<int>* dests =
+              rebalance_plan_.DestinationsFor(hash)) {
+        uint32_t& rr =
+            rebalance_rr_[DiskIndexOf(n.id())][rebalance_plan_.BinOf(hash)];
+        ji = static_cast<size_t>((*dests)[rr++ % dests->size()]);
       }
     }
-    const uint32_t bytes = t.size();
-    exchange_.Send(n.id(), entry.node,
-                   RoutedTuple{std::move(t), hash,
-                               side == Side::kInner ? kBucketInner
-                                                    : kBucketOuter,
-                               entry.bucket},
-                   bytes);
-    return;
-  }
+    const int dest_node = config_.join_nodes[ji];
 
-  // Bucket-0 (joining) entries occupy the first J table slots in both
-  // the joining and Hybrid-partitioning layouts, so the entry index IS
-  // the join PROCESS index — the paper's split tables are per-process,
-  // which permits several join processes on one node (Appendix A's
-  // "fifth join process" remedy).
-  size_t ji = table.IndexOf(hash);
-  GAMMA_DCHECK(ji < jstate_.size());
-  GAMMA_DCHECK(config_.join_nodes[ji] == entry.node);
-  if (side == Side::kInner) {
-    const uint32_t bytes = t.size();
-    exchange_.Send(n.id(), entry.node,
-                   RoutedTuple{std::move(t), hash, kBuild,
-                               static_cast<int32_t>(ji)},
-                   bytes);
-    return;
-  }
-
-  // Rebalanced routing: an overridden bin's probe tuples go to its
-  // destination set instead of the static (mod J) process — each tuple
-  // to exactly ONE destination, chosen by this producer's per-bin
-  // round-robin cursor, so a replicated bin's probes spread evenly and
-  // every result pair is still produced exactly once.
-  if (rebalance_plan_.active) {
-    if (const std::vector<int>* dests =
-            rebalance_plan_.DestinationsFor(hash)) {
-      uint32_t& rr =
-          rebalance_rr_[DiskIndexOf(n.id())][rebalance_plan_.BinOf(hash)];
-      ji = static_cast<size_t>((*dests)[rr++ % dests->size()]);
+    // Outer side: the augmented split table routes overflow-range
+    // tuples "directly to the S' overflow files" (Section 3.2, step 3).
+    if (hash >= jstate_[ji].cutoff) {
+      SpoolToOverflow(n, ji, /*is_inner=*/false,
+                      storage::Tuple(block.view(i).data, bytes));
+      continue;
     }
-  }
-  const int dest_node = config_.join_nodes[ji];
-
-  // Outer side: the augmented split table routes overflow-range tuples
-  // "directly to the S' overflow files" (paper Section 3.2, step 3).
-  if (hash >= jstate_[ji].cutoff) {
-    SpoolToOverflow(n, ji, /*is_inner=*/false, std::move(t));
-    return;
-  }
-  if (filter_ != nullptr) {
-    n.ChargeCpu(n.cost().cpu_filter_op_seconds, sim::CostCategory::kFilterOp);
-    if (!filter_->MayContain(static_cast<int>(ji), hash)) {
-      ++n.counters().filter_drops;
-      return;
+    if (filter_ != nullptr) {
+      n.ChargeCpu(n.cost().cpu_filter_op_seconds,
+                  sim::CostCategory::kFilterOp);
+      if (!filter_->MayContain(static_cast<int>(ji), hash)) {
+        ++n.counters().filter_drops;
+        continue;
+      }
     }
+    exchange_.Account(n.id(), dest_node, bytes);
+    s->staged[m] = RoutedTuple{block.view(i).data, bytes, hash, kProbe,
+                               static_cast<int32_t>(ji)};
+    s->send_dest[m] = dest_node;
+    ++m;
   }
-  const uint32_t bytes = t.size();
-  exchange_.Send(n.id(), dest_node,
-                 RoutedTuple{std::move(t), hash, kProbe,
-                             static_cast<int32_t>(ji)},
-                 bytes);
+  if (m == 0) return;
+
+  // Pass 3: stable counting sort of the staged views by destination,
+  // then one SendBatch per destination. Within a lane the views land in
+  // scan order — exactly the per-tuple Send() order — and only the
+  // 24-byte view moves; the payload bytes stay on the disk page until a
+  // consumer stores them.
+  std::fill(s->dest_counts.begin(), s->dest_counts.end(), 0);
+  for (size_t k = 0; k < m; ++k) {
+    ++s->dest_counts[static_cast<size_t>(s->send_dest[k])];
+  }
+  uint32_t run = 0;
+  for (size_t d = 0; d < s->dest_counts.size(); ++d) {
+    s->dest_starts[d] = run;
+    run += s->dest_counts[d];
+  }
+  for (size_t k = 0; k < m; ++k) {
+    s->send_order[s->dest_starts[static_cast<size_t>(s->send_dest[k])]++] =
+        static_cast<uint32_t>(k);
+  }
+  for (size_t d = 0; d < s->dest_counts.size(); ++d) {
+    const uint32_t c = s->dest_counts[d];
+    if (c == 0) continue;
+    const uint32_t start = s->dest_starts[d] - c;  // starts moved to ends
+    exchange_.SendBatch(
+        n.id(), static_cast<int>(d), c, [&](size_t k, RoutedTuple& out) {
+          out = s->staged[s->send_order[start + k]];
+        });
+  }
 }
 
 Status HashJoinEngine::DrainDiskSide(sim::Node& n, BucketFileSet* buckets) {
@@ -329,19 +403,25 @@ Status HashJoinEngine::DrainDiskSide(sim::Node& n, BucketFileSet* buckets) {
   // is kept, and tuples after it are dropped — the restarted attempt
   // regenerates them.
   Status st_out;
-  for (OverflowMsg& m : overflow_exchange_.TakeInbox(n.id())) {
-    JoinNodeState& st = jstate_[static_cast<size_t>(m.join_index)];
-    storage::HeapFile* file =
-        m.is_inner ? st.r_overflow.get() : st.s_overflow.get();
-    GAMMA_CHECK(file != nullptr);
-    const Status append = file->Append(m.tuple);
-    if (st_out.ok()) st_out = append;
-  }
-  for (storage::Tuple& t : store_exchange_.TakeInbox(n.id())) {
-    const Status append =
-        config_.result->fragment(DiskIndexOf(n.id())).Append(t);
-    if (st_out.ok()) st_out = append;
-  }
+  overflow_exchange_.DrainInboxBlocks(
+      n.id(), [&](std::vector<OverflowMsg>& lane) {
+        for (OverflowMsg& m : lane) {
+          JoinNodeState& st = jstate_[static_cast<size_t>(m.join_index)];
+          storage::HeapFile* file =
+              m.is_inner ? st.r_overflow.get() : st.s_overflow.get();
+          GAMMA_CHECK(file != nullptr);
+          const Status append = file->Append(m.tuple);
+          if (st_out.ok()) st_out = append;
+        }
+      });
+  store_exchange_.DrainInboxBlocks(n.id(), [&](std::vector<storage::Tuple>&
+                                                   lane) {
+    for (storage::Tuple& t : lane) {
+      const Status append =
+          config_.result->fragment(DiskIndexOf(n.id())).Append(t);
+      if (st_out.ok()) st_out = append;
+    }
+  });
   if (buckets != nullptr) {
     const Status flush = buckets->FlushFilesOwnedBy(n.id());
     if (st_out.ok()) st_out = flush;
@@ -431,29 +511,30 @@ Status HashJoinEngine::MaybeRebalance(const std::string& label) {
     }
 
     // Round A: every process extracts its overridden-bin residents and
-    // ships a copy to each destination (possibly itself — a
-    // short-circuited local delivery).
+    // ships a view to each destination (possibly itself — a
+    // short-circuited local delivery). The extracted tuples are parked
+    // in `migrated` so the views stay valid until round B drains them;
+    // replicas share one backing tuple.
+    std::vector<std::vector<std::pair<uint64_t, storage::Tuple>>> migrated(
+        num_processes);
     machine_->RunOnNodes(Participants(false), [&](sim::Node& n) {
       for (size_t ji = 0; ji < num_processes; ++ji) {
         if (config_.join_nodes[ji] != n.id()) continue;
-        auto moved = jstate_[ji].table->ExtractIf([&](uint64_t hash) {
+        migrated[ji] = jstate_[ji].table->ExtractIf([&](uint64_t hash) {
           return rebalance_plan_.DestinationsFor(hash) != nullptr;
         });
-        for (auto& [hash, tuple] : moved) {
+        for (const auto& [hash, tuple] : migrated[ji]) {
           const std::vector<int>& dests =
               *rebalance_plan_.DestinationsFor(hash);
           ++n.counters().rebalance_moved_tuples;
           n.counters().rebalance_replica_tuples +=
               static_cast<int64_t>(dests.size()) - 1;
           for (size_t k = 0; k < dests.size(); ++k) {
-            storage::Tuple copy = (k + 1 == dests.size())
-                                      ? std::move(tuple)
-                                      : storage::Tuple(tuple);
-            const uint32_t bytes = copy.size();
             exchange_.Send(
                 n.id(), config_.join_nodes[static_cast<size_t>(dests[k])],
-                RoutedTuple{std::move(copy), hash, kMigrate, dests[k]},
-                bytes);
+                RoutedTuple{tuple.data(), tuple.size(), hash, kMigrate,
+                            dests[k]},
+                tuple.size());
           }
         }
       }
@@ -463,12 +544,15 @@ Status HashJoinEngine::MaybeRebalance(const std::string& label) {
     // feasibility math is exact (fixed-width tuples), so an insert here
     // can never overflow.
     machine_->RunOnNodes(Participants(false), [&](sim::Node& n) {
-      for (RoutedTuple& m : exchange_.TakeInbox(n.id())) {
-        GAMMA_DCHECK(m.kind == kMigrate);
-        JoinNodeState& st = jstate_[static_cast<size_t>(m.aux)];
-        GAMMA_CHECK(st.table->Insert(std::move(m.tuple), m.hash))
-            << "rebalance migration overflowed a hash table";
-      }
+      exchange_.DrainInboxBlocks(n.id(), [&](std::vector<RoutedTuple>& lane) {
+        for (RoutedTuple& m : lane) {
+          GAMMA_DCHECK(m.kind == kMigrate);
+          JoinNodeState& st = jstate_[static_cast<size_t>(m.aux)];
+          GAMMA_CHECK(st.table->Insert(storage::Tuple(m.data, m.size),
+                                       m.hash))
+              << "rebalance migration overflowed a hash table";
+        }
+      });
     });
   }
 
@@ -521,51 +605,73 @@ Status HashJoinEngine::PartitionPhase(const std::string& label,
   // is reported.
   Status phase_status;
 
-  // Round A: producers scan and route.
+  // Round A: producers scan blocks and route them.
   {
     const Status round = machine_->TryRunOnNodes(
         config_.disk_nodes, [&](sim::Node& n) -> Status {
           const size_t di = DiskIndexOf(n.id());
-          return producers[di](n, [&](storage::Tuple&& t) {
-            RouteFromProducer(n, table, seed, side, std::move(t));
+          RouteScratch scratch(static_cast<size_t>(machine_->num_nodes()));
+          return producers[di].scan(n, [&](const storage::TupleBlock& block) {
+            RouteBlock(n, table, seed, side, block, producers[di].predicate,
+                       &scratch);
           });
         });
     if (phase_status.ok()) phase_status = round;
   }
 
-  // Round B: consumers build/probe/append.
+  // Round B: consumers build/probe/append, one inbox lane (= one sender
+  // block) at a time. Runs of probe arrivals for the same join process
+  // go through the prefetching batched probe; concatenated lane order
+  // equals the old consolidated TakeInbox order, so the charge sequence
+  // is unchanged.
   {
     const Status round = machine_->TryRunOnNodes(
         Participants(has_stored_buckets), [&](sim::Node& n) -> Status {
           Status st;
-          for (RoutedTuple& m : exchange_.TakeInbox(n.id())) {
-            switch (m.kind) {
-              case kBuild:
-                HandleBuildArrival(n, static_cast<size_t>(m.aux), m.hash,
-                                   std::move(m.tuple));
-                break;
-              case kProbe:
-                HandleProbeArrival(n, static_cast<size_t>(m.aux), m.hash,
-                                   m.tuple);
-                break;
-              case kBucketInner:
-                if (forming_filter_ != nullptr) {
-                  // Each receiving disk site contributes its slice as
-                  // inner tuples arrive to be stored.
-                  n.ChargeCpu(n.cost().cpu_filter_op_seconds,
-                              sim::CostCategory::kFilterOp);
-                  forming_filter_->Set(static_cast<int>(DiskIndexOf(n.id())),
-                                       m.hash);
+          exchange_.DrainInboxBlocks(n.id(), [&](std::vector<RoutedTuple>&
+                                                     lane) {
+            const size_t items = lane.size();
+            for (size_t p = 0; p < items;) {
+              RoutedTuple& m = lane[p];
+              if (m.kind == kProbe) {
+                size_t len = 1;
+                while (p + len < items &&
+                       len < JoinHashTable::kProbeBatchMax &&
+                       lane[p + len].kind == kProbe &&
+                       lane[p + len].aux == m.aux) {
+                  ++len;
                 }
-                [[fallthrough]];
-              case kBucketOuter: {
-                const Status append =
-                    buckets->file(m.aux, DiskIndexOf(n.id())).Append(m.tuple);
-                if (st.ok()) st = append;
-                break;
+                HandleProbeBatch(n, static_cast<size_t>(m.aux), &lane[p],
+                                 len);
+                p += len;
+                continue;
               }
+              switch (m.kind) {
+                case kBuild:
+                  HandleBuildArrival(n, static_cast<size_t>(m.aux), m.hash,
+                                     storage::Tuple(m.data, m.size));
+                  break;
+                case kBucketInner:
+                  if (forming_filter_ != nullptr) {
+                    // Each receiving disk site contributes its slice as
+                    // inner tuples arrive to be stored.
+                    n.ChargeCpu(n.cost().cpu_filter_op_seconds,
+                                sim::CostCategory::kFilterOp);
+                    forming_filter_->Set(
+                        static_cast<int>(DiskIndexOf(n.id())), m.hash);
+                  }
+                  [[fallthrough]];
+                case kBucketOuter: {
+                  const Status append =
+                      buckets->file(m.aux, DiskIndexOf(n.id()))
+                          .AppendRecord(m.data);
+                  if (st.ok()) st = append;
+                  break;
+                }
+              }
+              ++p;
             }
-          }
+          });
           return st;
         });
     if (phase_status.ok()) phase_status = round;
@@ -658,25 +764,25 @@ Status HashJoinEngine::ResolveOverflows(const std::string& label,
       producers.reserve(config_.disk_nodes.size());
       for (size_t di = 0; di < config_.disk_nodes.size(); ++di) {
         const int host = config_.disk_nodes[di];
-        producers.push_back([this, host, &taken, inner_side](
-                                sim::Node& n,
-                                const std::function<void(storage::Tuple&&)>&
-                                    yield) -> Status {
-          GAMMA_CHECK_EQ(n.id(), host);
-          for (size_t ji = 0; ji < jstate_.size(); ++ji) {
-            if (jstate_[ji].host_disk_node != host) continue;
-            storage::HeapFile* file =
-                inner_side ? taken[ji].r.get() : taken[ji].s.get();
-            if (file == nullptr) continue;
-            GAMMA_RETURN_NOT_OK(file->FlushAppends());
-            exchange_.ReserveRow(n.id(), file->tuple_count());
-            auto scanner = file->Scan();
-            storage::Tuple t;
-            while (scanner.Next(&t)) yield(std::move(t));
-            GAMMA_RETURN_NOT_OK(scanner.status());
-          }
-          return Status::OK();
-        });
+        producers.push_back(Producer{
+            [this, host, &taken, inner_side](
+                sim::Node& n, const BlockYield& yield) -> Status {
+              GAMMA_CHECK_EQ(n.id(), host);
+              for (size_t ji = 0; ji < jstate_.size(); ++ji) {
+                if (jstate_[ji].host_disk_node != host) continue;
+                storage::HeapFile* file =
+                    inner_side ? taken[ji].r.get() : taken[ji].s.get();
+                if (file == nullptr) continue;
+                GAMMA_RETURN_NOT_OK(file->FlushAppends());
+                exchange_.ReserveRow(n.id(), file->tuple_count());
+                auto scanner = file->Scan();
+                storage::TupleBlock block;
+                while (scanner.NextBlock(&block)) yield(block);
+                GAMMA_RETURN_NOT_OK(scanner.status());
+              }
+              return Status::OK();
+            },
+            nullptr});
       }
       return producers;
     };
@@ -722,17 +828,17 @@ std::vector<Producer> HashJoinEngine::BucketProducers(BucketFileSet* files,
   std::vector<Producer> producers;
   producers.reserve(config_.disk_nodes.size());
   for (size_t di = 0; di < config_.disk_nodes.size(); ++di) {
-    producers.push_back(
+    producers.push_back(Producer{
         [this, files, bucket, di](sim::Node& n,
-                                  const std::function<void(storage::Tuple&&)>&
-                                      yield) -> Status {
+                                  const BlockYield& yield) -> Status {
           storage::HeapFile& file = files->file(bucket, di);
           exchange_.ReserveRow(n.id(), file.tuple_count());
           auto scanner = file.Scan();
-          storage::Tuple t;
-          while (scanner.Next(&t)) yield(std::move(t));
+          storage::TupleBlock block;
+          while (scanner.NextBlock(&block)) yield(block);
           return scanner.status();
-        });
+        },
+        nullptr});
   }
   return producers;
 }
@@ -743,24 +849,19 @@ std::vector<Producer> HashJoinEngine::RelationProducers(
   std::vector<Producer> producers;
   producers.reserve(config_.disk_nodes.size());
   for (size_t di = 0; di < config_.disk_nodes.size(); ++di) {
-    producers.push_back([this, relation, predicate, di](
-                            sim::Node& n,
-                            const std::function<void(storage::Tuple&&)>&
-                                yield) -> Status {
-      exchange_.ReserveRow(n.id(), relation->fragment(di).tuple_count());
-      auto scanner = relation->fragment(di).Scan();
-      storage::Tuple t;
-      const bool has_predicate = predicate != nullptr && !predicate->empty();
-      while (scanner.Next(&t)) {
-        if (has_predicate) {
-          n.ChargeCpu(n.cost().cpu_predicate_seconds,
-                      sim::CostCategory::kPredicate);
-          if (!db::EvalAll(*predicate, relation->schema(), t)) continue;
-        }
-        yield(std::move(t));
-      }
-      return scanner.status();
-    });
+    // The predicate rides on the Producer; RouteBlock evaluates and
+    // charges it per tuple between the read and route charges, exactly
+    // where the scalar producer loop charged it.
+    producers.push_back(Producer{
+        [this, relation, di](sim::Node& n,
+                             const BlockYield& yield) -> Status {
+          exchange_.ReserveRow(n.id(), relation->fragment(di).tuple_count());
+          auto scanner = relation->fragment(di).Scan();
+          storage::TupleBlock block;
+          while (scanner.NextBlock(&block)) yield(block);
+          return scanner.status();
+        },
+        predicate});
   }
   return producers;
 }

@@ -1,6 +1,7 @@
 #include "join/sort_merge.h"
 
 #include <algorithm>
+#include <array>
 #include <memory>
 #include <vector>
 
@@ -141,7 +142,14 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
     // the phase barrier even when a node failed — and only the first
     // error is kept.
     Status phase_status;
-    // Producers: scan local fragments and route by join-attribute hash.
+    // Producers: scan local fragments block-wise and route by
+    // join-attribute hash. Same three-pass structure as
+    // HashJoinEngine::RouteBlock — pass 1 batch-computes keys,
+    // predicate verdicts, hashes and route indices (uncharged); pass 2
+    // replays the scalar per-tuple charge chain in scan order; pass 3
+    // counting-sorts the survivors by destination and appends each
+    // site's run with one SendBatch, copying each tuple once from the
+    // page image into its lane slot.
     {
       const Status round = machine.TryRunOnNodes(
           disks, [&](sim::Node& n) -> Status {
@@ -151,46 +159,96 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
             }
             exchange.ReserveRow(n.id(), rel->fragment(di).tuple_count());
             auto scanner = rel->fragment(di).Scan();
-            storage::Tuple t;
             const bool has_predicate =
                 predicate != nullptr && !predicate->empty();
-            while (scanner.Next(&t)) {
-              if (has_predicate) {
-                n.ChargeCpu(n.cost().cpu_predicate_seconds,
-                            sim::CostCategory::kPredicate);
-                if (!db::EvalAll(*predicate, rel->schema(), t)) continue;
+            const storage::Schema& schema = rel->schema();
+            storage::TupleBlock block;
+            std::array<int32_t, storage::TupleBlock::kCapacity> keys;
+            std::array<uint64_t, storage::TupleBlock::kCapacity> hashes;
+            std::array<uint32_t, storage::TupleBlock::kCapacity> route;
+            std::array<bool, storage::TupleBlock::kCapacity> pred_ok;
+            std::array<uint32_t, storage::TupleBlock::kCapacity> send_idx;
+            std::array<uint32_t, storage::TupleBlock::kCapacity> send_site;
+            std::array<uint32_t, storage::TupleBlock::kCapacity> send_order;
+            std::vector<uint32_t> site_counts(d);
+            std::vector<uint32_t> site_starts(d);
+            while (scanner.NextBlock(&block)) {
+              const size_t count = block.size();
+              for (size_t i = 0; i < count; ++i) {
+                const uint8_t* data = block.view(i).data;
+                keys[i] = schema.GetInt32(data, static_cast<size_t>(field));
+                pred_ok[i] =
+                    !has_predicate || db::EvalAll(*predicate, schema, data);
               }
-              const int32_t key =
-                  t.GetInt32(rel->schema(), static_cast<size_t>(field));
-              const uint64_t hash = HashJoinAttribute(key, params.hash_seed);
-              n.ChargeCpu(n.cost().cpu_hash_route_seconds,
-                          sim::CostCategory::kHashRoute);
-              // For a joining table the entry index IS the site index.
-              size_t site = joining.IndexOf(hash);
-              // Rebalanced routing: an overridden bin's S tuples go to
-              // its destination set — each tuple to exactly one
-              // destination via this producer's round-robin cursor.
-              if (!is_inner && plan.active) {
-                if (const std::vector<int>* dests =
-                        plan.DestinationsFor(hash)) {
-                  uint32_t& cur = plan_rr[di][plan.BinOf(hash)];
-                  site = static_cast<size_t>((*dests)[cur++ % dests->size()]);
+              for (size_t i = 0; i < count; ++i) {
+                hashes[i] = HashJoinAttribute(keys[i], params.hash_seed);
+              }
+              joining.RouteIndices(hashes.data(), count, route.data());
+              size_t m = 0;
+              for (size_t i = 0; i < count; ++i) {
+                n.ChargeCpu(n.cost().cpu_read_tuple_seconds,
+                            sim::CostCategory::kReadTuple);
+                if (has_predicate) {
+                  n.ChargeCpu(n.cost().cpu_predicate_seconds,
+                              sim::CostCategory::kPredicate);
+                  if (!pred_ok[i]) continue;
                 }
-              }
-              // The assembled filter is applied by the producers of the
-              // outer relation: eliminated tuples are never transmitted,
-              // stored, sorted or merged.
-              if (!is_inner && filter != nullptr) {
-                n.ChargeCpu(n.cost().cpu_filter_op_seconds,
-                            sim::CostCategory::kFilterOp);
-                if (!filter->MayContain(static_cast<int>(site), hash)) {
-                  ++n.counters().filter_drops;
-                  continue;
+                const uint64_t hash = hashes[i];
+                n.ChargeCpu(n.cost().cpu_hash_route_seconds,
+                            sim::CostCategory::kHashRoute);
+                // For a joining table the entry index IS the site index.
+                size_t site = route[i];
+                // Rebalanced routing: an overridden bin's S tuples go
+                // to its destination set — each tuple to exactly one
+                // destination via this producer's round-robin cursor.
+                if (!is_inner && plan.active) {
+                  if (const std::vector<int>* dests =
+                          plan.DestinationsFor(hash)) {
+                    uint32_t& cur = plan_rr[di][plan.BinOf(hash)];
+                    site =
+                        static_cast<size_t>((*dests)[cur++ % dests->size()]);
+                  }
                 }
+                // The assembled filter is applied by the producers of
+                // the outer relation: eliminated tuples are never
+                // transmitted, stored, sorted or merged.
+                if (!is_inner && filter != nullptr) {
+                  n.ChargeCpu(n.cost().cpu_filter_op_seconds,
+                              sim::CostCategory::kFilterOp);
+                  if (!filter->MayContain(static_cast<int>(site), hash)) {
+                    ++n.counters().filter_drops;
+                    continue;
+                  }
+                }
+                exchange.Account(n.id(), disks[site], block.view(i).size);
+                send_idx[m] = static_cast<uint32_t>(i);
+                send_site[m] = static_cast<uint32_t>(site);
+                ++m;
               }
-              const uint32_t bytes = t.size();
-              exchange.Send(n.id(), disks[site],
-                            HashedTuple{std::move(t), hash}, bytes);
+              if (m == 0) continue;
+              std::fill(site_counts.begin(), site_counts.end(), 0);
+              for (size_t k = 0; k < m; ++k) ++site_counts[send_site[k]];
+              uint32_t at = 0;
+              for (size_t s = 0; s < d; ++s) {
+                site_starts[s] = at;
+                at += site_counts[s];
+              }
+              for (size_t k = 0; k < m; ++k) {
+                send_order[site_starts[send_site[k]]++] =
+                    static_cast<uint32_t>(k);
+              }
+              for (size_t s = 0; s < d; ++s) {
+                const uint32_t c = site_counts[s];
+                if (c == 0) continue;
+                const uint32_t start = site_starts[s] - c;
+                exchange.SendBatch(
+                    n.id(), disks[s], c, [&](size_t k, HashedTuple& out) {
+                      const uint32_t sk = send_order[start + k];
+                      const storage::TupleView v = block.view(send_idx[sk]);
+                      out.tuple.Assign(v.data, v.size);
+                      out.hash = hashes[send_idx[sk]];
+                    });
+              }
             }
             return scanner.status();
           });
@@ -208,16 +266,19 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
             storage::HeapFile* temp =
                 is_inner ? state[di].r_temp.get() : state[di].s_temp.get();
             Status st;
-            for (HashedTuple& m : exchange.TakeInbox(n.id())) {
-              if (is_inner && filter != nullptr) {
-                n.ChargeCpu(n.cost().cpu_filter_op_seconds,
-                            sim::CostCategory::kFilterOp);
-                filter->Set(static_cast<int>(di), m.hash);
-              }
-              if (is_inner && adaptive) site_hist[di].Add(m.hash);
-              const Status append = temp->Append(m.tuple);
-              if (st.ok()) st = append;
-            }
+            exchange.DrainInboxBlocks(
+                n.id(), [&](std::vector<HashedTuple>& lane) {
+                  for (HashedTuple& m : lane) {
+                    if (is_inner && filter != nullptr) {
+                      n.ChargeCpu(n.cost().cpu_filter_op_seconds,
+                                  sim::CostCategory::kFilterOp);
+                      filter->Set(static_cast<int>(di), m.hash);
+                    }
+                    if (is_inner && adaptive) site_hist[di].Add(m.hash);
+                    const Status append = temp->Append(m.tuple);
+                    if (st.ok()) st = append;
+                  }
+                });
             const Status flush = temp->FlushAppends();
             if (st.ok()) st = flush;
             return st;
@@ -456,10 +517,14 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
               if (disks[i] == n.id()) di = i;
             }
             Status st;
-            for (storage::Tuple& t : store_exchange.TakeInbox(n.id())) {
-              const Status append = params.result->fragment(di).Append(t);
-              if (st.ok()) st = append;
-            }
+            store_exchange.DrainInboxBlocks(
+                n.id(), [&](std::vector<storage::Tuple>& lane) {
+                  for (storage::Tuple& t : lane) {
+                    const Status append =
+                        params.result->fragment(di).Append(t);
+                    if (st.ok()) st = append;
+                  }
+                });
             const Status flush = params.result->fragment(di).FlushAppends();
             if (st.ok()) st = flush;
             return st;

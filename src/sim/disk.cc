@@ -81,6 +81,14 @@ Status Disk::ReadPage(PageId id, uint8_t* out, AccessPattern pattern) const {
   return Status::OK();
 }
 
+Status Disk::ReadPageRef(PageId id, const uint8_t** out,
+                         AccessPattern pattern) const {
+  GAMMA_DCHECK(id < pages_.size());
+  GAMMA_RETURN_NOT_OK(RunIoAttempts(pattern, /*is_write=*/false));
+  *out = pages_[id].get();
+  return Status::OK();
+}
+
 const uint8_t* Disk::PeekPage(PageId id) const {
   GAMMA_DCHECK(id < pages_.size());
   return pages_[id].get();

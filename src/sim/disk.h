@@ -60,6 +60,16 @@ class Disk {
   /// the retry budget.
   Status ReadPage(PageId id, uint8_t* out, AccessPattern pattern) const;
 
+  /// Charges one page read exactly like ReadPage but returns a direct
+  /// pointer to the page bytes instead of copying them out. Pages are
+  /// individually heap-allocated, so the pointer stays valid until the
+  /// page is freed AND re-allocated; callers must not hold it past a
+  /// FreePage of the file it belongs to. This is the zero-copy scan
+  /// path: the simulated cost is identical to ReadPage, only the host
+  /// memcpy is skipped.
+  Status ReadPageRef(PageId id, const uint8_t** out,
+                     AccessPattern pattern) const;
+
   /// Direct, read-only view of page bytes WITHOUT charging I/O. Used by
   /// tests and by code paths that re-examine a page already charged.
   const uint8_t* PeekPage(PageId id) const;

@@ -44,6 +44,30 @@ class Exchange {
     Lane(src, dst).push_back(std::move(item));
   }
 
+  /// Network accounting for one item WITHOUT appending it. The
+  /// block-granular send path accounts per tuple at routing time (the
+  /// network matrix is integer counts, summed per (src, dst) pair at
+  /// the phase flush, so accounting order never affects metrics) and
+  /// appends the items per block via SendBatch afterwards.
+  void Account(int src, int dst, uint32_t bytes) {
+    machine_->network().AccountTuple(src, dst, bytes);
+  }
+
+  /// Block-granular append: grows lane (src, dst) by `count` items and
+  /// invokes `fill(k, item)` to construct each in place — one copy from
+  /// the source block into the lane, no per-item Send call. Network
+  /// bytes must already have been accounted per item via Account().
+  /// Items land in fill order, so a routing pass that scatters one scan
+  /// block into per-destination index runs (in scan order) reproduces
+  /// the per-lane item order of per-tuple Send() exactly.
+  template <typename Fill>
+  void SendBatch(int src, int dst, size_t count, Fill&& fill) {
+    std::vector<T>& lane = Lane(src, dst);
+    const size_t base = lane.size();
+    lane.resize(base + count);
+    for (size_t k = 0; k < count; ++k) fill(k, lane[base + k]);
+  }
+
   /// Capacity hint: the sender expects to Send ~`expected` more items
   /// from `src` to `dst`. Same ownership rule as Send.
   void Reserve(int src, int dst, size_t expected) {
@@ -53,11 +77,18 @@ class Exchange {
 
   /// Row-wise hint: `expected_total` items from `src`, spread evenly
   /// over all destinations (the common case for a hash split).
+  /// Ceil-divide: `total / n + 1` would over-reserve by up to n items
+  /// per row (one per lane) for an exact multiple.
   void ReserveRow(int src, size_t expected_total) {
-    const size_t per_lane = expected_total / num_nodes_ + 1;
+    const size_t per_lane = (expected_total + num_nodes_ - 1) / num_nodes_;
     for (size_t dst = 0; dst < num_nodes_; ++dst) {
       Reserve(src, static_cast<int>(dst), per_lane);
     }
+  }
+
+  /// Reserved capacity of one lane (capacity-accounting tests).
+  size_t LaneCapacity(int src, int dst) const {
+    return const_cast<Exchange*>(this)->Lane(src, dst).capacity();
   }
 
   /// Removes and returns everything delivered to `node`, in ascending
@@ -84,6 +115,22 @@ class Exchange {
       lane.clear();
     }
     return out;
+  }
+
+  /// Drains the lanes for `node` in ascending-src order WITHOUT
+  /// consolidating them into one vector: invokes `fn(lane)` for each
+  /// non-empty lane (one block), then clears it retaining capacity.
+  /// Concatenating the blocks reproduces TakeInbox()'s item order
+  /// exactly; skipping the consolidation saves one move per item for
+  /// every lane after the first. `fn` may move items out of the lane.
+  template <typename Fn>
+  void DrainInboxBlocks(int node, Fn&& fn) {
+    for (size_t src = 0; src < num_nodes_; ++src) {
+      std::vector<T>& lane = Lane(static_cast<int>(src), node);
+      if (lane.empty()) continue;
+      fn(lane);
+      lane.clear();
+    }
   }
 
   /// True if every lane is empty (invariant checks). Must not be called

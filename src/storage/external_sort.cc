@@ -156,9 +156,25 @@ Status ExternalSort::Add(const Tuple& tuple) {
 }
 
 Status ExternalSort::AddFile(const HeapFile& file) {
+  // Block-granular ingest: the per-tuple read CPU the scalar scan
+  // charged is charged here per view (same order, including around
+  // mid-block spills), and each tuple is copied ONCE — page image
+  // straight into the sort buffer, with no intermediate Tuple.
   auto scanner = file.Scan();
-  Tuple t;
-  while (scanner.Next(&t)) GAMMA_RETURN_NOT_OK(Add(t));
+  TupleBlock block;
+  while (scanner.NextBlock(&block)) {
+    for (size_t i = 0; i < block.size(); ++i) {
+      node_->ChargeCpu(node_->cost().cpu_read_tuple_seconds,
+                       sim::CostCategory::kReadTuple);
+      GAMMA_CHECK(!finished_);
+      const TupleView v = block.view(i);
+      buffer_.emplace_back(v.data, v.size);
+      ++tuple_count_;
+      if (buffer_.size() >= buffer_capacity_tuples_) {
+        GAMMA_RETURN_NOT_OK(SpillRun());
+      }
+    }
+  }
   return scanner.status();
 }
 

@@ -32,6 +32,10 @@ Status HeapFile::WritePendingPage() {
 
 Status HeapFile::Append(const Tuple& tuple) {
   GAMMA_DCHECK(tuple.size() == schema_->tuple_bytes());
+  return AppendRecord(tuple.data());
+}
+
+Status HeapFile::AppendRecord(const uint8_t* record) {
   if (writer_ == nullptr) {
     writer_ = std::make_unique<PageWriter>(node_->cost().page_bytes,
                                            schema_->tuple_bytes());
@@ -42,7 +46,7 @@ Status HeapFile::Append(const Tuple& tuple) {
   }
   node_->ChargeCpu(node_->cost().cpu_write_tuple_seconds,
                    sim::CostCategory::kWriteTuple);
-  writer_->Append(tuple.data());
+  writer_->Append(record);
   ++tuple_count_;
   if (writer_->Full()) {
     GAMMA_RETURN_NOT_OK(WritePendingPage());
@@ -66,8 +70,7 @@ void HeapFile::Free() {
   fetch_buf_page_ = SIZE_MAX;
 }
 
-HeapFile::Scanner::Scanner(const HeapFile* file)
-    : file_(file), page_buf_(file->node_->cost().page_bytes) {
+HeapFile::Scanner::Scanner(const HeapFile* file) : file_(file) {
   GAMMA_CHECK(file_->writer_ == nullptr || file_->writer_->count() == 0)
       << "scan of heap file '" << file_->name_ << "' with unflushed appends";
 }
@@ -75,13 +78,13 @@ HeapFile::Scanner::Scanner(const HeapFile* file)
 bool HeapFile::Scanner::LoadNextPage() {
   if (!status_.ok()) return false;
   if (next_page_ >= file_->pages_.size()) return false;
-  status_ = file_->node_->disk().ReadPage(
-      file_->pages_[next_page_], page_buf_.data(),
+  status_ = file_->node_->disk().ReadPageRef(
+      file_->pages_[next_page_], &page_data_,
       sim::AccessPattern::kSequential);
   if (!status_.ok()) return false;
   ++next_page_;
   ++pages_read_;
-  PageReader reader(page_buf_.data(), file_->schema_->tuple_bytes());
+  PageReader reader(page_data_, file_->schema_->tuple_bytes());
   page_tuples_ = reader.count();
   next_slot_ = 0;
   return true;
@@ -91,12 +94,26 @@ bool HeapFile::Scanner::Next(Tuple* out) {
   while (next_slot_ >= page_tuples_) {
     if (!LoadNextPage()) return false;
   }
-  PageReader reader(page_buf_.data(), file_->schema_->tuple_bytes());
+  PageReader reader(page_data_, file_->schema_->tuple_bytes());
   const uint8_t* rec = reader.Record(next_slot_);
   ++next_slot_;
   file_->node_->ChargeCpu(file_->node_->cost().cpu_read_tuple_seconds,
                           sim::CostCategory::kReadTuple);
   *out = Tuple(rec, file_->schema_->tuple_bytes());
+  return true;
+}
+
+bool HeapFile::Scanner::NextBlock(TupleBlock* block) {
+  block->clear();
+  while (next_slot_ >= page_tuples_) {
+    if (!LoadNextPage()) return false;
+  }
+  const uint32_t record_bytes = file_->schema_->tuple_bytes();
+  PageReader reader(page_data_, record_bytes);
+  while (next_slot_ < page_tuples_ && !block->full()) {
+    block->push_back(TupleView{reader.Record(next_slot_), record_bytes});
+    ++next_slot_;
+  }
   return true;
 }
 

@@ -19,6 +19,7 @@
 #include "storage/page.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
+#include "storage/tuple_block.h"
 
 namespace gammadb::storage {
 
@@ -42,6 +43,12 @@ class HeapFile {
   /// page write exhausts the disk's retry budget; the page's tuples stay
   /// buffered in the writer, so a later Append or FlushAppends retries.
   Status Append(const Tuple& tuple);
+
+  /// Same as Append but takes the serialized record bytes directly
+  /// (exactly schema().tuple_bytes() of them) — the zero-copy exchange
+  /// drains page views into bucket/overflow files without materializing
+  /// an intermediate Tuple. Charges identically to Append.
+  Status AppendRecord(const uint8_t* record);
 
   /// Flushes a trailing partial page, if any. Idempotent. Must be called
   /// before scanning.
@@ -69,6 +76,22 @@ class HeapFile {
     /// I/O error — check status() to tell the two apart.
     bool Next(Tuple* out);
 
+    /// Fills `block` with views of the remaining tuples of the current
+    /// page (loading the next page first when it is exhausted), at most
+    /// TupleBlock::kCapacity. Charges page I/O only — the per-tuple
+    /// read CPU that Next() charges is charged by the CONSUMER as it
+    /// processes each view, which keeps the per-tuple charge order
+    /// (read, predicate, route, ...) of the scalar path intact.
+    ///
+    /// Views point DIRECTLY at the simulated disk's page bytes (the
+    /// scanner never copies a page), so they stay valid until the
+    /// file's pages are freed — not merely until the next NextBlock()
+    /// call. The zero-copy exchange relies on this: routed views are
+    /// drained by consumers a full phase round after the scan produced
+    /// them. Returns false at end of file OR on an I/O error — check
+    /// status().
+    bool NextBlock(TupleBlock* block);
+
     /// OK while the scan is healthy; the page-read failure that stopped
     /// the scan otherwise.
     const Status& status() const { return status_; }
@@ -80,7 +103,7 @@ class HeapFile {
     bool LoadNextPage();
 
     const HeapFile* file_;
-    std::vector<uint8_t> page_buf_;
+    const uint8_t* page_data_ = nullptr;  // current page, disk-resident
     Status status_;
     size_t next_page_ = 0;
     uint16_t page_tuples_ = 0;

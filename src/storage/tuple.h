@@ -33,6 +33,16 @@ class Tuple {
     std::memcpy(Allocate(), bytes, size_);
   }
 
+  /// Replaces the contents with a copy of `bytes`. The block-granular
+  /// exchange path uses this to materialize a scanned tuple directly
+  /// inside its lane slot — one copy from the page image, with no
+  /// intermediate Tuple object or move.
+  void Assign(const uint8_t* bytes, size_t n) {
+    Release();
+    size_ = static_cast<uint32_t>(n);
+    std::memcpy(Allocate(), bytes, size_);
+  }
+
   Tuple(const Tuple& other) : size_(other.size_) {
     std::memcpy(Allocate(), other.data(), size_);
   }
@@ -95,11 +105,18 @@ class Tuple {
 
   /// Byte-wise concatenation (join result composition).
   static Tuple Concat(const Tuple& a, const Tuple& b) {
+    return Concat(a, b.data(), b.size());
+  }
+
+  /// Concatenation with a raw serialized record on the right — the
+  /// zero-copy probe path composes results directly from the page view
+  /// without materializing the probe tuple first.
+  static Tuple Concat(const Tuple& a, const uint8_t* b, uint32_t b_size) {
     Tuple out;
-    out.size_ = a.size_ + b.size_;
+    out.size_ = a.size_ + b_size;
     uint8_t* p = out.Allocate();
     std::memcpy(p, a.data(), a.size_);
-    std::memcpy(p + a.size_, b.data(), b.size_);
+    std::memcpy(p + a.size_, b, b_size);
     return out;
   }
 

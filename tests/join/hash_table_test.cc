@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/hash.h"
 #include "sim/machine.h"
 
@@ -130,6 +134,60 @@ TEST_F(JoinHashTableTest, ProbeChargesCpu) {
   EXPECT_GT(machine_.node(0).phase_usage().cpu_seconds, cpu_before);
   EXPECT_EQ(machine_.node(0).counters().ht_probes, 1);
   EXPECT_EQ(machine_.node(0).counters().ht_inserts, 1);
+}
+
+// Matches for a key are emitted newest-insertion-first (LIFO), the
+// order the original chained layout produced by probing head-first.
+TEST_F(JoinHashTableTest, ProbeEmitsMatchesNewestFirst) {
+  JoinHashTable table(&machine_.node(0), &schema_, 0, 32 * 100);
+  for (int i = 0; i < 4; ++i) {
+    storage::Tuple t = MakeTuple(9);
+    t.SetChars(schema_, 1, std::string(1, static_cast<char>('a' + i)));
+    ASSERT_TRUE(table.Insert(std::move(t), Hash(9)));
+  }
+  std::string order;
+  table.Probe(9, Hash(9), [&](const storage::Tuple& t) {
+    order += t.GetChars(schema_, 1)[0];
+  });
+  EXPECT_EQ(order, "dcba");
+}
+
+// ProbeBatch must be observationally identical to a scalar Probe loop:
+// same matches in the same order, same CPU charges, same counters.
+TEST_F(JoinHashTableTest, ProbeBatchMatchesScalarProbeExactly) {
+  sim::Machine scalar_machine(sim::MachineConfig{1, 0, sim::CostModel{}, 1});
+  scalar_machine.BeginPhase("test");
+  JoinHashTable batched(&machine_.node(0), &schema_, 0, 32 * 1000);
+  JoinHashTable scalar(&scalar_machine.node(0), &schema_, 0, 32 * 1000);
+  // Duplicate keys (k % 17) force multi-match probes and collisions.
+  for (int32_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(batched.Insert(MakeTuple(k % 17), Hash(k % 17)));
+    ASSERT_TRUE(scalar.Insert(MakeTuple(k % 17), Hash(k % 17)));
+  }
+  constexpr size_t kProbes = JoinHashTable::kProbeBatchMax;
+  int32_t keys[kProbes];
+  uint64_t hashes[kProbes];
+  for (size_t i = 0; i < kProbes; ++i) {
+    keys[i] = static_cast<int32_t>(i % 23);  // some keys miss (17..22)
+    hashes[i] = Hash(keys[i]);
+  }
+  std::vector<std::pair<size_t, int32_t>> batched_matches;
+  batched.ProbeBatch(keys, hashes, kProbes,
+                     [&](size_t i, const storage::Tuple& t) {
+                       batched_matches.emplace_back(i, t.GetInt32(schema_, 0));
+                     });
+  std::vector<std::pair<size_t, int32_t>> scalar_matches;
+  for (size_t i = 0; i < kProbes; ++i) {
+    scalar.Probe(keys[i], hashes[i], [&](const storage::Tuple& t) {
+      scalar_matches.emplace_back(i, t.GetInt32(schema_, 0));
+    });
+  }
+  EXPECT_EQ(batched_matches, scalar_matches);
+  EXPECT_DOUBLE_EQ(machine_.node(0).phase_usage().cpu_seconds,
+                   scalar_machine.node(0).phase_usage().cpu_seconds);
+  EXPECT_EQ(machine_.node(0).counters().ht_probes,
+            scalar_machine.node(0).counters().ht_probes);
+  scalar_machine.EndPhase();
 }
 
 TEST_F(JoinHashTableTest, ForEachResidentHashVisitsAll) {

@@ -72,6 +72,121 @@ TEST(ExchangeTest, ReserveDoesNotAffectDelivery) {
   machine.EndPhase();
 }
 
+TEST(ExchangeTest, TakeInboxAllLanesEmptyReturnsEmpty) {
+  Machine machine(MachineConfig{3, 0, CostModel{}, 1});
+  Exchange<int> exchange(&machine);
+  machine.BeginPhase("p");
+  EXPECT_TRUE(exchange.TakeInbox(0).empty());
+  EXPECT_TRUE(exchange.TakeInbox(2).empty());
+  EXPECT_TRUE(exchange.AllEmpty());
+  machine.EndPhase();
+}
+
+// With exactly one non-empty lane the inbox is the lane's buffer moved
+// wholesale — its contents intact, nothing from the empty lanes.
+TEST(ExchangeTest, TakeInboxSingleNonEmptyLaneMovesWholesale) {
+  Machine machine(MachineConfig{4, 0, CostModel{}, 1});
+  Exchange<std::string> exchange(&machine);
+  machine.BeginPhase("p");
+  exchange.Send(2, 1, "x", 1);
+  exchange.Send(2, 1, "y", 1);
+  const auto inbox = exchange.TakeInbox(1);
+  ASSERT_EQ(inbox.size(), 2u);
+  EXPECT_EQ(inbox[0], "x");
+  EXPECT_EQ(inbox[1], "y");
+  EXPECT_TRUE(exchange.AllEmpty());
+  machine.EndPhase();
+}
+
+// Lanes drained by DrainInboxBlocks keep their buffers: a later round
+// sending the same volume does not re-grow them from zero.
+TEST(ExchangeTest, DrainedLanesRetainCapacityAcrossRounds) {
+  Machine machine(MachineConfig{2, 0, CostModel{}, 1});
+  Exchange<int> exchange(&machine);
+  machine.BeginPhase("p");
+  for (int i = 0; i < 100; ++i) exchange.Send(0, 1, i, 4);
+  const size_t grown = exchange.LaneCapacity(0, 1);
+  EXPECT_GE(grown, 100u);
+  exchange.DrainInboxBlocks(1, [](std::vector<int>&) {});
+  EXPECT_EQ(exchange.LaneCapacity(0, 1), grown);
+  for (int i = 0; i < 100; ++i) exchange.Send(0, 1, i, 4);
+  EXPECT_EQ(exchange.LaneCapacity(0, 1), grown);
+  machine.EndPhase();
+}
+
+// Concatenating DrainInboxBlocks' lane blocks reproduces TakeInbox's
+// item order exactly (ascending source, send order within a source) —
+// the equivalence the block-granular consumers in the join engines
+// rely on.
+TEST(ExchangeTest, DrainInboxBlocksMatchesTakeInboxOrder) {
+  Machine take_machine(MachineConfig{3, 0, CostModel{}, 1});
+  Machine drain_machine(MachineConfig{3, 0, CostModel{}, 1});
+  Exchange<std::string> take(&take_machine);
+  Exchange<std::string> drain(&drain_machine);
+  take_machine.BeginPhase("p");
+  drain_machine.BeginPhase("p");
+  const auto send_pattern = [](Exchange<std::string>& e) {
+    e.Send(2, 0, "c1", 2);
+    e.Send(0, 0, "a1", 2);
+    e.Send(2, 0, "c2", 2);
+    e.Send(1, 0, "b1", 2);
+    e.Send(0, 0, "a2", 2);
+  };
+  send_pattern(take);
+  send_pattern(drain);
+  const std::vector<std::string> consolidated = take.TakeInbox(0);
+  std::vector<std::string> concatenated;
+  size_t blocks = 0;
+  drain.DrainInboxBlocks(0, [&](std::vector<std::string>& lane) {
+    ++blocks;
+    concatenated.insert(concatenated.end(), lane.begin(), lane.end());
+  });
+  EXPECT_EQ(blocks, 3u);  // one per non-empty source lane
+  EXPECT_EQ(concatenated, consolidated);
+  EXPECT_TRUE(drain.AllEmpty());
+  take_machine.EndPhase();
+  drain_machine.EndPhase();
+}
+
+// ReserveRow spreads an expected row total over the lanes with a ceil
+// divide: an exact multiple reserves exactly total/n per lane, not
+// total/n + 1 (which over-reserved one item per lane, n per row).
+TEST(ExchangeTest, ReserveRowUsesCeilDividePerLane) {
+  Machine machine(MachineConfig{4, 0, CostModel{}, 1});
+  Exchange<int> exchange(&machine);
+  machine.BeginPhase("p");
+  exchange.ReserveRow(0, 400);  // exact multiple: 100 per lane
+  for (int dst = 0; dst < 4; ++dst) {
+    EXPECT_EQ(exchange.LaneCapacity(0, dst), 100u);
+  }
+  exchange.ReserveRow(1, 401);  // remainder: ceil(401/4) = 101
+  for (int dst = 0; dst < 4; ++dst) {
+    EXPECT_EQ(exchange.LaneCapacity(1, dst), 101u);
+  }
+  machine.EndPhase();
+}
+
+// SendBatch must append in fill order after already-sent items, with
+// the per-item network accounting supplied via Account.
+TEST(ExchangeTest, SendBatchAppendsInFillOrderAfterSends) {
+  Machine machine(MachineConfig{2, 0, CostModel{}, 1});
+  Exchange<int> exchange(&machine);
+  machine.BeginPhase("p");
+  exchange.Send(0, 1, 1, 4);
+  exchange.Account(0, 1, 4);
+  exchange.Account(0, 1, 4);
+  exchange.SendBatch(0, 1, 2, [](size_t k, int& out) {
+    out = 2 + static_cast<int>(k);
+  });
+  const auto inbox = exchange.TakeInbox(1);
+  ASSERT_EQ(inbox.size(), 3u);
+  EXPECT_EQ(inbox[0], 1);
+  EXPECT_EQ(inbox[1], 2);
+  EXPECT_EQ(inbox[2], 3);
+  machine.EndPhase();
+  EXPECT_EQ(machine.Metrics().counters.tuples_sent_remote, 3);
+}
+
 TEST(ExchangeTest, ConcurrentSendersAllDeliver) {
   Machine machine(MachineConfig{8, 0, CostModel{}, 4});
   Exchange<int> exchange(&machine);

@@ -2,6 +2,7 @@
 //
 //   bench_diff [--tolerance <rel>] [--lenient-counters]
 //              <baseline.json> <candidate.json>
+//   bench_diff --wallclock-summary <before.json> <after.json>
 //
 // Compares every metric of the baseline against the candidate (schema:
 // docs/benchmarking.md). Exit status: 0 when the candidate passes, 1 on
@@ -11,6 +12,11 @@
 // within the relative tolerance; all other numeric metrics are
 // deterministic simulator counters and must match exactly unless
 // --lenient-counters is given.
+//
+// --wallclock-summary instead prints a side-by-side table of every host
+// wall-clock leaf ("real_seconds" / "wall_seconds") in the two
+// documents with the before/after speedup. Informational only: always
+// exits 0 unless the files fail to parse (docs/performance.md).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,7 +32,7 @@ namespace {
 [[noreturn]] void Usage(const char* argv0, const char* error) {
   std::fprintf(stderr,
                "%s\nusage: %s [--tolerance <rel>] [--lenient-counters] "
-               "<baseline.json> <candidate.json>\n",
+               "[--wallclock-summary] <baseline.json> <candidate.json>\n",
                error, argv0);
   std::exit(2);
 }
@@ -46,6 +52,7 @@ double ParseTolerance(const char* argv0, const char* text) {
 
 int main(int argc, char** argv) {
   gammadb::tools::DiffOptions options;
+  bool wallclock_summary = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -56,6 +63,8 @@ int main(int argc, char** argv) {
       options.seconds_tolerance = ParseTolerance(argv[0], arg + 12);
     } else if (std::strcmp(arg, "--lenient-counters") == 0) {
       options.strict_counters = false;
+    } else if (std::strcmp(arg, "--wallclock-summary") == 0) {
+      wallclock_summary = true;
     } else if (arg[0] == '-') {
       Usage(argv[0], "unknown flag");
     } else {
@@ -76,6 +85,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "candidate: %s\n",
                  candidate.status().ToString().c_str());
     return 2;
+  }
+
+  if (wallclock_summary) {
+    std::fputs(
+        gammadb::tools::WallclockSummary(*baseline, *candidate).c_str(),
+        stdout);
+    return 0;
   }
 
   const gammadb::tools::DiffReport report =
