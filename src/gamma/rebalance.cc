@@ -85,8 +85,12 @@ RebalancePlan ComputeRebalancePlan(
       *std::max_element(static_load.begin(), static_load.end());
   if (LoadImbalance(static_load) < options.imbalance_threshold) return plan;
 
-  // Heavy-bin residents migrate away from their static homes no matter
-  // where they land, so remove their static contribution up front.
+  // Heavy-bin residents are assumed to migrate away for the LOAD model
+  // (restored below if a bin finds no home). Capacity bookkeeping in
+  // resident_bytes is stricter: a bin's source bytes leave only when the
+  // bin is actually placed, because an unplaced heavy bin stays resident
+  // at its static home — freeing its bytes up front once let migrated
+  // bins fill the space and the returning static bin overflow the table.
   std::vector<double> planned = static_load;
   std::vector<uint64_t> resident_bytes(num_processes, 0);
   for (size_t p = 0; p < num_processes; ++p) {
@@ -99,7 +103,6 @@ RebalancePlan ComputeRebalancePlan(
       planned[p] -=
           BinLoad(static_cast<double>(process_bin_counts[p][b]), uniform_pb,
                   options.heavy_bin_factor);
-      resident_bytes[p] -= process_bin_counts[p][b] * bytes_per_tuple;
     }
   }
 
@@ -140,7 +143,10 @@ RebalancePlan ComputeRebalancePlan(
 
     // Every replica holds the whole bin, so feasibility is exact byte
     // math: fixed-width tuples make count * bytes_per_tuple the true
-    // resident growth.
+    // resident growth. A candidate's own copy of THIS bin is extracted
+    // at migration time, so it is credited back in the check; copies of
+    // other still-unplaced heavy bins stay counted (conservative: they
+    // only leave if those bins are placed later).
     const uint64_t bin_bytes = global[b] * bytes_per_tuple;
     std::vector<int> dests;
     std::vector<bool> taken(num_processes, false);
@@ -148,7 +154,9 @@ RebalancePlan ComputeRebalancePlan(
       int best = -1;
       for (size_t p = 0; p < num_processes; ++p) {
         if (taken[p]) continue;
-        if (resident_bytes[p] + bin_bytes > capacity_bytes_per_process) {
+        const uint64_t own_bin_bytes = process_bin_counts[p][b] * bytes_per_tuple;
+        if (resident_bytes[p] - own_bin_bytes + bin_bytes >
+            capacity_bytes_per_process) {
           continue;
         }
         if (best < 0 || planned[p] < planned[static_cast<size_t>(best)]) {
@@ -160,19 +168,22 @@ RebalancePlan ComputeRebalancePlan(
       dests.push_back(best);
     }
     if (dests.empty()) {
-      // Nobody can absorb the bin: put its static contribution back and
-      // leave it on the static route.
+      // Nobody can absorb the bin: put its modeled load back and leave
+      // it on the static route (its bytes never left resident_bytes).
       for (size_t p = 0; p < num_processes; ++p) {
         planned[p] +=
             BinLoad(static_cast<double>(process_bin_counts[p][b]), uniform_pb,
                     options.heavy_bin_factor);
-        resident_bytes[p] += process_bin_counts[p][b] * bytes_per_tuple;
       }
       continue;
     }
     const double share =
         static_cast<double>(global[b]) +
         quadratic / static_cast<double>(dests.size());
+    // The bin's residents leave every static home now that it is placed.
+    for (size_t p = 0; p < num_processes; ++p) {
+      resident_bytes[p] -= process_bin_counts[p][b] * bytes_per_tuple;
+    }
     for (int p : dests) {
       planned[static_cast<size_t>(p)] += share;
       resident_bytes[static_cast<size_t>(p)] += bin_bytes;

@@ -1,0 +1,77 @@
+#include "join/digest.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace gammadb::join {
+
+namespace {
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// SplitMix64 finalizer — local copy so the digest stays independent of
+/// common/hash.h (the code under test).
+uint64_t Avalanche(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+std::string ResultDigest::ToString() const {
+  return StrFormat("n=%llu sum=%016llx xor=%016llx",
+                   static_cast<unsigned long long>(tuples),
+                   static_cast<unsigned long long>(sum),
+                   static_cast<unsigned long long>(xor_mix));
+}
+
+uint64_t HashResultPayload(const uint8_t* data, uint32_t size) {
+  uint64_t h = kFnvOffset;
+  for (uint32_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+uint64_t MixResultTriple(int32_t key, uint64_t inner_hash,
+                         uint64_t outer_hash) {
+  // Each component passes through the avalanche with a distinct additive
+  // constant so (key, a, b) and (key, b, a) mix differently.
+  uint64_t h = Avalanche(static_cast<uint64_t>(static_cast<uint32_t>(key)) +
+                         0x0123456789abcdefULL);
+  h = Avalanche(h ^ (inner_hash + 0x9e3779b97f4a7c15ULL));
+  h = Avalanche(h ^ (outer_hash + 0x3c6ef372fe94f82aULL));
+  return h;
+}
+
+void DigestAccumulator::AddPair(int32_t key, const uint8_t* inner,
+                                uint32_t inner_size, const uint8_t* outer,
+                                uint32_t outer_size) {
+  const uint64_t mix = MixResultTriple(key, HashResultPayload(inner, inner_size),
+                                       HashResultPayload(outer, outer_size));
+  ++digest_.tuples;
+  digest_.sum += mix;
+  digest_.xor_mix ^= mix;
+}
+
+void DigestAccumulator::AddConcatRecord(const storage::Schema& inner_schema,
+                                        int inner_field, const uint8_t* record,
+                                        uint32_t record_size) {
+  const uint32_t inner_bytes = inner_schema.tuple_bytes();
+  GAMMA_DCHECK(record_size >= inner_bytes);
+  AddPair(inner_schema.GetInt32(record, static_cast<size_t>(inner_field)),
+          record, inner_bytes, record + inner_bytes,
+          record_size - inner_bytes);
+}
+
+void DigestAccumulator::Merge(const ResultDigest& other) {
+  digest_.tuples += other.tuples;
+  digest_.sum += other.sum;
+  digest_.xor_mix ^= other.xor_mix;
+}
+
+}  // namespace gammadb::join

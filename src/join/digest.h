@@ -1,0 +1,77 @@
+// Order-insensitive multiset digest of a join result — the correctness
+// contract shared by the four parallel join engines and the independent
+// nested-loop oracle (src/testing/oracle.h, docs/testing.md).
+//
+// Each result pair contributes one canonical triple
+//   (join key, hash of the serialized inner tuple, hash of the
+//    serialized outer tuple)
+// mixed into a single 64-bit value; the digest combines the per-pair
+// mixes with commutative operators (count, sum, xor), so it is a pure
+// function of the result MULTISET — independent of arrival order,
+// bucket schedule, thread count, overflow recursion or rebalancing.
+// Two runs produced the same set of (inner, outer) pairs, each the same
+// number of times, iff their digests are equal (up to 64-bit collision
+// odds, which is what a correctness oracle can afford).
+//
+// The payload hash is a plain FNV-1a over the serialized tuple bytes
+// with a fixed seed: deliberately NOT HashJoinAttribute, so the digest
+// shares nothing with the hash functions whose implementations it is
+// checking.
+#ifndef GAMMA_JOIN_DIGEST_H_
+#define GAMMA_JOIN_DIGEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/schema.h"
+
+namespace gammadb::join {
+
+struct ResultDigest {
+  uint64_t tuples = 0;   // result-pair count
+  uint64_t sum = 0;      // wrapping sum of the per-pair mixes
+  uint64_t xor_mix = 0;  // xor of the per-pair mixes
+
+  bool operator==(const ResultDigest&) const = default;
+
+  /// "n=<tuples> sum=<hex> xor=<hex>" — the form tests print on
+  /// mismatch and docs/testing.md documents.
+  std::string ToString() const;
+};
+
+/// FNV-1a over the serialized tuple bytes (fixed offset basis; no
+/// dependence on any join seed).
+uint64_t HashResultPayload(const uint8_t* data, uint32_t size);
+
+/// Full-avalanche mix of one canonical result triple.
+uint64_t MixResultTriple(int32_t key, uint64_t inner_hash,
+                         uint64_t outer_hash);
+
+/// Streaming accumulator. Not thread-safe: the engines keep one per
+/// disk node (each result fragment is appended by exactly one executor
+/// task) and merge at the end; adding is pure arithmetic — it charges
+/// no simulated cost and touches no metric.
+class DigestAccumulator {
+ public:
+  void AddPair(int32_t key, const uint8_t* inner, uint32_t inner_size,
+               const uint8_t* outer, uint32_t outer_size);
+
+  /// Adds one stored result record (the engines' Concat(inner, outer)
+  /// layout): the first inner_schema.tuple_bytes() bytes are the inner
+  /// tuple, the rest the outer tuple, and the key is read from the
+  /// inner half.
+  void AddConcatRecord(const storage::Schema& inner_schema, int inner_field,
+                       const uint8_t* record, uint32_t record_size);
+
+  void Merge(const ResultDigest& other);
+
+  void Reset() { digest_ = ResultDigest{}; }
+  const ResultDigest& digest() const { return digest_; }
+
+ private:
+  ResultDigest digest_;
+};
+
+}  // namespace gammadb::join
+
+#endif  // GAMMA_JOIN_DIGEST_H_

@@ -207,6 +207,16 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
   machine.ResetMetrics();
   JoinStats stats;
 
+  // Result capture (docs/testing.md): one accumulator per disk node —
+  // each result fragment is appended by exactly one executor task, so
+  // no accumulator is shared. Pure observation; no simulated charge.
+  std::vector<DigestAccumulator> capture;
+  std::vector<DigestAccumulator>* capture_ptr = nullptr;
+  if (spec.capture_results) {
+    capture.resize(machine.DiskNodeIds().size());
+    capture_ptr = &capture;
+  }
+
   // One attempt of the chosen algorithm, writing through `result` and
   // `stats`. Restartable: every attempt builds fresh engine state.
   const auto run_attempt = [&]() -> Status {
@@ -223,6 +233,7 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
                              result};
       params.rebalance = spec.rebalance;
       params.rebalance.enabled = spec.adaptive_repartition;
+      params.capture = capture_ptr;
       return RunSortMergeJoin(machine, params, &stats);
     }
     HashJoinEngine::Config config;
@@ -239,6 +250,7 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
     config.rebalance.enabled = spec.adaptive_repartition;
     config.result = result;
     config.stats = &stats;
+    config.capture = capture_ptr;
     HashJoinEngine engine(&machine, config);
 
     Status run_status;
@@ -286,6 +298,9 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
   for (int attempt = 0;; ++attempt) {
     const double attempt_start = machine.response_seconds();
     stats = JoinStats{};
+    // An aborted attempt's partial result is discarded below, so its
+    // partial digest must go with it.
+    for (DigestAccumulator& acc : capture) acc.Reset();
     run_status = run_attempt();
     if (run_status.ok()) break;
     const bool recoverable =
@@ -313,6 +328,11 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
   out.stats.rebalance_replica_tuples =
       out.metrics.counters.rebalance_replica_tuples;
   out.result_relation = result_name;
+  if (spec.capture_results) {
+    DigestAccumulator all;
+    for (const DigestAccumulator& acc : capture) all.Merge(acc.digest());
+    out.result_digest = all.digest();
+  }
 
   if (machine.tracer() != nullptr) {
     // One query-level span over everything the join charged, on the

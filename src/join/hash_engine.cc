@@ -416,9 +416,14 @@ Status HashJoinEngine::DrainDiskSide(sim::Node& n, BucketFileSet* buckets) {
       });
   store_exchange_.DrainInboxBlocks(n.id(), [&](std::vector<storage::Tuple>&
                                                    lane) {
+    const size_t di = DiskIndexOf(n.id());
     for (storage::Tuple& t : lane) {
-      const Status append =
-          config_.result->fragment(DiskIndexOf(n.id())).Append(t);
+      if (config_.capture != nullptr) {
+        (*config_.capture)[di].AddConcatRecord(*config_.inner_schema,
+                                               config_.inner_field, t.data(),
+                                               t.size());
+      }
+      const Status append = config_.result->fragment(di).Append(t);
       if (st_out.ok()) st_out = append;
     }
   });

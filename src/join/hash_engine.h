@@ -123,6 +123,12 @@ class HashJoinEngine {
     db::RebalanceOptions rebalance;
     db::StoredRelation* result;  // fragments parallel to disk_nodes
     JoinStats* stats;
+    /// Result capture (docs/testing.md): when non-null (parallel to
+    /// disk_nodes), every result record appended to fragment i is also
+    /// streamed into (*capture)[i] — one accumulator per disk node, so
+    /// the concurrent store tasks never share one. Adds no simulated
+    /// charge anywhere.
+    std::vector<DigestAccumulator>* capture = nullptr;
   };
 
   HashJoinEngine(sim::Machine* machine, Config config);

@@ -520,6 +520,10 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
             store_exchange.DrainInboxBlocks(
                 n.id(), [&](std::vector<storage::Tuple>& lane) {
                   for (storage::Tuple& t : lane) {
+                    if (params.capture != nullptr) {
+                      (*params.capture)[di].AddConcatRecord(
+                          r_schema, params.inner_field, t.data(), t.size());
+                    }
                     const Status append =
                         params.result->fragment(di).Append(t);
                     if (st.ok()) st = append;

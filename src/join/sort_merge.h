@@ -32,6 +32,10 @@ struct SortMergeParams {
   /// plan may redistribute R' (replicating heavy bins) before it is
   /// sorted; S then routes overridden bins to the new homes.
   db::RebalanceOptions rebalance{};
+  /// Result capture (docs/testing.md): when non-null (parallel to the
+  /// disk nodes), every result record appended to fragment i is also
+  /// streamed into (*capture)[i]. Charges no simulated cost.
+  std::vector<DigestAccumulator>* capture = nullptr;
 };
 
 Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,

@@ -12,6 +12,7 @@
 #include "common/hash.h"
 #include "gamma/predicate.h"
 #include "gamma/rebalance.h"
+#include "join/digest.h"
 #include "sim/metrics.h"
 
 namespace gammadb::join {
@@ -98,6 +99,16 @@ struct JoinSpec {
 
   /// Name for the stored result relation ("" = derived automatically).
   std::string result_name;
+
+  /// Testing (docs/testing.md): stream every stored result pair into an
+  /// order-insensitive multiset digest (join/digest.h), returned as
+  /// JoinOutput::result_digest and compared against the independent
+  /// nested-loop oracle by the correctness tests and tools/join_fuzz.
+  /// Capture is pure observation: it charges no simulated cost, so with
+  /// the knob OFF every metric is byte-identical to a build without the
+  /// capture code, and with it ON the metrics do not change either —
+  /// only the digest appears.
+  bool capture_results = false;
 };
 
 /// Algorithm-level observations accompanying the time metrics.
@@ -128,6 +139,9 @@ struct JoinOutput {
   JoinStats stats;
   /// Name of the stored result relation (round-robin declustered).
   std::string result_relation;
+  /// Multiset digest of the result pairs; set iff
+  /// JoinSpec::capture_results was on (docs/testing.md).
+  std::optional<ResultDigest> result_digest;
 
   double response_seconds() const { return metrics.response_seconds; }
 };

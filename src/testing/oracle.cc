@@ -1,0 +1,47 @@
+#include "testing/oracle.h"
+
+#include <vector>
+
+#include "gamma/predicate.h"
+#include "storage/tuple.h"
+
+namespace gammadb::testing {
+
+Result<join::ResultDigest> OracleJoinDigest(const db::Catalog& catalog,
+                                            const join::JoinSpec& spec) {
+  GAMMA_ASSIGN_OR_RETURN(db::StoredRelation * inner,
+                         catalog.Get(spec.inner_relation));
+  GAMMA_ASSIGN_OR_RETURN(db::StoredRelation * outer,
+                         catalog.Get(spec.outer_relation));
+  const storage::Schema& r_schema = inner->schema();
+  const storage::Schema& s_schema = outer->schema();
+  const std::vector<storage::Tuple> r = inner->PeekAllTuples();
+  const std::vector<storage::Tuple> s = outer->PeekAllTuples();
+
+  join::DigestAccumulator acc;
+  for (const storage::Tuple& rt : r) {
+    if (!db::EvalAll(spec.inner_predicate, r_schema, rt)) continue;
+    const int32_t key =
+        rt.GetInt32(r_schema, static_cast<size_t>(spec.inner_field));
+    for (const storage::Tuple& st : s) {
+      if (st.GetInt32(s_schema, static_cast<size_t>(spec.outer_field)) != key) {
+        continue;
+      }
+      if (!db::EvalAll(spec.outer_predicate, s_schema, st)) continue;
+      acc.AddPair(key, rt.data(), rt.size(), st.data(), st.size());
+    }
+  }
+  return acc.digest();
+}
+
+join::ResultDigest DigestStoredResult(const db::StoredRelation& result,
+                                      const storage::Schema& inner_schema,
+                                      int inner_field) {
+  join::DigestAccumulator acc;
+  for (const storage::Tuple& t : result.PeekAllTuples()) {
+    acc.AddConcatRecord(inner_schema, inner_field, t.data(), t.size());
+  }
+  return acc.digest();
+}
+
+}  // namespace gammadb::testing

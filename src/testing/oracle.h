@@ -1,0 +1,36 @@
+// Differential correctness oracle (docs/testing.md): a deliberately
+// dumb, single-process nested-loop reference join over the same stored
+// relations a JoinSpec names, producing the canonical multiset digest
+// of join/digest.h. It shares NOTHING with the machinery under test —
+// no sim/ phases, no exchanges, no split tables, no hash tables, no
+// rebalancing — so any digest disagreement with join::ExecuteJoin
+// localizes the bug to the parallel engines.
+#ifndef GAMMA_TESTING_ORACLE_H_
+#define GAMMA_TESTING_ORACLE_H_
+
+#include "common/status.h"
+#include "gamma/catalog.h"
+#include "join/digest.h"
+#include "join/spec.h"
+
+namespace gammadb::testing {
+
+/// Digest of the reference join of spec.inner_relation x
+/// spec.outer_relation on (inner_field, outer_field), after applying
+/// spec.inner_predicate / spec.outer_predicate. Reads tuples with the
+/// uncharged PeekAllTuples path, so running the oracle perturbs no
+/// simulated metric. O(|R| * |S|) by design: the oracle optimizes for
+/// obviousness, not speed.
+Result<join::ResultDigest> OracleJoinDigest(const db::Catalog& catalog,
+                                            const join::JoinSpec& spec);
+
+/// Digest recomputed from a STORED result relation (the engines'
+/// Concat(inner, outer) record layout). Lets tests check all three
+/// legs: oracle == streamed capture == what actually landed on disk.
+join::ResultDigest DigestStoredResult(const db::StoredRelation& result,
+                                      const storage::Schema& inner_schema,
+                                      int inner_field);
+
+}  // namespace gammadb::testing
+
+#endif  // GAMMA_TESTING_ORACLE_H_

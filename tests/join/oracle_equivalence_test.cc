@@ -1,0 +1,172 @@
+// Deterministic differential matrix (docs/testing.md): every algorithm
+// x edge-case scenario x executor thread count must produce exactly the
+// oracle's result multiset, measured three ways — the digest streamed
+// out of the engines (JoinSpec::capture_results), the digest recomputed
+// from the stored result relation, and the nested-loop oracle.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "join/digest.h"
+#include "testing/fuzz.h"
+
+namespace gammadb::testing {
+namespace {
+
+struct Scenario {
+  const char* name;
+  FuzzConfig config;  // algorithm/threads overwritten by the matrix
+};
+
+std::vector<Scenario> Scenarios() {
+  std::vector<Scenario> out;
+
+  Scenario empty_r{"empty_inner", {}};
+  empty_r.config.inner_tuples = 0;
+  empty_r.config.outer_tuples = 60;
+  empty_r.config.key_domain = 10;
+  out.push_back(empty_r);
+
+  Scenario empty_s{"empty_outer", {}};
+  empty_s.config.inner_tuples = 40;
+  empty_s.config.outer_tuples = 0;
+  empty_s.config.key_domain = 10;
+  out.push_back(empty_s);
+
+  Scenario dup{"all_duplicate_keys", {}};
+  dup.config.inner_tuples = 30;
+  dup.config.outer_tuples = 60;
+  dup.config.key_domain = 1;  // every tuple joins with every tuple
+  out.push_back(dup);
+
+  Scenario single{"one_tuple_each", {}};
+  single.config.inner_tuples = 1;
+  single.config.outer_tuples = 1;
+  single.config.key_domain = 1;
+  out.push_back(single);
+
+  Scenario overflow{"deep_overflow", {}};
+  overflow.config.inner_tuples = 250;
+  overflow.config.outer_tuples = 400;
+  overflow.config.key_domain = 100;
+  overflow.config.memory_pct = 5;
+  overflow.config.zero_slack = true;
+  out.push_back(overflow);
+
+  Scenario skew{"skew_rebalance", {}};
+  skew.config.inner_tuples = 250;
+  skew.config.outer_tuples = 600;
+  skew.config.key_domain = 25;
+  skew.config.zipf_theta = 1.2;
+  skew.config.adaptive_repartition = true;
+  skew.config.memory_pct = 35;
+  out.push_back(skew);
+
+  return out;
+}
+
+TEST(OracleEquivalence, AllAlgorithmsAllScenariosAllThreadCounts) {
+  for (const Scenario& scenario : Scenarios()) {
+    for (int algo = 0; algo < 4; ++algo) {
+      for (int threads : {1, 4, 8}) {
+        FuzzConfig config = scenario.config;
+        config.data_seed = 20260808;
+        config.algorithm = static_cast<join::Algorithm>(algo);
+        config.threads = threads;
+        const Result<FuzzRunResult> run = RunFuzzConfig(config);
+        ASSERT_TRUE(run.ok())
+            << scenario.name << ": " << run.status().ToString() << "\n  "
+            << config.ToReproString();
+        EXPECT_EQ(run->engine, run->oracle)
+            << scenario.name << " engine digest diverged from the oracle\n  "
+            << config.ToReproString() << "\n  engine " << run->engine.ToString()
+            << "\n  oracle " << run->oracle.ToString();
+        EXPECT_EQ(run->stored, run->oracle)
+            << scenario.name << " stored digest diverged from the oracle\n  "
+            << config.ToReproString() << "\n  stored " << run->stored.ToString()
+            << "\n  oracle " << run->oracle.ToString();
+      }
+    }
+  }
+}
+
+TEST(OracleEquivalence, HpjaAndRemoteVariantsMatchOracle) {
+  for (const bool hpja : {false, true}) {
+    for (const bool remote : {false, true}) {
+      FuzzConfig config;
+      config.data_seed = 7;
+      config.algorithm = join::Algorithm::kHybridHash;
+      config.threads = 4;
+      config.inner_tuples = 100;
+      config.outer_tuples = 300;
+      config.key_domain = 25;
+      config.hpja = hpja;
+      config.remote = remote;
+      const Result<FuzzRunResult> run = RunFuzzConfig(config);
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      EXPECT_TRUE(run->ok())
+          << "hpja=" << hpja << " remote=" << remote << "\n  engine "
+          << run->engine.ToString() << "\n  oracle " << run->oracle.ToString();
+    }
+  }
+}
+
+TEST(ResultDigest, OrderInsensitiveAndMergeable) {
+  join::DigestAccumulator forward;
+  join::DigestAccumulator backward;
+  const uint8_t a[4] = {1, 2, 3, 4};
+  const uint8_t b[4] = {5, 6, 7, 8};
+  const uint8_t c[4] = {9, 10, 11, 12};
+  forward.AddPair(1, a, sizeof(a), b, sizeof(b));
+  forward.AddPair(2, b, sizeof(b), c, sizeof(c));
+  forward.AddPair(1, a, sizeof(a), b, sizeof(b));  // duplicate pair counts
+  backward.AddPair(1, a, sizeof(a), b, sizeof(b));
+  backward.AddPair(1, a, sizeof(a), b, sizeof(b));
+  backward.AddPair(2, b, sizeof(b), c, sizeof(c));
+  EXPECT_EQ(forward.digest(), backward.digest());
+
+  // Split across accumulators and merge — same digest.
+  join::DigestAccumulator left;
+  join::DigestAccumulator right;
+  left.AddPair(1, a, sizeof(a), b, sizeof(b));
+  right.AddPair(2, b, sizeof(b), c, sizeof(c));
+  right.AddPair(1, a, sizeof(a), b, sizeof(b));
+  left.Merge(right.digest());
+  EXPECT_EQ(left.digest(), forward.digest());
+
+  // Swapping inner and outer payloads is a DIFFERENT pair.
+  join::DigestAccumulator swapped;
+  swapped.AddPair(1, b, sizeof(b), a, sizeof(a));
+  swapped.AddPair(2, b, sizeof(b), c, sizeof(c));
+  swapped.AddPair(1, b, sizeof(b), a, sizeof(a));
+  EXPECT_NE(swapped.digest(), forward.digest());
+}
+
+TEST(ResultDigest, CapturedDigestMatchesAcrossThreadCounts) {
+  // The digest is a pure function of the result multiset, so it must be
+  // bit-identical at every thread count (a stronger cousin of the
+  // metrics determinism contract).
+  FuzzConfig base;
+  base.data_seed = 99;
+  base.algorithm = join::Algorithm::kGraceHash;
+  base.inner_tuples = 100;
+  base.outer_tuples = 400;
+  base.key_domain = 10;
+  base.memory_pct = 35;
+
+  base.threads = 1;
+  const Result<FuzzRunResult> serial = RunFuzzConfig(base);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (int threads : {4, 8}) {
+    FuzzConfig config = base;
+    config.threads = threads;
+    const Result<FuzzRunResult> pooled = RunFuzzConfig(config);
+    ASSERT_TRUE(pooled.ok()) << pooled.status().ToString();
+    EXPECT_EQ(pooled->engine, serial->engine) << "threads=" << threads;
+    EXPECT_TRUE(pooled->ok());
+  }
+}
+
+}  // namespace
+}  // namespace gammadb::testing

@@ -9,8 +9,10 @@
 
 #include "gamma/catalog.h"
 #include "gamma/predicate.h"
+#include "join/spec.h"
 #include "sim/machine.h"
 #include "storage/tuple.h"
+#include "wisconsin/wisconsin.h"
 
 namespace gammadb::testing {
 
@@ -38,6 +40,34 @@ inline std::vector<std::string> Canonical(
   }
   std::sort(rows.begin(), rows.end());
   return rows;
+}
+
+/// Dataset shared by the executor-equivalence integration tests: a
+/// Wisconsin joinABprime instance small enough to run the full
+/// algorithm matrix quickly but large enough to exercise overflow at
+/// low memory ratios.
+inline wisconsin::DatasetOptions ABprimeDataset() {
+  wisconsin::DatasetOptions options;
+  options.outer_cardinality = 3000;
+  options.inner_cardinality = 300;
+  options.seed = 53;
+  return options;
+}
+
+/// Join spec over ABprimeDataset(). capture_results is on so callers
+/// can compare JoinOutput::result_digest across configurations
+/// (docs/testing.md).
+inline join::JoinSpec ABprimeSpec(join::Algorithm algorithm,
+                                  double memory_ratio) {
+  join::JoinSpec spec;
+  spec.inner_relation = "Bprime";
+  spec.outer_relation = "A";
+  spec.algorithm = algorithm;
+  spec.memory_ratio = memory_ratio;
+  spec.use_bit_filters = true;
+  spec.result_name = "result";
+  spec.capture_results = true;
+  return spec;
 }
 
 /// Single-threaded reference equi-join (ground truth for the parallel

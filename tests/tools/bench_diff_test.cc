@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
 namespace gammadb::tools {
@@ -230,6 +231,62 @@ TEST(BenchDiffTest, WallclockSummaryMarksUnpairedLeaves) {
   EXPECT_NE(table.find("a.real_seconds"), std::string::npos);
   EXPECT_NE(table.find("b.real_seconds"), std::string::npos);
   EXPECT_EQ(table.find("x\n"), std::string::npos);  // no speedup column hits
+}
+
+TEST(BenchDiffTest, JsonPointerOfConvertsDiffPaths) {
+  EXPECT_EQ(JsonPointerOf("schema_version"), "/schema_version");
+  EXPECT_EQ(JsonPointerOf("runs[3].metrics.response_seconds"),
+            "/runs/3/metrics/response_seconds");
+  EXPECT_EQ(JsonPointerOf("series_seconds[1][3]"), "/series_seconds/1/3");
+  EXPECT_EQ(JsonPointerOf("a~b.c/d"), "/a~0b/c~1d");
+  EXPECT_EQ(JsonPointerOf(""), "");
+}
+
+// A schema-version mismatch means the documents are different formats:
+// the report must name the offending JSON pointer and both values, and
+// skip the metric walk (whose diffs would all be noise).
+TEST(BenchDiffTest, SchemaVersionMismatchNamesThePointer) {
+  JsonValue candidate = Doc(kBaseline);
+  candidate.Set("schema_version", 2);
+  const DiffReport report =
+      DiffBenchJson(Doc(kBaseline), candidate, DiffOptions{});
+  EXPECT_FALSE(report.Passed());
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_EQ(report.entries[0].kind, DiffKind::kRegression);
+  const std::string text = FormatReport(report);
+  EXPECT_NE(text.find("/schema_version"), std::string::npos) << text;
+  EXPECT_NE(text.find("baseline 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("candidate 2"), std::string::npos) << text;
+}
+
+TEST(BenchDiffTest, SchemaVersionAbsentOnOneSideFails) {
+  JsonValue no_version = Doc(kBaseline);
+  auto& members = no_version.AsObject();
+  members.erase(std::remove_if(members.begin(), members.end(),
+                               [](const auto& kv) {
+                                 return kv.first == "schema_version";
+                               }),
+                members.end());
+  for (const bool candidate_missing : {true, false}) {
+    const JsonValue& baseline = candidate_missing ? Doc(kBaseline) : no_version;
+    const JsonValue& candidate = candidate_missing ? no_version : Doc(kBaseline);
+    const DiffReport report =
+        DiffBenchJson(baseline, candidate, DiffOptions{});
+    EXPECT_FALSE(report.Passed());
+    ASSERT_EQ(report.entries.size(), 1u);
+    EXPECT_NE(report.entries[0].message.find("(absent)"), std::string::npos);
+    EXPECT_NE(report.entries[0].message.find("/schema_version"),
+              std::string::npos);
+  }
+}
+
+TEST(BenchDiffTest, MatchingSchemaVersionsStillWalkMetrics) {
+  JsonValue candidate = Doc(kBaseline);
+  candidate.Find("runs")->AsArray()[0].Set("response_seconds", 11.0);
+  const DiffReport report =
+      DiffBenchJson(Doc(kBaseline), candidate, DiffOptions{});
+  EXPECT_FALSE(report.Passed());
+  EXPECT_EQ(report.entries[0].path, "runs[0].response_seconds");
 }
 
 TEST(BenchDiffTest, FormatReportSummarizes) {

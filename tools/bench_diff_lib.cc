@@ -213,9 +213,58 @@ int DiffReport::CountOf(DiffKind kind) const {
   return count;
 }
 
+std::string JsonPointerOf(const std::string& path) {
+  std::string out;
+  std::string token;
+  const auto flush = [&] {
+    if (token.empty()) return;
+    out += '/';
+    for (const char c : token) {
+      if (c == '~') {
+        out += "~0";
+      } else if (c == '/') {
+        out += "~1";
+      } else {
+        out += c;
+      }
+    }
+    token.clear();
+  };
+  for (const char c : path) {
+    if (c == '.' || c == '[' || c == ']') {
+      flush();
+    } else {
+      token += c;
+    }
+  }
+  flush();
+  return out;
+}
+
 DiffReport DiffBenchJson(const JsonValue& baseline, const JsonValue& candidate,
                          const DiffOptions& options) {
   DiffReport report;
+  // Schema gate first: a version mismatch means every metric diff below
+  // it is noise, so report the one offending path and stop.
+  const JsonValue* base_ver =
+      baseline.is_object() ? baseline.Find("schema_version") : nullptr;
+  const JsonValue* cand_ver =
+      candidate.is_object() ? candidate.Find("schema_version") : nullptr;
+  if ((base_ver != nullptr || cand_ver != nullptr) &&
+      (base_ver == nullptr || cand_ver == nullptr ||
+       !(*base_ver == *cand_ver))) {
+    ++report.compared_metrics;
+    report.entries.push_back(DiffEntry{
+        DiffKind::kRegression, "schema_version",
+        StrFormat("schema version mismatch at %s: baseline %s, candidate %s "
+                  "— the documents are not comparable; refresh the baseline "
+                  "deliberately (docs/benchmarking.md)",
+                  JsonPointerOf("schema_version").c_str(),
+                  base_ver != nullptr ? base_ver->Dump().c_str() : "(absent)",
+                  cand_ver != nullptr ? cand_ver->Dump().c_str()
+                                      : "(absent)")});
+    return report;
+  }
   Differ(options, report).Walk("", baseline, candidate);
   return report;
 }

@@ -55,6 +55,13 @@ struct DiffReport {
   }
 };
 
+/// RFC 6901 JSON-pointer form of a dotted diff path:
+/// "runs[3].metrics.response_seconds" -> "/runs/3/metrics/response_seconds"
+/// ("~" and "/" inside keys are escaped as "~0" / "~1"). Error messages
+/// use this form so the offending location can be pasted into any
+/// JSON-pointer-aware tool.
+std::string JsonPointerOf(const std::string& path);
+
 /// Compares every metric of `baseline` against `candidate`. Metrics
 /// present only in the baseline are kMissing; metrics present only in
 /// the candidate are kExtra — both fail the gate, so schema growth
@@ -62,6 +69,12 @@ struct DiffReport {
 /// Host metrics ("real_seconds", "wall_seconds", "threads",
 /// "num_threads") describe the machine running the benchmark, not the
 /// simulated workload: they are always kInfo, never gated or missing.
+///
+/// Documents with different "schema_version" values (or with the key on
+/// only one side) are not comparable runs: the report then holds a
+/// single kRegression entry naming the offending JSON pointer
+/// ("/schema_version") and both values, and the metric walk is skipped
+/// so the mismatch is not buried under hundreds of follow-on diffs.
 DiffReport DiffBenchJson(const JsonValue& baseline, const JsonValue& candidate,
                          const DiffOptions& options);
 
