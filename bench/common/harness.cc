@@ -128,6 +128,17 @@ JsonValue JoinStatsToJson(const join::JoinStats& stats) {
     out.Set("rebalance_moved_tuples", stats.rebalance_moved_tuples);
     out.Set("rebalance_replica_tuples", stats.rebalance_replica_tuples);
   }
+  // Overflow-path keys likewise appear only when overflow machinery
+  // actually engaged, keeping no-overflow baselines byte-identical
+  // (docs/overflow.md).
+  if (stats.nested_loop_fallbacks > 0) {
+    out.Set("nested_loop_fallbacks", stats.nested_loop_fallbacks);
+    out.Set("nested_loop_passes", stats.nested_loop_passes);
+  }
+  if (stats.spill_bytes > 0 || stats.refill_bytes > 0) {
+    out.Set("spill_bytes", stats.spill_bytes);
+    out.Set("refill_bytes", stats.refill_bytes);
+  }
   return out;
 }
 

@@ -166,7 +166,10 @@ struct PlanExecutor {
         if (node.join_options.algorithm.has_value()) {
           spec.algorithm = *node.join_options.algorithm;
         } else {
-          // Section 5 rule, driven by real column statistics.
+          // Section 5 rule, driven by real column statistics. This
+          // executor's overflow resolution is total (docs/overflow.md),
+          // so the default robust_overflow_available=true applies and
+          // the sort-merge skew fallback stays retired.
           GAMMA_ASSIGN_OR_RETURN(ColumnStats stats,
                                  AnalyzeColumn(*inner_rel, node.inner_field));
           spec.algorithm =

@@ -40,13 +40,18 @@ Result<ColumnStats> AnalyzeColumn(const StoredRelation& relation, int field) {
 
 join::Algorithm ChooseJoinAlgorithm(const ColumnStats& inner_join_column,
                                     double memory_ratio,
-                                    bool adaptive_repartition_available) {
+                                    bool adaptive_repartition_available,
+                                    bool robust_overflow_available) {
   const bool memory_limited = memory_ratio < 1.0 / 3.0;
   if (inner_join_column.HighlySkewed() && memory_limited &&
-      !adaptive_repartition_available) {
+      !adaptive_repartition_available && !robust_overflow_available) {
     // Hash joins would overflow repeatedly on the duplicate chains; be
     // conservative (paper Section 5). With run-time rebalancing the
-    // Hybrid bucket sub-joins spread the duplicate chains themselves.
+    // Hybrid bucket sub-joins spread the duplicate chains themselves,
+    // and with total overflow resolution (bounded recursion plus the
+    // nested-loop degrade, docs/overflow.md) even an unsplittable
+    // duplicate chain finishes deterministically — either capability
+    // retires the sort-merge fallback.
     return join::Algorithm::kSortMerge;
   }
   return join::Algorithm::kHybridHash;

@@ -53,10 +53,18 @@ Result<ColumnStats> AnalyzeColumn(const StoredRelation& relation, int field);
 /// memory, so the rebalance planner rarely has to defer to the
 /// overflow protocol), which retires the conservative sort-merge
 /// fallback the paper recommends for static executors.
+/// `robust_overflow_available` reflects whether the executor's overflow
+/// resolution is total (docs/overflow.md): bounded recursion with a
+/// deterministic nested-loop degrade means a skewed build can no longer
+/// fail or loop, only slow down — so the fallback likewise retires.
+/// It defaults to true because this executor always has it; pass false
+/// to model the paper's original executor, where an unresolvable
+/// overflow was fatal.
 join::Algorithm ChooseJoinAlgorithm(const ColumnStats& inner_join_column,
                                     double memory_ratio,
                                     bool adaptive_repartition_available =
-                                        false);
+                                        false,
+                                    bool robust_overflow_available = true);
 
 }  // namespace gammadb::db
 

@@ -9,6 +9,7 @@
 #include "gamma/split_table.h"
 #include "join/hash_engine.h"
 #include "join/sort_merge.h"
+#include "sim/memory_broker.h"
 #include "sim/trace.h"
 
 namespace gammadb::join {
@@ -193,6 +194,9 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
     return Status::InvalidArgument(
         "per-node hash table capacity below one tuple");
   }
+  if (spec.max_overflow_levels < 0) {
+    return Status::InvalidArgument("max_overflow_levels must be >= 0");
+  }
 
   std::string result_name = spec.result_name.empty()
                                 ? spec.inner_relation + "_" +
@@ -217,6 +221,13 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
     capture_ptr = &capture;
   }
 
+  // Per-node build-memory broker: every join process contributes its
+  // capacity share to its node's budget, so co-resident processes draw
+  // on one shared pool (sim/memory_broker.h). Rebuilt per attempt (it
+  // must outlive the attempt's engine, whose hash tables release their
+  // reservations on destruction).
+  std::optional<sim::MemoryBroker> broker;
+
   // One attempt of the chosen algorithm, writing through `result` and
   // `stats`. Restartable: every attempt builds fresh engine state.
   const auto run_attempt = [&]() -> Status {
@@ -236,6 +247,9 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
       params.capture = capture_ptr;
       return RunSortMergeJoin(machine, params, &stats);
     }
+    broker.emplace(machine.num_nodes());
+    for (int id : join_nodes) broker->AddBudget(id, capacity_per_node);
+
     HashJoinEngine::Config config;
     config.join_nodes = join_nodes;
     config.disk_nodes = machine.DiskNodeIds();
@@ -248,6 +262,8 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
     config.use_forming_bit_filters = spec.use_forming_bit_filters;
     config.rebalance = spec.rebalance;
     config.rebalance.enabled = spec.adaptive_repartition;
+    config.max_overflow_levels = spec.max_overflow_levels;
+    config.broker = &*broker;
     config.result = result;
     config.stats = &stats;
     config.capture = capture_ptr;
@@ -327,6 +343,12 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
       out.metrics.counters.rebalance_moved_tuples;
   out.stats.rebalance_replica_tuples =
       out.metrics.counters.rebalance_replica_tuples;
+  if (broker.has_value()) {
+    out.stats.spill_bytes =
+        static_cast<int64_t>(broker->TotalSpillBytes());
+    out.stats.refill_bytes =
+        static_cast<int64_t>(broker->TotalRefillBytes());
+  }
   out.result_relation = result_name;
   if (spec.capture_results) {
     DigestAccumulator all;

@@ -13,9 +13,6 @@ namespace {
 /// per eviction round ("We currently try to clear 10% of the hash table
 /// memory space when overflow is detected", paper Section 4.1).
 constexpr double kClearFraction = 0.10;
-/// Recursion-depth backstop for pathological inputs the hash function
-/// cannot split (e.g. one value exceeding aggregate memory).
-constexpr int kMaxOverflowLevels = 64;
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -158,7 +155,8 @@ void HashJoinEngine::StartSubJoin() {
     if (st.table == nullptr) {
       st.table = std::make_unique<JoinHashTable>(
           &machine_->node(config_.join_nodes[ji]), config_.inner_schema,
-          config_.inner_field, config_.capacity_bytes_per_node);
+          config_.inner_field, config_.capacity_bytes_per_node,
+          config_.broker);
     } else {
       st.table->Clear();
     }
@@ -184,6 +182,12 @@ void HashJoinEngine::SpoolToOverflow(sim::Node& from, size_t ji,
   // (Outer overflow files are pre-created before the probe phase so that
   // concurrent producers never race on creation.)
   const uint32_t bytes = t.size();
+  // Broker ledger: bytes leaving the join process's memory for its
+  // overflow file, booked against the process's node. Accounting only —
+  // the write itself is charged by the disk-side drain.
+  if (config_.broker != nullptr) {
+    config_.broker->NoteSpill(config_.join_nodes[ji], bytes);
+  }
   overflow_exchange_.Send(from.id(), jstate_[ji].host_disk_node,
                           OverflowMsg{std::move(t),
                                       static_cast<int32_t>(ji), is_inner},
@@ -204,8 +208,21 @@ void HashJoinEngine::HandleBuildArrival(sim::Node& n, size_t ji,
     ++n.counters().ht_overflows;
     const uint64_t new_cutoff =
         st.table->histogram().CutoffForFraction(kClearFraction);
-    GAMMA_CHECK_LT(new_cutoff, st.cutoff)
-        << "overflow cutoff failed to decrease";
+    if (new_cutoff >= st.cutoff) {
+      // Nothing left to evict below the current cutoff. With private
+      // budgets this never happened (a failed insert implied a full,
+      // non-empty table), but under the shared per-node broker a
+      // co-resident process can drain the node's budget while THIS
+      // table is still empty. Lower the cutoff to the arriving hash so
+      // the resident-iff-below-cutoff invariant holds — the probe phase
+      // relies on it to route outer tuples to the overflow file.
+      st.cutoff = hash;
+      for (auto& [eh, et] : st.table->EvictAtOrAbove(hash)) {
+        SpoolToOverflow(n, ji, /*is_inner=*/true, std::move(et));
+      }
+      SpoolToOverflow(n, ji, /*is_inner=*/true, std::move(t));
+      return;
+    }
     st.cutoff = new_cutoff;
     for (auto& [eh, et] : st.table->EvictAtOrAbove(new_cutoff)) {
       SpoolToOverflow(n, ji, /*is_inner=*/true, std::move(et));
@@ -728,16 +745,45 @@ bool HashJoinEngine::AnyOverflow() const {
   return false;
 }
 
+uint64_t HashJoinEngine::OverflowLevelSeed(uint64_t base_seed, int level) {
+  // "the hash function is changed after each overflow" (Section 4.1).
+  // The derivation must mix the LEVEL through the full hash, not just
+  // offset the seed: HashJoinAttribute is Mix64(key + seed), so a
+  // `base + level` seed makes the level-L hash of key k equal the
+  // level-0 hash of key k+L — over a contiguous key domain every level
+  // reproduces (a one-key shift of) the level-0 hash multiset, and the
+  // heavy cutoff RANGE that overflowed level 0 survives every
+  // repartition. Mixing the level gives each level an unrelated hash
+  // family; level 0 keeps the caller's seed so HPJA placement still
+  // lines up with the loader.
+  if (level == 0) return base_seed;
+  return Mix64(base_seed ^
+               (kDefaultHashSeed * static_cast<uint64_t>(level)));
+}
+
 Status HashJoinEngine::ResolveOverflows(const std::string& label,
                                         uint64_t base_seed) {
   int level = 0;
   uint64_t prev_inner_tuples = UINT64_MAX;
   while (AnyOverflow()) {
     ++level;
-    if (level > kMaxOverflowLevels) {
-      return Status::Internal("overflow resolution exceeded " +
-                              std::to_string(kMaxOverflowLevels) + " levels");
+    uint64_t pending_inner_tuples = 0;
+    for (const JoinNodeState& js : jstate_) {
+      if (js.r_overflow != nullptr) {
+        pending_inner_tuples += js.r_overflow->tuple_count();
+      }
     }
+    // Degrade instead of failing when recursion cannot help: either the
+    // depth cap is hit, or the last repartition failed to shrink the
+    // inner overflow partition (all tuples share one key, or the budget
+    // is smaller than one key-group) — another rehash would loop
+    // forever on the same bytes.
+    if (level > config_.max_overflow_levels ||
+        pending_inner_tuples >= prev_inner_tuples) {
+      return NestedLoopFallback(label,
+                                OverflowLevelSeed(base_seed, level));
+    }
+    prev_inner_tuples = pending_inner_tuples;
     config_.stats->overflow_levels =
         std::max(config_.stats->overflow_levels, level);
 
@@ -745,23 +791,14 @@ Status HashJoinEngine::ResolveOverflows(const std::string& label,
       std::unique_ptr<storage::HeapFile> r, s;
     };
     std::vector<Taken> taken(jstate_.size());
-    uint64_t inner_tuples = 0;
     for (size_t ji = 0; ji < jstate_.size(); ++ji) {
       taken[ji].r = std::move(jstate_[ji].r_overflow);
       taken[ji].s = std::move(jstate_[ji].s_overflow);
-      if (taken[ji].r != nullptr) inner_tuples += taken[ji].r->tuple_count();
     }
-    if (inner_tuples >= prev_inner_tuples) {
-      return Status::Internal(
-          "overflow resolution is not shrinking the inner partition "
-          "(duplicate values exceed aggregate join memory)");
-    }
-    prev_inner_tuples = inner_tuples;
 
     ++overflow_file_counter_;
     StartSubJoin();
-    // "the hash function is changed after each overflow" (Section 4.1).
-    const uint64_t seed = base_seed + static_cast<uint64_t>(level);
+    const uint64_t seed = OverflowLevelSeed(base_seed, level);
     const db::SplitTable joining = db::SplitTable::Joining(config_.join_nodes);
 
     const auto make_producers = [&](bool inner_side) {
@@ -779,6 +816,9 @@ Status HashJoinEngine::ResolveOverflows(const std::string& label,
                     inner_side ? taken[ji].r.get() : taken[ji].s.get();
                 if (file == nullptr) continue;
                 GAMMA_RETURN_NOT_OK(file->FlushAppends());
+                if (config_.broker != nullptr) {
+                  config_.broker->NoteRefill(n.id(), file->data_bytes());
+                }
                 exchange_.ReserveRow(n.id(), file->tuple_count());
                 auto scanner = file->Scan();
                 storage::TupleBlock block;
@@ -808,6 +848,201 @@ Status HashJoinEngine::ResolveOverflows(const std::string& label,
       if (t.s != nullptr) t.s->Free();
     }
     GAMMA_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+Status HashJoinEngine::NestedLoopFallback(const std::string& label,
+                                          uint64_t seed) {
+  ++config_.stats->nested_loop_fallbacks;
+  const size_t num_processes = jstate_.size();
+  int pass = 0;
+  while (AnyOverflow()) {
+    ++pass;
+    ++config_.stats->nested_loop_passes;
+
+    struct Taken {
+      std::unique_ptr<storage::HeapFile> r, s;
+    };
+    std::vector<Taken> taken(num_processes);
+    for (size_t ji = 0; ji < num_processes; ++ji) {
+      taken[ji].r = std::move(jstate_[ji].r_overflow);
+      taken[ji].s = std::move(jstate_[ji].s_overflow);
+    }
+    ++overflow_file_counter_;
+    StartSubJoin();
+    const std::string pass_tag = " P" + std::to_string(pass);
+    Status fallback_status;
+
+    // Scans every file of `taken` on one side, shipping each tuple to
+    // its join process with the per-tuple read + hash charges of the
+    // routing path. No split table: a fallback tuple's destination is
+    // the process whose overflow file held it.
+    const auto run_scan_round = [&](bool inner_side, RoutedKind kind) {
+      return machine_->TryRunOnNodes(
+          config_.disk_nodes, [&](sim::Node& n) -> Status {
+            for (size_t ji = 0; ji < num_processes; ++ji) {
+              if (jstate_[ji].host_disk_node != n.id()) continue;
+              storage::HeapFile* file =
+                  inner_side ? taken[ji].r.get() : taken[ji].s.get();
+              if (file == nullptr) continue;
+              GAMMA_RETURN_NOT_OK(file->FlushAppends());
+              if (config_.broker != nullptr) {
+                config_.broker->NoteRefill(n.id(), file->data_bytes());
+              }
+              exchange_.ReserveRow(n.id(), file->tuple_count());
+              const storage::Schema& schema = inner_side
+                                                  ? *config_.inner_schema
+                                                  : *config_.outer_schema;
+              const size_t field = static_cast<size_t>(
+                  inner_side ? config_.inner_field : config_.outer_field);
+              const int dest = config_.join_nodes[ji];
+              auto scanner = file->Scan();
+              storage::TupleBlock block;
+              while (scanner.NextBlock(&block)) {
+                for (size_t i = 0; i < block.size(); ++i) {
+                  n.ChargeCpu(n.cost().cpu_read_tuple_seconds,
+                              sim::CostCategory::kReadTuple);
+                  n.ChargeCpu(n.cost().cpu_hash_route_seconds,
+                              sim::CostCategory::kHashRoute);
+                  const uint64_t hash = HashJoinAttribute(
+                      schema.GetInt32(block.view(i).data, field), seed);
+                  exchange_.Send(n.id(), dest,
+                                 RoutedTuple{block.view(i).data,
+                                             block.view(i).size, hash, kind,
+                                             static_cast<int32_t>(ji)},
+                                 block.view(i).size);
+                }
+              }
+              GAMMA_RETURN_NOT_OK(scanner.status());
+            }
+            return Status::OK();
+          });
+    };
+
+    // Build phase: FIFO-fill the resident tables from the remaining R
+    // overflow — NO cutoff and NO eviction (the table is just the
+    // resident-slice container; a slice is whatever prefix fits).
+    // Rejected tuples re-spool for the next pass.
+    machine_->BeginPhase(label + " nl build" + pass_tag);
+    db::ChargeOperatorPhase(*machine_,
+                            static_cast<int>(config_.disk_nodes.size()),
+                            static_cast<int>(num_processes), 0);
+    {
+      const Status round = run_scan_round(true, kBuild);
+      if (fallback_status.ok()) fallback_status = round;
+    }
+    // One overflow event per (pass, process) that could not take its
+    // whole remaining file; per-process flags so concurrent consumer
+    // tasks never share a byte.
+    std::vector<uint8_t> rejected(num_processes, 0);
+    {
+      const Status round = machine_->TryRunOnNodes(
+          Participants(false), [&](sim::Node& n) -> Status {
+            exchange_.DrainInboxBlocks(
+                n.id(), [&](std::vector<RoutedTuple>& lane) {
+                  for (RoutedTuple& m : lane) {
+                    const size_t ji = static_cast<size_t>(m.aux);
+                    storage::Tuple t(m.data, m.size);
+                    if (!jstate_[ji].table->Insert(std::move(t), m.hash)) {
+                      if (rejected[ji] == 0) {
+                        rejected[ji] = 1;
+                        ++n.counters().ht_overflows;
+                      }
+                      SpoolToOverflow(n, ji, /*is_inner=*/true,
+                                      std::move(t));
+                    }
+                  }
+                });
+            return Status::OK();
+          });
+      if (fallback_status.ok()) fallback_status = round;
+    }
+    {
+      const Status round = machine_->TryRunOnNodes(
+          config_.disk_nodes,
+          [&](sim::Node& n) -> Status { return DrainDiskSide(n, nullptr); });
+      if (fallback_status.ok()) fallback_status = round;
+    }
+    CollectChainStats();
+    {
+      const Status end = machine_->EndPhase();
+      if (fallback_status.ok()) fallback_status = end;
+    }
+
+    // Which processes still hold un-resident R? Their S must survive
+    // this pass: every probe of theirs is re-spooled after probing.
+    std::vector<uint8_t> residual(num_processes, 0);
+    for (size_t ji = 0; ji < num_processes; ++ji) {
+      if (jstate_[ji].r_overflow != nullptr) {
+        residual[ji] = 1;
+        EnsureOverflowFile(ji, /*is_inner=*/false);
+      }
+    }
+
+    // Probe phase: the FULL remaining S probes the resident slice. A
+    // result pair (r, s) is produced in exactly one pass — the one
+    // where r is resident — because slices partition the R overflow.
+    if (fallback_status.ok()) {
+      machine_->BeginPhase(label + " nl probe" + pass_tag);
+      db::ChargeOperatorPhase(*machine_,
+                              static_cast<int>(config_.disk_nodes.size()),
+                              static_cast<int>(num_processes), 0);
+      {
+        const Status round = run_scan_round(false, kProbe);
+        if (fallback_status.ok()) fallback_status = round;
+      }
+      {
+        const Status round = machine_->TryRunOnNodes(
+            Participants(false), [&](sim::Node& n) -> Status {
+              exchange_.DrainInboxBlocks(
+                  n.id(), [&](std::vector<RoutedTuple>& lane) {
+                    const size_t items = lane.size();
+                    for (size_t p = 0; p < items;) {
+                      const RoutedTuple& m = lane[p];
+                      size_t len = 1;
+                      while (p + len < items &&
+                             len < JoinHashTable::kProbeBatchMax &&
+                             lane[p + len].aux == m.aux) {
+                        ++len;
+                      }
+                      const size_t ji = static_cast<size_t>(m.aux);
+                      HandleProbeBatch(n, ji, &lane[p], len);
+                      if (residual[ji] != 0) {
+                        for (size_t k = 0; k < len; ++k) {
+                          SpoolToOverflow(
+                              n, ji, /*is_inner=*/false,
+                              storage::Tuple(lane[p + k].data,
+                                             lane[p + k].size));
+                        }
+                      }
+                      p += len;
+                    }
+                  });
+              return Status::OK();
+            });
+        if (fallback_status.ok()) fallback_status = round;
+      }
+      {
+        const Status round = machine_->TryRunOnNodes(
+            config_.disk_nodes, [&](sim::Node& n) -> Status {
+              return DrainDiskSide(n, nullptr);
+            });
+        if (fallback_status.ok()) fallback_status = round;
+      }
+      {
+        const Status end = machine_->EndPhase();
+        if (fallback_status.ok()) fallback_status = end;
+      }
+    }
+
+    // Free the consumed pass's files on failure too: a restarted
+    // attempt rebuilds its overflow partitions from scratch.
+    for (Taken& t : taken) {
+      if (t.r != nullptr) t.r->Free();
+      if (t.s != nullptr) t.s->Free();
+    }
+    GAMMA_RETURN_NOT_OK(fallback_status);
   }
   return Status::OK();
 }

@@ -16,7 +16,10 @@
 //    the cutoffs ("the split table is augmented with the h' functions")
 //    and ship qualifying tuples straight to the S overflow files;
 //  * overflow files are then joined recursively with a NEW hash
-//    function (seed+1, seed+2, ...) until no overflow remains;
+//    function per level (a level-mixed seed, docs/overflow.md) until no
+//    overflow remains, the recursion depth cap is hit, or a level stops
+//    shrinking — the latter two degrade to a deterministic
+//    block-nested-loop sub-join over resident slices;
 //  * optionally, a per-sub-join 2 KB bit filter is built from the
 //    hash-table residents and applied by the outer producers.
 //
@@ -121,6 +124,16 @@ class HashJoinEngine {
     /// counts after its build and may install a heavy-bin override
     /// table before the probing phase (MaybeRebalance).
     db::RebalanceOptions rebalance;
+    /// Bound on overflow-resolution recursion depth before the
+    /// block-nested-loop fallback engages (JoinSpec::max_overflow_levels;
+    /// docs/overflow.md). Must be >= 0; 0 sends the first overflow
+    /// straight to the fallback.
+    int max_overflow_levels = 16;
+    /// Optional per-node build-memory broker (sim/memory_broker.h).
+    /// When set, hash-table admission draws on the owning node's shared
+    /// budget (instead of a private per-process ledger) and overflow
+    /// spill/refill bytes are recorded on it.
+    sim::MemoryBroker* broker = nullptr;
     db::StoredRelation* result;  // fragments parallel to disk_nodes
     JoinStats* stats;
     /// Result capture (docs/testing.md): when non-null (parallel to
@@ -162,9 +175,18 @@ class HashJoinEngine {
   /// returning OK when config.rebalance.enabled is false.
   Status MaybeRebalance(const std::string& label);
 
-  /// Joins overflow files recursively with fresh hash functions until
-  /// none remain (the paper's Simple-hash overflow resolution).
+  /// Joins overflow files recursively with a fresh (level-mixed) hash
+  /// function per level until none remain (the paper's Simple-hash
+  /// overflow resolution). Bounded: a sub-join still overflowing after
+  /// Config::max_overflow_levels repartitions, or whose overflow
+  /// partition stops shrinking (duplicate-heavy keys no rehash can
+  /// split), degrades to the deterministic block-nested-loop fallback
+  /// instead of failing (docs/overflow.md).
   Status ResolveOverflows(const std::string& label, uint64_t base_seed);
+
+  /// The level-distinct split seed used by ResolveOverflows (level 0 =
+  /// the caller's seed; exposed for tests).
+  static uint64_t OverflowLevelSeed(uint64_t base_seed, int level);
 
   /// Convenience: a full sub-join of the given producers through a
   /// plain joining split table, overflow resolution included.
@@ -273,6 +295,14 @@ class HashJoinEngine {
                        storage::Tuple&& t);
   void EnsureOverflowFile(size_t ji, bool is_inner);
   Status DrainDiskSide(sim::Node& n, BucketFileSet* buckets);
+  /// Terminal overflow resolution when recursion cannot help
+  /// (docs/overflow.md): repeatedly FIFO-fills the resident tables from
+  /// the remaining R overflow files (no cutoff, no eviction), probes the
+  /// full remaining S against the resident slice, and re-spools both
+  /// residuals for the next pass. `seed` only drives table placement and
+  /// match confirmation — no repartitioning happens, so the pass count
+  /// is bounded by ceil(overflow R tuples / resident capacity).
+  Status NestedLoopFallback(const std::string& label, uint64_t seed);
   void BuildFilterFromResidents();
   void CollectChainStats();
   bool AnyOverflow() const;

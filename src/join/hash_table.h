@@ -30,6 +30,7 @@
 
 #include "common/histogram.h"
 #include "common/logging.h"
+#include "sim/memory_broker.h"
 #include "sim/node.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
@@ -44,9 +45,17 @@ class JoinHashTable {
   /// `capacity_bytes` bounds the summed serialized size of resident
   /// tuples; the logical slot count is sized for ~1 tuple per slot at
   /// capacity (the charged chain geometry), the physical index for a
-  /// load factor <= 1/2 at capacity.
+  /// load factor <= 1/2 at capacity. When `broker` is non-null,
+  /// admission is arbitrated by the node's shared budget instead of the
+  /// private `capacity_bytes` ledger (sim/memory_broker.h): every
+  /// insert reserves its bytes from the broker and every eviction,
+  /// extraction, clear or destruction releases them. `capacity_bytes`
+  /// still sizes the slot geometry either way.
   JoinHashTable(sim::Node* node, const storage::Schema* schema,
-                int key_field, uint64_t capacity_bytes);
+                int key_field, uint64_t capacity_bytes,
+                sim::MemoryBroker* broker = nullptr);
+  /// Releases any remaining broker reservation.
+  ~JoinHashTable();
 
   /// Inserts the tuple (charging insert CPU) unless the byte budget
   /// would be exceeded; returns false on overflow WITHOUT inserting or
@@ -57,7 +66,7 @@ class JoinHashTable {
   /// byte-budget check runs BEFORE the copy so a rejected insert never
   /// pays for a wasted full tuple copy.
   bool Insert(const storage::Tuple& tuple, uint64_t hash) {
-    if (bytes_used_ + tuple.size() > capacity_bytes_) return false;
+    if (!HasRoomFor(tuple.size())) return false;
     return Insert(storage::Tuple(tuple), hash);
   }
 
@@ -81,7 +90,7 @@ class JoinHashTable {
     kept.reserve(entries_.size());
     for (Entry& e : entries_) {
       if (pred(e.hash)) {
-        bytes_used_ -= e.tuple.size();
+        ReleaseBytes(e.tuple.size());
         histogram_.Remove(e.hash);
         extracted.emplace_back(e.hash, std::move(e.tuple));
       } else {
@@ -211,6 +220,19 @@ class JoinHashTable {
 
   static constexpr uint32_t kEmptySlot = UINT32_MAX;
 
+  /// Would an insert of `n` bytes be admitted right now? Broker mode
+  /// asks the node's shared budget; otherwise the private ledger.
+  bool HasRoomFor(uint32_t n) const {
+    if (broker_ != nullptr) return n <= broker_->available(node_->id());
+    return bytes_used_ + n <= capacity_bytes_;
+  }
+
+  /// Returns resident bytes to whichever ledger admitted them.
+  void ReleaseBytes(uint32_t n) {
+    bytes_used_ -= n;
+    if (broker_ != nullptr) broker_->Release(node_->id(), n);
+  }
+
   /// The stored slot tag: the remixed hash's top 32 bits. Tag equality
   /// is a 1-in-4-billion filter; a tag hit still confirms exact hash
   /// and key against the arena before matching.
@@ -278,6 +300,7 @@ class JoinHashTable {
   const storage::Schema* schema_;
   int key_field_;
   uint64_t capacity_bytes_;
+  sim::MemoryBroker* broker_;  // null = private capacity ledger
   uint64_t bytes_used_ = 0;
   int logical_shift_;
   size_t num_logical_slots_;

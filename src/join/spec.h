@@ -88,10 +88,19 @@ struct JoinSpec {
   /// Run the Appendix A bucket analyzer over the chosen bucket count.
   bool use_bucket_analyzer = true;
 
-  /// Seed of the join hash function h; overflow resolution uses
-  /// h' = seed+1, h'' = seed+2, ... (the paper's changed-hash-function
-  /// rule). Must match the loading seed for HPJA behaviour.
+  /// Seed of the join hash function h; overflow resolution derives a
+  /// level-distinct h', h'', ... from it (the paper's changed-hash-
+  /// function rule; docs/overflow.md). Must match the loading seed for
+  /// HPJA behaviour.
   uint64_t hash_seed = kDefaultHashSeed;
+
+  /// Cap on overflow-resolution recursion depth (docs/overflow.md).
+  /// A sub-join still overflowing after this many repartition levels —
+  /// or one whose overflow partition stops shrinking (duplicate-heavy
+  /// keys no rehash can split) — degrades to the deterministic
+  /// block-nested-loop fallback instead of failing. 0 means the first
+  /// overflow goes straight to the fallback; must be >= 0.
+  int max_overflow_levels = 16;
 
   /// Selections applied by the scan operators (joinAselB etc.).
   db::PredicateList inner_predicate;
@@ -132,6 +141,16 @@ struct JoinStats {
   int64_t rebalance_plans = 0;
   int64_t rebalance_moved_tuples = 0;
   int64_t rebalance_replica_tuples = 0;
+  /// Block-nested-loop overflow fallback (docs/overflow.md): number of
+  /// sub-joins that degraded, and the total resident-slice passes they
+  /// ran. Zero (and unserialized) unless a fallback fired.
+  int64_t nested_loop_fallbacks = 0;
+  int64_t nested_loop_passes = 0;
+  /// Memory-broker ledger (sim/memory_broker.h): bytes spooled out of
+  /// build memory to overflow files and re-read from them by overflow
+  /// resolution. Zero (and unserialized) on no-overflow runs.
+  int64_t spill_bytes = 0;
+  int64_t refill_bytes = 0;
 };
 
 struct JoinOutput {

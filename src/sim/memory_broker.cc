@@ -1,0 +1,46 @@
+#include "sim/memory_broker.h"
+
+#include "common/logging.h"
+
+namespace gammadb::sim {
+
+MemoryBroker::MemoryBroker(int num_nodes) {
+  GAMMA_CHECK_GE(num_nodes, 1);
+  entries_.resize(static_cast<size_t>(num_nodes));
+}
+
+size_t MemoryBroker::Index(int node) const {
+  GAMMA_DCHECK(node >= 0 && static_cast<size_t>(node) < entries_.size());
+  return static_cast<size_t>(node);
+}
+
+void MemoryBroker::AddBudget(int node, uint64_t bytes) {
+  entries_[Index(node)].budget += bytes;
+}
+
+bool MemoryBroker::TryReserve(int node, uint64_t bytes) {
+  Entry& e = entries_[Index(node)];
+  if (e.used + bytes > e.budget) return false;
+  e.used += bytes;
+  return true;
+}
+
+void MemoryBroker::Release(int node, uint64_t bytes) {
+  Entry& e = entries_[Index(node)];
+  GAMMA_CHECK_GE(e.used, bytes) << "memory broker release below zero";
+  e.used -= bytes;
+}
+
+uint64_t MemoryBroker::TotalSpillBytes() const {
+  uint64_t total = 0;
+  for (const Entry& e : entries_) total += e.spill_bytes;
+  return total;
+}
+
+uint64_t MemoryBroker::TotalRefillBytes() const {
+  uint64_t total = 0;
+  for (const Entry& e : entries_) total += e.refill_bytes;
+  return total;
+}
+
+}  // namespace gammadb::sim

@@ -93,9 +93,10 @@ Status LoadFuzzRelation(db::StoredRelation* rel,
 
 /// Largest duplicate group of the inner join key. Overflow resolution
 /// re-hashes a too-big partition with changed hash functions, which can
-/// never split duplicates of one key — the engines reject plans whose
-/// memory cannot hold the biggest duplicate group on one node, so the
-/// generator floors the budget accordingly.
+/// never split duplicates of one key; the nested-loop fallback
+/// (docs/overflow.md) now absorbs that case, so the generator only
+/// floors the budget at the driver's validity minimum — unless the
+/// legacy_floor compatibility flag asks for the old multiplicity floor.
 uint32_t MaxKeyMultiplicity(const std::vector<storage::Tuple>& tuples,
                             const storage::Schema& schema) {
   std::map<int32_t, uint32_t> counts;
@@ -123,15 +124,20 @@ join::JoinSpec BuildSpec(const FuzzConfig& config, const sim::Machine& machine,
                               : spec.join_nodes.size();
   // Absolute budget (the ratio path divides by |R|, which may be 0
   // here), floored so every generated plan is valid: at least one tuple
-  // per join process (driver check) and at least the biggest
-  // duplicate group per node (overflow-resolution check) — small enough
-  // budgets still drive deep overflow, they just always terminate.
-  const uint64_t floor_bytes =
-      join_procs * inner_tuple_bytes * std::max<uint32_t>(1, inner_max_dup);
+  // per join process (driver check). The overflow path is total
+  // (docs/overflow.md), so budgets below the biggest duplicate group
+  // are fair game — they drive deep recursion into the nested-loop
+  // fallback and still terminate. legacy_floor restores the old
+  // multiplicity floor for before/after campaign comparisons.
+  uint64_t floor_bytes = join_procs * inner_tuple_bytes;
+  if (config.legacy_floor) {
+    floor_bytes *= std::max<uint32_t>(1, inner_max_dup);
+  }
   spec.memory_bytes = std::max<uint64_t>(
       floor_bytes,
       inner_bytes * static_cast<uint64_t>(config.memory_pct) / 100);
   if (config.zero_slack) spec.memory_slack = 0.0;
+  spec.max_overflow_levels = config.max_levels;
   spec.use_bit_filters = config.bit_filters;
   spec.use_forming_bit_filters = config.bit_filters && config.forming_bit_filters;
   spec.adaptive_repartition = config.adaptive_repartition;
@@ -233,6 +239,37 @@ FuzzConfig RandomConfig(uint64_t seed) {
   c.forming_bit_filters = c.bit_filters && rng.Uniform(2) == 0;
   c.adaptive_repartition = rng.Uniform(10) < 3;
   c.fault_seed = rng.Uniform(10) < 3 ? 1 + rng.Uniform(1000000) : 0;
+  c.max_levels = PickFrom(rng, {16, 16, 16, 16, 8, 4, 2, 1, 0});
+  return c;
+}
+
+FuzzConfig RandomDeepOverflowConfig(uint64_t seed) {
+  // Distinct stream from RandomConfig(seed) so the nightly campaigns
+  // don't replay each other's plans.
+  Rng rng(Mix64(seed ^ 0xDEE9'0E4F'70u));
+  FuzzConfig c;
+  c.data_seed = 1 + rng.Uniform(1u << 30);
+  // Sort-merge never overflows a hash table; keep the three hash joins.
+  c.algorithm = static_cast<join::Algorithm>(1 + rng.Uniform(3));
+  c.threads = PickFrom(rng, {1, 4, 8});
+  // Builds big enough that a starved budget recurses several levels.
+  c.inner_tuples = PickFrom<uint32_t>(rng, {16, 40, 100, 250, 600, 1000});
+  c.outer_tuples = PickFrom<uint32_t>(rng, {0, 1, 8, 60, 150, 400, 1000});
+  // Small, duplicate-heavy domains: the unsplittable-key regime.
+  c.key_domain = PickFrom<uint32_t>(rng, {1, 2, 3, 5, 10, 25, 100});
+  c.zipf_theta = PickFrom(rng, {0.0, 0.5, 1.0, 1.0, 1.5});
+  c.sel_pct = PickFrom(rng, {100, 100, 80, 50});
+  // Starved memory is the whole point of the campaign.
+  c.memory_pct = PickFrom(rng, {5, 5, 5, 10, 15, 35});
+  c.zero_slack = rng.Uniform(2) == 0;
+  c.hpja = rng.Uniform(2) == 0;
+  c.remote = rng.Uniform(4) == 0;
+  c.bit_filters = rng.Uniform(5) < 2;
+  c.forming_bit_filters = c.bit_filters && rng.Uniform(2) == 0;
+  c.adaptive_repartition = rng.Uniform(10) < 3;
+  c.fault_seed = rng.Uniform(10) < 2 ? 1 + rng.Uniform(1000000) : 0;
+  // Bias toward shallow caps so the nested-loop fallback fires often.
+  c.max_levels = PickFrom(rng, {0, 1, 2, 2, 3, 4, 8, 16});
   return c;
 }
 
@@ -240,13 +277,14 @@ std::string FuzzConfig::ToReproString() const {
   return StrFormat(
       "algo=%s threads=%d inner=%u outer=%u domain=%u theta=%.3f sel=%d "
       "mem=%d slack0=%d hpja=%d remote=%d bf=%d fbf=%d adapt=%d faults=%llu "
-      "data=%llu inject=%d",
+      "maxlvl=%d lfloor=%d data=%llu inject=%d",
       join::AlgorithmName(algorithm), threads, inner_tuples, outer_tuples,
       key_domain, zipf_theta, sel_pct, memory_pct, static_cast<int>(zero_slack),
       static_cast<int>(hpja), static_cast<int>(remote),
       static_cast<int>(bit_filters), static_cast<int>(forming_bit_filters),
       static_cast<int>(adaptive_repartition),
-      static_cast<unsigned long long>(fault_seed),
+      static_cast<unsigned long long>(fault_seed), max_levels,
+      static_cast<int>(legacy_floor),
       static_cast<unsigned long long>(data_seed),
       static_cast<int>(inject_mismatch));
 }
@@ -316,6 +354,10 @@ Result<FuzzConfig> FuzzConfig::FromReproString(const std::string& line) {
       config.adaptive_repartition = n != 0;
     } else if (key == "faults") {
       config.fault_seed = static_cast<uint64_t>(n);
+    } else if (key == "maxlvl") {
+      config.max_levels = static_cast<int>(n);
+    } else if (key == "lfloor") {
+      config.legacy_floor = n != 0;
     } else if (key == "data") {
       config.data_seed = static_cast<uint64_t>(n);
     } else if (key == "inject") {
@@ -405,6 +447,10 @@ ShrinkResult ShrinkFailure(const FuzzConfig& failing) {
   const std::vector<int> sels = {100, 80, 50, 20, 5};
   const std::vector<int> threads = {1, 4, 8};
   const std::vector<int> algos = {0, 1, 2, 3};
+  // Preference order, not numeric: a generous depth budget (16, no
+  // fallback pressure) is the "simplest" end; 0 (immediate fallback) is
+  // the most aggressive.
+  const std::vector<int> levels = {16, 8, 4, 2, 1, 0};
 
   FuzzConfig* best = &result.config;
   int* runs = &result.runs;
@@ -442,6 +488,11 @@ ShrinkResult ShrinkFailure(const FuzzConfig& failing) {
           c->algorithm = static_cast<join::Algorithm>(v);
         },
         runs);
+    progress |= TryCandidates<int>(
+        best, Before(levels, best->max_levels),
+        [](FuzzConfig* c, int v) { c->max_levels = v; }, runs);
+    progress |= try_off(best->legacy_floor,
+                        [](FuzzConfig* c, int) { c->legacy_floor = false; });
     progress |= try_off(best->zero_slack,
                         [](FuzzConfig* c, int) { c->zero_slack = false; });
     progress |=

@@ -53,6 +53,17 @@ struct FuzzConfig {
   /// 0 = fault-free; otherwise seeds sim::FaultPlan::Random, exercising
   /// transient I/O errors, packet loss/duplication and crash-restart.
   uint64_t fault_seed = 0;
+  /// JoinSpec::max_overflow_levels: recursion depth budget before the
+  /// nested-loop fallback engages (docs/overflow.md). Small values (and
+  /// 0) deliberately force the fallback.
+  int max_levels = 16;
+  /// Campaign compatibility flag (tools/join_fuzz --legacy-floor): floor
+  /// the memory budget at join_procs x tuple_bytes x max duplicate
+  /// multiplicity, as the generator did before the engine could degrade
+  /// to the nested-loop fallback. Off = only the driver's validity floor
+  /// (one tuple per join process), which lets generated plans push a
+  /// whole duplicate group past the aggregate budget.
+  bool legacy_floor = false;
   /// Test hook for the shrinker itself: pretends the engine digest is
   /// wrong whenever bit_filters && inner_tuples >= 2 &&
   /// outer_tuples >= 32, so tests can assert the shrinker converges to
@@ -68,6 +79,12 @@ struct FuzzConfig {
 
 /// Deterministic config synthesis: same seed, same plan.
 FuzzConfig RandomConfig(uint64_t seed);
+
+/// Deterministic config synthesis biased into the deep-overflow regime
+/// (tools/join_fuzz --deep-overflow): tiny memory budgets, small skewed
+/// key domains, zero slack most of the time, and a recursion-depth axis
+/// weighted toward values that force the nested-loop fallback.
+FuzzConfig RandomDeepOverflowConfig(uint64_t seed);
 
 struct FuzzRunResult {
   join::ResultDigest oracle;

@@ -167,22 +167,34 @@ TEST_F(PlanTest, ChooserFollowsSectionFiveRule) {
   // Skewed inner with plenty of memory: still Hybrid ("we find it very
   // encouraging that Hybrid still performs best...").
   EXPECT_EQ(ChooseJoinAlgorithm(skewed, 1.0), join::Algorithm::kHybridHash);
-  // Skewed inner and limited memory: sort-merge (Section 5).
-  EXPECT_EQ(ChooseJoinAlgorithm(skewed, 0.17), join::Algorithm::kSortMerge);
-
-  // With run-time rebalancing available (docs/skew.md), the
-  // conservative fallback retires: adaptive Hybrid absorbs the skew
-  // inside each bucket's sub-join.
+  // Skewed inner and limited memory on the paper's ORIGINAL executor
+  // (no adaptive repartitioning, overflow failures fatal): sort-merge
+  // (Section 5).
   EXPECT_EQ(ChooseJoinAlgorithm(skewed, 0.17,
-                                /*adaptive_repartition_available=*/true),
+                                /*adaptive_repartition_available=*/false,
+                                /*robust_overflow_available=*/false),
+            join::Algorithm::kSortMerge);
+  // This executor's overflow resolution is total (bounded recursion +
+  // nested-loop degrade, docs/overflow.md), so by default the
+  // conservative fallback is retired even without rebalancing.
+  EXPECT_EQ(ChooseJoinAlgorithm(skewed, 0.17), join::Algorithm::kHybridHash);
+
+  // Run-time rebalancing alone (docs/skew.md) retires it too: adaptive
+  // Hybrid absorbs the skew inside each bucket's sub-join.
+  EXPECT_EQ(ChooseJoinAlgorithm(skewed, 0.17,
+                                /*adaptive_repartition_available=*/true,
+                                /*robust_overflow_available=*/false),
             join::Algorithm::kHybridHash);
   EXPECT_EQ(ChooseJoinAlgorithm(uniform, 0.17,
                                 /*adaptive_repartition_available=*/true),
             join::Algorithm::kHybridHash);
 }
 
-TEST_F(PlanTest, PlannerPicksSortMergeForSkewedLowMemoryJoin) {
-  // Build a skewed inner relation and let the plan choose.
+TEST_F(PlanTest, PlannerKeepsHybridForSkewedLowMemoryJoin) {
+  // Build a skewed inner relation and let the plan choose. The
+  // sort-merge skew fallback is retired (docs/overflow.md): the
+  // overflow path is total, so the planner stays with Hybrid and the
+  // join must still complete correctly.
   wisconsin::GenOptions gen;
   gen.cardinality = 2000;
   gen.seed = 18;
@@ -203,7 +215,7 @@ TEST_F(PlanTest, PlannerPicksSortMergeForSkewedLowMemoryJoin) {
                          wf::kUnique1, options);
   auto result = ExecutePlan(machine_, catalog_, plan, "skew_answer");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_NE(result->steps[0].description.find("sort-merge"),
+  EXPECT_NE(result->steps[0].description.find("hybrid-hash"),
             std::string::npos)
       << result->steps[0].description;
   EXPECT_TRUE(catalog_.Drop("skew_answer").ok());

@@ -1,0 +1,70 @@
+// Unit tests of the per-node build-memory broker (sim/memory_broker.h):
+// budget arithmetic, shared admission across co-resident consumers, and
+// the spill/refill observability ledger.
+#include "sim/memory_broker.h"
+
+#include <gtest/gtest.h>
+
+namespace gammadb::sim {
+namespace {
+
+TEST(MemoryBrokerTest, StartsEmpty) {
+  MemoryBroker broker(3);
+  for (int node = 0; node < 3; ++node) {
+    EXPECT_EQ(broker.budget(node), 0u);
+    EXPECT_EQ(broker.used(node), 0u);
+    EXPECT_EQ(broker.available(node), 0u);
+  }
+  EXPECT_EQ(broker.TotalSpillBytes(), 0u);
+  EXPECT_EQ(broker.TotalRefillBytes(), 0u);
+  // Zero budget admits nothing (but a zero-byte reservation is fine).
+  EXPECT_FALSE(broker.TryReserve(0, 1));
+  EXPECT_TRUE(broker.TryReserve(0, 0));
+}
+
+TEST(MemoryBrokerTest, ReserveAndReleaseTrackTheLedger) {
+  MemoryBroker broker(2);
+  broker.AddBudget(0, 100);
+  EXPECT_EQ(broker.budget(0), 100u);
+  EXPECT_TRUE(broker.TryReserve(0, 60));
+  EXPECT_EQ(broker.used(0), 60u);
+  EXPECT_EQ(broker.available(0), 40u);
+  // Over-budget reservation fails WITHOUT reserving anything.
+  EXPECT_FALSE(broker.TryReserve(0, 41));
+  EXPECT_EQ(broker.used(0), 60u);
+  EXPECT_TRUE(broker.TryReserve(0, 40));
+  EXPECT_EQ(broker.available(0), 0u);
+  broker.Release(0, 100);
+  EXPECT_EQ(broker.used(0), 0u);
+  // Node 1 is an independent pool.
+  EXPECT_FALSE(broker.TryReserve(1, 1));
+}
+
+TEST(MemoryBrokerTest, CoResidentProcessesShareOneBudget) {
+  // Two join processes placed on node 0 each contribute their capacity
+  // share; admission then draws on the SUM, not on two private copies —
+  // together they can never hold more than the node owns.
+  MemoryBroker broker(1);
+  broker.AddBudget(0, 50);
+  broker.AddBudget(0, 50);
+  EXPECT_EQ(broker.budget(0), 100u);
+  EXPECT_TRUE(broker.TryReserve(0, 70));   // process A takes 70...
+  EXPECT_FALSE(broker.TryReserve(0, 40));  // ...so B cannot also take 40
+  EXPECT_TRUE(broker.TryReserve(0, 30));
+}
+
+TEST(MemoryBrokerTest, SpillRefillTotalsAccumulateAcrossNodes) {
+  MemoryBroker broker(3);
+  broker.NoteSpill(0, 10);
+  broker.NoteSpill(2, 5);
+  broker.NoteRefill(1, 7);
+  broker.NoteSpill(0, 1);
+  EXPECT_EQ(broker.TotalSpillBytes(), 16u);
+  EXPECT_EQ(broker.TotalRefillBytes(), 7u);
+  // Observability never affects admission.
+  broker.AddBudget(0, 8);
+  EXPECT_TRUE(broker.TryReserve(0, 8));
+}
+
+}  // namespace
+}  // namespace gammadb::sim

@@ -75,17 +75,30 @@ int main(int argc, char** argv) {
     Usage(argv[0], "expected exactly two JSON files");
   }
 
-  auto baseline = gammadb::ReadJsonFile(files[0]);
-  if (!baseline.ok()) {
-    std::fprintf(stderr, "baseline: %s\n", baseline.status().ToString().c_str());
-    return 2;
-  }
-  auto candidate = gammadb::ReadJsonFile(files[1]);
-  if (!candidate.ok()) {
-    std::fprintf(stderr, "candidate: %s\n",
-                 candidate.status().ToString().c_str());
-    return 2;
-  }
+  // Distinguish the two failure classes a CI log needs to tell apart:
+  // a missing baseline means "generate and commit one", an unreadable
+  // or unparseable file means the artifact itself is corrupt.
+  const auto read_side =
+      [](const char* which,
+         const std::string& path) -> gammadb::Result<gammadb::JsonValue> {
+    gammadb::Result<gammadb::JsonValue> doc = gammadb::ReadJsonFile(path);
+    if (doc.ok()) return doc;
+    if (doc.status().code() == gammadb::StatusCode::kNotFound) {
+      std::fprintf(stderr,
+                   "%s file missing: %s\n"
+                   "  (run the bench with --json to generate it, then "
+                   "commit the refreshed baseline)\n",
+                   which, path.c_str());
+    } else {
+      std::fprintf(stderr, "%s file unreadable or unparseable: %s\n  %s\n",
+                   which, path.c_str(), doc.status().ToString().c_str());
+    }
+    return doc;
+  };
+  auto baseline = read_side("baseline", files[0]);
+  if (!baseline.ok()) return 2;
+  auto candidate = read_side("candidate", files[1]);
+  if (!candidate.ok()) return 2;
 
   if (wallclock_summary) {
     std::fputs(
