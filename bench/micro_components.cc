@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/histogram.h"
 #include "common/random.h"
 #include "gamma/bit_filter.h"
@@ -124,8 +125,8 @@ void BM_ExternalSort(benchmark::State& state) {
     storage::ExternalSort sort(&BenchMachine().node(0), &BenchSchema(),
                                wisconsin::fields::kUnique1,
                                /*memory_pages=*/8);
-    for (const auto& t : tuples) sort.Add(t);
-    sort.FinishInput();
+    for (const auto& t : tuples) GAMMA_CHECK_OK(sort.Add(t));
+    GAMMA_CHECK_OK(sort.FinishInput());
     auto stream = sort.OpenStream();
     storage::Tuple t;
     size_t n = 0;
@@ -192,8 +193,8 @@ void BM_HeapFileAppendScan(benchmark::State& state) {
   const auto tuples = BenchTuples(static_cast<uint32_t>(state.range(0)));
   for (auto _ : state) {
     storage::HeapFile file(&BenchMachine().node(0), &BenchSchema(), "bm");
-    for (const auto& t : tuples) file.Append(t);
-    file.FlushAppends();
+    for (const auto& t : tuples) GAMMA_CHECK_OK(file.Append(t));
+    GAMMA_CHECK_OK(file.FlushAppends());
     auto scanner = file.Scan();
     storage::Tuple t;
     size_t n = 0;

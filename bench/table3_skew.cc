@@ -18,6 +18,7 @@
 
 #include "common/harness.h"
 #include "common/logging.h"
+#include "common/strings.h"
 
 using gammadb::bench::SkewBench;
 using gammadb::bench::ZipfBench;
@@ -45,12 +46,12 @@ std::optional<double> TakeZipfFlag(int& argc, char** argv) {
       argv[out++] = argv[i];
       continue;
     }
-    char* end = nullptr;
-    theta = std::strtod(value, &end);
-    if (end == value || *end != '\0' || *theta < 0) {
+    double parsed = 0.0;
+    if (!gammadb::ParseDouble(value, &parsed) || parsed < 0) {
       std::fprintf(stderr, "--zipf: '%s' is not a valid theta\n", value);
       std::exit(2);
     }
+    theta = parsed;
   }
   argc = out;
   return theta;

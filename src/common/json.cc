@@ -242,7 +242,7 @@ class Parser {
   }
 
   Result<JsonValue> ParseObject(int depth) {
-    GAMMA_RETURN_NOT_OK(Expect('{'));
+    GAMMA_RETURN_IF_ERROR(Expect('{'));
     JsonValue::Object members;
     SkipWhitespace();
     if (Consume('}')) return JsonValue(std::move(members));
@@ -250,18 +250,18 @@ class Parser {
       SkipWhitespace();
       GAMMA_ASSIGN_OR_RETURN(std::string key, ParseString());
       SkipWhitespace();
-      GAMMA_RETURN_NOT_OK(Expect(':'));
+      GAMMA_RETURN_IF_ERROR(Expect(':'));
       GAMMA_ASSIGN_OR_RETURN(JsonValue value, ParseValue(depth + 1));
       members.emplace_back(std::move(key), std::move(value));
       SkipWhitespace();
       if (Consume(',')) continue;
-      GAMMA_RETURN_NOT_OK(Expect('}'));
+      GAMMA_RETURN_IF_ERROR(Expect('}'));
       return JsonValue(std::move(members));
     }
   }
 
   Result<JsonValue> ParseArray(int depth) {
-    GAMMA_RETURN_NOT_OK(Expect('['));
+    GAMMA_RETURN_IF_ERROR(Expect('['));
     JsonValue::Array items;
     SkipWhitespace();
     if (Consume(']')) return JsonValue(std::move(items));
@@ -270,7 +270,7 @@ class Parser {
       items.push_back(std::move(value));
       SkipWhitespace();
       if (Consume(',')) continue;
-      GAMMA_RETURN_NOT_OK(Expect(']'));
+      GAMMA_RETURN_IF_ERROR(Expect(']'));
       return JsonValue(std::move(items));
     }
   }
@@ -314,7 +314,7 @@ class Parser {
   }
 
   Result<std::string> ParseString() {
-    GAMMA_RETURN_NOT_OK(Expect('"'));
+    GAMMA_RETURN_IF_ERROR(Expect('"'));
     std::string out;
     for (;;) {
       if (pos_ >= text_.size()) return Error("unterminated string");

@@ -33,7 +33,12 @@ const char* StatusCodeToString(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the success case (no
 /// allocation); failures carry a code and a human-readable message.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides exactly the failures
+/// the fault-injection path (docs/fault_injection.md) exists to surface.
+/// A deliberate discard must say so via IgnoreError() — `(void)` casts
+/// are rejected by gamma_lint (docs/static_analysis.md).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -104,7 +109,7 @@ class Status {
 /// A value of type T or a failure Status. The value is only accessible
 /// when status().ok().
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from Status so `return value;` and
   /// `return Status::...;` both work (matching Arrow's Result<T>).
@@ -139,8 +144,11 @@ class Result {
 
 }  // namespace gammadb
 
-/// Propagates a non-OK Status to the caller.
-#define GAMMA_RETURN_NOT_OK(expr)                 \
+/// Propagates a non-OK Status to the caller. The canonical spelling for
+/// status-check boilerplate: `Status s = ...; if (!s.ok()) return s;`
+/// hand-rolled at call sites is flagged in review, and silent drops are
+/// rejected by [[nodiscard]] plus gamma_lint (docs/static_analysis.md).
+#define GAMMA_RETURN_IF_ERROR(expr)               \
   do {                                            \
     ::gammadb::Status _st = (expr);                 \
     if (!_st.ok()) return _st;                    \

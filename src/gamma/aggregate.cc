@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <mutex>
-#include <unordered_map>
+#include <map>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -107,13 +107,13 @@ Result<AggregateOutput> ExecuteAggregate(sim::Machine& machine,
   };
   const bool grouped = spec.group_by_field >= 0;
   if (grouped) {
-    GAMMA_RETURN_NOT_OK(check_int32_field(spec.group_by_field, "group field"));
+    GAMMA_RETURN_IF_ERROR(check_int32_field(spec.group_by_field, "group field"));
   }
   if (spec.function != AggFunction::kCount) {
-    GAMMA_RETURN_NOT_OK(check_int32_field(spec.value_field, "value field"));
+    GAMMA_RETURN_IF_ERROR(check_int32_field(spec.value_field, "value field"));
   }
   for (const Predicate& p : spec.predicate) {
-    GAMMA_RETURN_NOT_OK(check_int32_field(p.field, "predicate field"));
+    GAMMA_RETURN_IF_ERROR(check_int32_field(p.field, "predicate field"));
   }
   std::vector<int> agg_nodes =
       spec.agg_nodes.empty() ? machine.DiskNodeIds() : spec.agg_nodes;
@@ -149,7 +149,7 @@ Result<AggregateOutput> ExecuteAggregate(sim::Machine& machine,
     for (size_t i = 0; i < disks.size(); ++i) {
       if (disks[i] == n.id()) di = i;
     }
-    std::unordered_map<int32_t, Partial> partials;
+    std::map<int32_t, Partial> partials;
     auto scanner = input->fragment(di).Scan();
     storage::Tuple t;
     while (scanner.Next(&t)) {
@@ -195,7 +195,7 @@ Result<AggregateOutput> ExecuteAggregate(sim::Machine& machine,
     for (size_t i = 0; i < agg_nodes.size(); ++i) {
       if (agg_nodes[i] == n.id()) ai = i;
     }
-    std::unordered_map<int32_t, Partial> merged;
+    std::map<int32_t, Partial> merged;
     for (const PartialMsg& m : partial_exchange.TakeInbox(n.id())) {
       n.ChargeCpu(n.cost().cpu_aggregate_seconds,
                   sim::CostCategory::kAggregate);

@@ -106,7 +106,7 @@ struct PlanExecutor {
             sink_name.empty()) {
           // Pass-through: consumers scan the base relation directly
           // (the select executes inside their scan operators).
-          GAMMA_RETURN_NOT_OK(catalog.Get(node.relation).status());
+          GAMMA_RETURN_IF_ERROR(catalog.Get(node.relation).status());
           return node.relation;
         }
         SelectSpec spec;
@@ -131,7 +131,7 @@ struct PlanExecutor {
                 PredicateList* pushed) -> Result<std::string> {
           if (child.kind == Plan::Node::Kind::kScan &&
               child.projection.empty()) {
-            GAMMA_RETURN_NOT_OK(catalog.Get(child.relation).status());
+            GAMMA_RETURN_IF_ERROR(catalog.Get(child.relation).status());
             *pushed = child.predicate;
             return child.relation;
           }

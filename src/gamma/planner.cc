@@ -1,7 +1,7 @@
 #include "gamma/planner.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <map>
 
 #include "common/logging.h"
 
@@ -19,7 +19,7 @@ Result<ColumnStats> AnalyzeColumn(const StoredRelation& relation, int field) {
   ColumnStats stats;
   stats.min_value = INT32_MAX;
   stats.max_value = INT32_MIN;
-  std::unordered_map<int32_t, size_t> frequencies;
+  std::map<int32_t, size_t> frequencies;
   for (const storage::Tuple& t : relation.PeekAllTuples()) {
     const int32_t v = t.GetInt32(schema, static_cast<size_t>(field));
     ++stats.cardinality;

@@ -56,10 +56,10 @@ Result<DmlOutput> ExecuteUpdate(sim::Machine& machine, Catalog& catalog,
     return Status::InvalidArgument("update with no assignments");
   }
   for (const Predicate& p : spec.predicate) {
-    GAMMA_RETURN_NOT_OK(ValidateInt32Field(schema, p.field, "predicate field"));
+    GAMMA_RETURN_IF_ERROR(ValidateInt32Field(schema, p.field, "predicate field"));
   }
   for (const Assignment& a : spec.assignments) {
-    GAMMA_RETURN_NOT_OK(ValidateInt32Field(schema, a.field, "assigned field"));
+    GAMMA_RETURN_IF_ERROR(ValidateInt32Field(schema, a.field, "assigned field"));
     const bool placement_sensitive =
         relation->strategy == PartitionStrategy::kHashed ||
         relation->strategy == PartitionStrategy::kRangeUser ||
@@ -98,7 +98,7 @@ Result<DmlOutput> ExecuteDelete(sim::Machine& machine, Catalog& catalog,
                          catalog.Get(relation_name));
   const storage::Schema& schema = relation->schema();
   for (const Predicate& p : predicate) {
-    GAMMA_RETURN_NOT_OK(ValidateInt32Field(schema, p.field, "predicate field"));
+    GAMMA_RETURN_IF_ERROR(ValidateInt32Field(schema, p.field, "predicate field"));
   }
   return RunDmlPhase(
       machine, relation, "delete",

@@ -83,18 +83,18 @@ Status RunGrace(sim::Machine& machine, HashJoinEngine& engine,
 
   // Bucket-forming: both relations are written back to disk before any
   // joining starts (the defining property of the Grace algorithm).
-  GAMMA_RETURN_NOT_OK(engine.PartitionPhase(
+  GAMMA_RETURN_IF_ERROR(engine.PartitionPhase(
       "grace form R", table,
       engine.RelationProducers(inner, &spec.inner_predicate), spec.hash_seed,
       HashJoinEngine::Side::kInner, &r_buckets));
-  GAMMA_RETURN_NOT_OK(engine.PartitionPhase(
+  GAMMA_RETURN_IF_ERROR(engine.PartitionPhase(
       "grace form S", table,
       engine.RelationProducers(outer, &spec.outer_predicate), spec.hash_seed,
       HashJoinEngine::Side::kOuter, &s_buckets));
 
   // Bucket-joining: each bucket is an independent sub-join.
   for (int b = 1; b <= num_buckets; ++b) {
-    GAMMA_RETURN_NOT_OK(engine.RunSubJoin(
+    GAMMA_RETURN_IF_ERROR(engine.RunSubJoin(
         "grace bucket " + std::to_string(b),
         engine.BucketProducers(&r_buckets, b),
         engine.BucketProducers(&s_buckets, b), spec.hash_seed));
@@ -121,22 +121,22 @@ Status RunHybrid(sim::Machine& machine, HashJoinEngine& engine,
   // Partitioning of R overlaps with building bucket 0's hash tables;
   // partitioning of S overlaps with probing bucket 0.
   engine.StartSubJoin();
-  GAMMA_RETURN_NOT_OK(engine.PartitionPhase(
+  GAMMA_RETURN_IF_ERROR(engine.PartitionPhase(
       "hybrid partition R", table,
       engine.RelationProducers(inner, &spec.inner_predicate), spec.hash_seed,
       HashJoinEngine::Side::kInner, r_files));
   // Adaptive repartitioning of bucket 0 happens before S is scanned, so
   // an overridden bin's probe tuples route straight to their new homes.
-  GAMMA_RETURN_NOT_OK(engine.MaybeRebalance("hybrid rebalance"));
-  GAMMA_RETURN_NOT_OK(engine.PartitionPhase(
+  GAMMA_RETURN_IF_ERROR(engine.MaybeRebalance("hybrid rebalance"));
+  GAMMA_RETURN_IF_ERROR(engine.PartitionPhase(
       "hybrid partition S", table,
       engine.RelationProducers(outer, &spec.outer_predicate), spec.hash_seed,
       HashJoinEngine::Side::kOuter, s_files));
-  GAMMA_RETURN_NOT_OK(engine.ResolveOverflows("hybrid b0 ovfl", spec.hash_seed));
+  GAMMA_RETURN_IF_ERROR(engine.ResolveOverflows("hybrid b0 ovfl", spec.hash_seed));
 
   // The stored N-1 buckets join exactly like Grace buckets.
   for (int b = 1; b <= num_buckets - 1; ++b) {
-    GAMMA_RETURN_NOT_OK(engine.RunSubJoin(
+    GAMMA_RETURN_IF_ERROR(engine.RunSubJoin(
         "hybrid bucket " + std::to_string(b),
         engine.BucketProducers(&r_buckets, b),
         engine.BucketProducers(&s_buckets, b), spec.hash_seed));
@@ -154,8 +154,8 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
                          catalog.Get(spec.inner_relation));
   GAMMA_ASSIGN_OR_RETURN(db::StoredRelation * outer,
                          catalog.Get(spec.outer_relation));
-  GAMMA_RETURN_NOT_OK(ValidateField(inner, spec.inner_field, "inner"));
-  GAMMA_RETURN_NOT_OK(ValidateField(outer, spec.outer_field, "outer"));
+  GAMMA_RETURN_IF_ERROR(ValidateField(inner, spec.inner_field, "inner"));
+  GAMMA_RETURN_IF_ERROR(ValidateField(outer, spec.outer_field, "outer"));
 
   // One entry per join PROCESS; a node id may repeat to run several
   // join processes on one processor (Appendix A's remedy for skewed
@@ -300,7 +300,7 @@ Result<JoinOutput> ExecuteJoin(sim::Machine& machine, db::Catalog& catalog,
       default:
         run_status = Status::Internal("unhandled algorithm");
     }
-    GAMMA_RETURN_NOT_OK(run_status);
+    GAMMA_RETURN_IF_ERROR(run_status);
     return engine.FinalizeResult();
   };
 

@@ -52,7 +52,7 @@ Status BucketFileSet::FlushFilesOwnedBy(int node_id) {
   for (auto& row : files_) {
     for (auto& file : row) {
       if (file->node()->id() == node_id) {
-        GAMMA_RETURN_NOT_OK(file->FlushAppends());
+        GAMMA_RETURN_IF_ERROR(file->FlushAppends());
       }
     }
   }
@@ -127,7 +127,7 @@ size_t HashJoinEngine::DiskIndexOf(int node_id) const {
   for (size_t i = 0; i < config_.disk_nodes.size(); ++i) {
     if (config_.disk_nodes[i] == node_id) return i;
   }
-  GAMMA_LOG(Fatal) << "node " << node_id << " is not a disk node";
+  GAMMA_CHECK(false) << "node " << node_id << " is not a disk node";
   return 0;
 }
 
@@ -815,7 +815,7 @@ Status HashJoinEngine::ResolveOverflows(const std::string& label,
                 storage::HeapFile* file =
                     inner_side ? taken[ji].r.get() : taken[ji].s.get();
                 if (file == nullptr) continue;
-                GAMMA_RETURN_NOT_OK(file->FlushAppends());
+                GAMMA_RETURN_IF_ERROR(file->FlushAppends());
                 if (config_.broker != nullptr) {
                   config_.broker->NoteRefill(n.id(), file->data_bytes());
                 }
@@ -823,7 +823,7 @@ Status HashJoinEngine::ResolveOverflows(const std::string& label,
                 auto scanner = file->Scan();
                 storage::TupleBlock block;
                 while (scanner.NextBlock(&block)) yield(block);
-                GAMMA_RETURN_NOT_OK(scanner.status());
+                GAMMA_RETURN_IF_ERROR(scanner.status());
               }
               return Status::OK();
             },
@@ -847,7 +847,7 @@ Status HashJoinEngine::ResolveOverflows(const std::string& label,
       if (t.r != nullptr) t.r->Free();
       if (t.s != nullptr) t.s->Free();
     }
-    GAMMA_RETURN_NOT_OK(st);
+    GAMMA_RETURN_IF_ERROR(st);
   }
   return Status::OK();
 }
@@ -886,7 +886,7 @@ Status HashJoinEngine::NestedLoopFallback(const std::string& label,
               storage::HeapFile* file =
                   inner_side ? taken[ji].r.get() : taken[ji].s.get();
               if (file == nullptr) continue;
-              GAMMA_RETURN_NOT_OK(file->FlushAppends());
+              GAMMA_RETURN_IF_ERROR(file->FlushAppends());
               if (config_.broker != nullptr) {
                 config_.broker->NoteRefill(n.id(), file->data_bytes());
               }
@@ -914,7 +914,7 @@ Status HashJoinEngine::NestedLoopFallback(const std::string& label,
                                  block.view(i).size);
                 }
               }
-              GAMMA_RETURN_NOT_OK(scanner.status());
+              GAMMA_RETURN_IF_ERROR(scanner.status());
             }
             return Status::OK();
           });
@@ -1042,7 +1042,7 @@ Status HashJoinEngine::NestedLoopFallback(const std::string& label,
       if (t.r != nullptr) t.r->Free();
       if (t.s != nullptr) t.s->Free();
     }
-    GAMMA_RETURN_NOT_OK(fallback_status);
+    GAMMA_RETURN_IF_ERROR(fallback_status);
   }
   return Status::OK();
 }
@@ -1053,11 +1053,11 @@ Status HashJoinEngine::RunSubJoin(const std::string& label,
                                   uint64_t seed) {
   StartSubJoin();
   const db::SplitTable joining = db::SplitTable::Joining(config_.join_nodes);
-  GAMMA_RETURN_NOT_OK(PartitionPhase(label + " build", joining,
+  GAMMA_RETURN_IF_ERROR(PartitionPhase(label + " build", joining,
                                      build_producers, seed, Side::kInner,
                                      nullptr));
-  GAMMA_RETURN_NOT_OK(MaybeRebalance(label + " rebalance"));
-  GAMMA_RETURN_NOT_OK(PartitionPhase(label + " probe", joining,
+  GAMMA_RETURN_IF_ERROR(MaybeRebalance(label + " rebalance"));
+  GAMMA_RETURN_IF_ERROR(PartitionPhase(label + " probe", joining,
                                      probe_producers, seed, Side::kOuter,
                                      nullptr));
   return ResolveOverflows(label + " ovfl", seed);

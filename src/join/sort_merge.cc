@@ -295,7 +295,7 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
   // via the ExternalSort destructor).
   const auto run = [&]() -> Status {
     // Phase 1: redistribute R into per-site temporary files.
-    GAMMA_RETURN_NOT_OK(partition_phase("sm partition R", params.inner,
+    GAMMA_RETURN_IF_ERROR(partition_phase("sm partition R", params.inner,
                                         params.inner_predicate,
                                         params.inner_field,
                                         /*is_inner=*/true, sites));
@@ -414,7 +414,7 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
       }
       const Status end = machine.EndPhase();
       if (reb_status.ok()) reb_status = end;
-      GAMMA_RETURN_NOT_OK(reb_status);
+      GAMMA_RETURN_IF_ERROR(reb_status);
     }
 
     // Phase 2: sort the local R' files in parallel.
@@ -428,14 +428,14 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
           }
           sites[di].r_sort = std::make_unique<storage::ExternalSort>(
               &n, &r_schema, params.inner_field, sort_pages_per_node);
-          GAMMA_RETURN_NOT_OK(sites[di].r_sort->AddFile(*sites[di].r_temp));
+          GAMMA_RETURN_IF_ERROR(sites[di].r_sort->AddFile(*sites[di].r_temp));
           sites[di].r_temp->Free();
           return sites[di].r_sort->FinishInput();
         });
     {
       const Status end = machine.EndPhase();
       if (sort_status.ok()) sort_status = end;
-      GAMMA_RETURN_NOT_OK(sort_status);
+      GAMMA_RETURN_IF_ERROR(sort_status);
     }
     if (filter != nullptr) {
       // Ship the assembled filter packet to the producing sites before S
@@ -443,11 +443,11 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
       machine.BeginPhase("sm filter dist");
       db::ChargeFilterDistribution(machine, static_cast<int>(d),
                                    static_cast<int>(d));
-      GAMMA_RETURN_NOT_OK(machine.EndPhase());
+      GAMMA_RETURN_IF_ERROR(machine.EndPhase());
     }
 
     // Phase 3: redistribute S (filtered at the producers).
-    GAMMA_RETURN_NOT_OK(partition_phase("sm partition S", params.outer,
+    GAMMA_RETURN_IF_ERROR(partition_phase("sm partition S", params.outer,
                                         params.outer_predicate,
                                         params.outer_field,
                                         /*is_inner=*/false, sites));
@@ -463,14 +463,14 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
           }
           sites[di].s_sort = std::make_unique<storage::ExternalSort>(
               &n, &s_schema, params.outer_field, sort_pages_per_node);
-          GAMMA_RETURN_NOT_OK(sites[di].s_sort->AddFile(*sites[di].s_temp));
+          GAMMA_RETURN_IF_ERROR(sites[di].s_sort->AddFile(*sites[di].s_temp));
           sites[di].s_temp->Free();
           return sites[di].s_sort->FinishInput();
         });
     {
       const Status end = machine.EndPhase();
       if (sort_status.ok()) sort_status = end;
-      GAMMA_RETURN_NOT_OK(sort_status);
+      GAMMA_RETURN_IF_ERROR(sort_status);
     }
 
     for (const SiteState& site : sites) {
@@ -506,7 +506,7 @@ Status RunSortMergeJoin(sim::Machine& machine, const SortMergeParams& params,
                 store_exchange.Send(n.id(), disks[target], std::move(result),
                                     bytes);
               });
-          GAMMA_RETURN_NOT_OK(r_stream->status());
+          GAMMA_RETURN_IF_ERROR(r_stream->status());
           return s_stream->status();
         });
     {

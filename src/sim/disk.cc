@@ -69,14 +69,14 @@ Status Disk::RunIoAttempts(AccessPattern pattern, bool is_write) const {
 
 Status Disk::WritePage(PageId id, const uint8_t* data, AccessPattern pattern) {
   GAMMA_DCHECK(id < pages_.size());
-  GAMMA_RETURN_NOT_OK(RunIoAttempts(pattern, /*is_write=*/true));
+  GAMMA_RETURN_IF_ERROR(RunIoAttempts(pattern, /*is_write=*/true));
   std::memcpy(pages_[id].get(), data, cost_->page_bytes);
   return Status::OK();
 }
 
 Status Disk::ReadPage(PageId id, uint8_t* out, AccessPattern pattern) const {
   GAMMA_DCHECK(id < pages_.size());
-  GAMMA_RETURN_NOT_OK(RunIoAttempts(pattern, /*is_write=*/false));
+  GAMMA_RETURN_IF_ERROR(RunIoAttempts(pattern, /*is_write=*/false));
   std::memcpy(out, pages_[id].get(), cost_->page_bytes);
   return Status::OK();
 }
@@ -84,7 +84,7 @@ Status Disk::ReadPage(PageId id, uint8_t* out, AccessPattern pattern) const {
 Status Disk::ReadPageRef(PageId id, const uint8_t** out,
                          AccessPattern pattern) const {
   GAMMA_DCHECK(id < pages_.size());
-  GAMMA_RETURN_NOT_OK(RunIoAttempts(pattern, /*is_write=*/false));
+  GAMMA_RETURN_IF_ERROR(RunIoAttempts(pattern, /*is_write=*/false));
   *out = pages_[id].get();
   return Status::OK();
 }

@@ -165,7 +165,7 @@ Status Machine::TryRunOnNodes(const std::vector<int>& ids,
   }
   executor_.Run(std::move(tasks));
   for (const Status& status : statuses) {
-    if (!status.ok()) return status;
+    GAMMA_RETURN_IF_ERROR(status);
   }
   return Status::OK();
 }

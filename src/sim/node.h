@@ -36,13 +36,15 @@ class Node {
   /// Attribution is a parallel account: the cpu_seconds accumulation
   /// order is independent of how charges are categorized, so
   /// categorizing a call site can never change the simulated clock.
-  void ChargeCpu(double seconds, CostCategory category = CostCategory::kOther) {
+  /// The category parameter is deliberately not defaulted: every charge
+  /// site must name the cost-model primitive it pays for (enforced
+  /// again by gamma_lint's cost/uncategorized-charge rule).
+  void ChargeCpu(double seconds, CostCategory category) {
     phase_usage_.cpu_seconds += seconds;
     phase_usage_.by_category[static_cast<size_t>(category)] += seconds;
   }
   /// Adds disk-device time to the current phase.
-  void ChargeDisk(double seconds,
-                  CostCategory category = CostCategory::kDiskSeq) {
+  void ChargeDisk(double seconds, CostCategory category) {
     phase_usage_.disk_seconds += seconds;
     phase_usage_.by_category[static_cast<size_t>(category)] += seconds;
   }

@@ -43,7 +43,7 @@ Status ByteFile::FlushAppends() {
   while (tail_.size() >= page_bytes()) {
     // A previous Append failed mid-write and left whole pages buffered.
     const sim::PageId id = node_->disk().AllocatePage();
-    GAMMA_RETURN_NOT_OK(node_->disk().WritePage(
+    GAMMA_RETURN_IF_ERROR(node_->disk().WritePage(
         id, tail_.data(), sim::AccessPattern::kSequential));
     pages_.push_back(id);
     tail_.erase(tail_.begin(), tail_.begin() + page_bytes());
@@ -86,7 +86,7 @@ Status ByteFile::ReadAt(uint64_t offset, size_t n, uint8_t* out) const {
     const sim::AccessPattern pattern = pos == last_read_end_
                                            ? sim::AccessPattern::kSequential
                                            : sim::AccessPattern::kRandom;
-    GAMMA_RETURN_NOT_OK(
+    GAMMA_RETURN_IF_ERROR(
         node_->disk().ReadPage(pages_[page_index], page.data(), pattern));
     std::memcpy(out + produced, page.data() + in_page, take);
     produced += take;

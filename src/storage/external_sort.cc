@@ -150,7 +150,7 @@ Status ExternalSort::Add(const Tuple& tuple) {
   buffer_.push_back(tuple);
   ++tuple_count_;
   if (buffer_.size() >= buffer_capacity_tuples_) {
-    GAMMA_RETURN_NOT_OK(SpillRun());
+    GAMMA_RETURN_IF_ERROR(SpillRun());
   }
   return Status::OK();
 }
@@ -171,7 +171,7 @@ Status ExternalSort::AddFile(const HeapFile& file) {
       buffer_.emplace_back(v.data, v.size);
       ++tuple_count_;
       if (buffer_.size() >= buffer_capacity_tuples_) {
-        GAMMA_RETURN_NOT_OK(SpillRun());
+        GAMMA_RETURN_IF_ERROR(SpillRun());
       }
     }
   }
@@ -239,7 +239,7 @@ Status ExternalSort::FinishInput() {
     SortBuffer();
     return Status::OK();
   }
-  GAMMA_RETURN_NOT_OK(SpillRun());  // tail
+  GAMMA_RETURN_IF_ERROR(SpillRun());  // tail
   const size_t fan_in = static_cast<size_t>(memory_pages_ - 1);
   // Intermediate merges until one streamed merge suffices. Merge the
   // SMALLEST runs first and only as many as needed (the textbook

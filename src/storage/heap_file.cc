@@ -42,21 +42,21 @@ Status HeapFile::AppendRecord(const uint8_t* record) {
   }
   if (writer_->Full()) {
     // A previous full-page write failed; retry before accepting more.
-    GAMMA_RETURN_NOT_OK(WritePendingPage());
+    GAMMA_RETURN_IF_ERROR(WritePendingPage());
   }
   node_->ChargeCpu(node_->cost().cpu_write_tuple_seconds,
                    sim::CostCategory::kWriteTuple);
   writer_->Append(record);
   ++tuple_count_;
   if (writer_->Full()) {
-    GAMMA_RETURN_NOT_OK(WritePendingPage());
+    GAMMA_RETURN_IF_ERROR(WritePendingPage());
   }
   return Status::OK();
 }
 
 Status HeapFile::FlushAppends() {
   if (writer_ != nullptr && writer_->count() > 0) {
-    GAMMA_RETURN_NOT_OK(WritePendingPage());
+    GAMMA_RETURN_IF_ERROR(WritePendingPage());
   }
   writer_.reset();
   return Status::OK();

@@ -187,8 +187,8 @@ Result<FuzzRunResult> RunFuzzConfig(const FuzzConfig& config) {
                          catalog.Create(machine, "R", r_schema));
   GAMMA_ASSIGN_OR_RETURN(db::StoredRelation * outer,
                          catalog.Create(machine, "S", s_schema));
-  GAMMA_RETURN_NOT_OK(LoadFuzzRelation(inner, r_tuples, config.hpja));
-  GAMMA_RETURN_NOT_OK(LoadFuzzRelation(outer, s_tuples, config.hpja));
+  GAMMA_RETURN_IF_ERROR(LoadFuzzRelation(inner, r_tuples, config.hpja));
+  GAMMA_RETURN_IF_ERROR(LoadFuzzRelation(outer, s_tuples, config.hpja));
 
   const join::JoinSpec spec =
       BuildSpec(config, machine, inner->total_bytes(), r_schema.tuple_bytes(),

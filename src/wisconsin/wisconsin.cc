@@ -164,8 +164,8 @@ Result<Dataset> LoadJoinABprime(sim::Machine& machine, db::Catalog& catalog,
   db::LoadOptions load;
   load.strategy = options.strategy;
   load.partition_field = options.partition_field;
-  GAMMA_RETURN_NOT_OK(db::LoadRelation(dataset.outer, outer_tuples, load));
-  GAMMA_RETURN_NOT_OK(db::LoadRelation(dataset.inner, inner_tuples, load));
+  GAMMA_RETURN_IF_ERROR(db::LoadRelation(dataset.outer, outer_tuples, load));
+  GAMMA_RETURN_IF_ERROR(db::LoadRelation(dataset.inner, inner_tuples, load));
   return dataset;
 }
 

@@ -88,7 +88,7 @@ Status FailIfNegative(int x) {
 }
 
 Result<int> DoubleIfPositive(int x) {
-  GAMMA_RETURN_NOT_OK(FailIfNegative(x));
+  GAMMA_RETURN_IF_ERROR(FailIfNegative(x));
   return x * 2;
 }
 

@@ -4,6 +4,7 @@
 
 #include "sim/machine.h"
 #include "wisconsin/wisconsin.h"
+#include "testing/status_matchers.h"
 
 namespace gammadb::db {
 namespace {
@@ -48,10 +49,10 @@ TEST_F(CatalogTest, DropFreesDiskPages) {
   wisconsin::GenOptions gen;
   gen.cardinality = 400;
   for (const auto& t : wisconsin::Generate(gen)) {
-    (*rel)->fragment(0).Append(t);
+    GAMMA_ASSERT_OK((*rel)->fragment(0).Append(t));
   }
-  (*rel)->fragment(0).FlushAppends();
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK((*rel)->fragment(0).FlushAppends());
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   EXPECT_GT(machine_.node(0).disk().live_pages(), 0u);
   ASSERT_TRUE(catalog_.Drop("r").ok());
   EXPECT_EQ(machine_.node(0).disk().live_pages(), 0u);

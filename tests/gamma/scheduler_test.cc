@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/machine.h"
+#include "testing/status_matchers.h"
 
 namespace gammadb::db {
 namespace {
@@ -12,7 +13,7 @@ TEST(SchedulerTest, ChargesTwoControlMessagesPerProcess) {
   machine.BeginPhase("p");
   ChargeOperatorPhase(machine, /*producers=*/3, /*consumers=*/5,
                       /*split_table_bytes=*/100);  // fits one packet
-  machine.EndPhase();
+  GAMMA_ASSERT_OK(machine.EndPhase());
   const auto m = machine.Metrics();
   EXPECT_EQ(m.counters.control_messages, 2 * (3 + 5));
   EXPECT_DOUBLE_EQ(m.response_seconds,
@@ -23,13 +24,13 @@ TEST(SchedulerTest, OversizedSplitTableCostsExtraPackets) {
   sim::Machine machine(sim::MachineConfig{2, 0, sim::CostModel{}, 1});
   machine.BeginPhase("small");
   ChargeOperatorPhase(machine, 8, 8, 2048);  // exactly one packet
-  machine.EndPhase();
+  GAMMA_ASSERT_OK(machine.EndPhase());
   const int64_t small_messages = machine.Metrics().counters.control_messages;
 
   machine.ResetMetrics();
   machine.BeginPhase("big");
   ChargeOperatorPhase(machine, 8, 8, 2049);  // two pieces
-  machine.EndPhase();
+  GAMMA_ASSERT_OK(machine.EndPhase());
   const int64_t big_messages = machine.Metrics().counters.control_messages;
   // One extra packet per producer.
   EXPECT_EQ(big_messages, small_messages + 8);
@@ -39,7 +40,7 @@ TEST(SchedulerTest, FilterDistributionGathersAndBroadcasts) {
   sim::Machine machine(sim::MachineConfig{2, 0, sim::CostModel{}, 1});
   machine.BeginPhase("p");
   ChargeFilterDistribution(machine, /*join_sites=*/8, /*producers=*/4);
-  machine.EndPhase();
+  GAMMA_ASSERT_OK(machine.EndPhase());
   EXPECT_EQ(machine.Metrics().counters.control_messages, 12);
 }
 

@@ -7,6 +7,7 @@
 #include "sim/machine.h"
 #include "testing/test_util.h"
 #include "wisconsin/wisconsin.h"
+#include "testing/status_matchers.h"
 
 namespace gammadb::db {
 namespace {
@@ -123,7 +124,7 @@ TEST_F(UpdateTest, DeleteMatchingRows) {
   size_t scanned = 0;
   machine_.BeginPhase("verify");
   while (scanner.Next(&t)) ++scanned;
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   EXPECT_EQ(scanned, relation_->fragment(0).tuple_count());
 }
 

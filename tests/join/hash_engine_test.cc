@@ -6,6 +6,7 @@
 
 #include "sim/machine.h"
 #include "wisconsin/wisconsin.h"
+#include "testing/status_matchers.h"
 
 namespace gammadb::join {
 namespace {
@@ -17,7 +18,9 @@ class BucketFileSetTest : public ::testing::Test {
         schema_(wisconsin::WisconsinSchema()) {
     machine_.BeginPhase("test");
   }
-  ~BucketFileSetTest() override { machine_.EndPhase(); }
+  ~BucketFileSetTest() override {
+    machine_.EndPhase().IgnoreError();  // teardown balance only
+  }
 
   storage::Tuple MakeTuple(int32_t k) {
     storage::Tuple t(schema_.tuple_bytes());
@@ -44,15 +47,15 @@ TEST_F(BucketFileSetTest, MatrixShape) {
 
 TEST_F(BucketFileSetTest, FlushByOwnerAndCounts) {
   BucketFileSet files(&machine_, {0, 1, 2}, &schema_, 2, "t");
-  files.file(1, 0).Append(MakeTuple(1));
-  files.file(1, 0).Append(MakeTuple(2));
-  files.file(2, 1).Append(MakeTuple(3));
-  files.FlushFilesOwnedBy(0);
+  GAMMA_ASSERT_OK(files.file(1, 0).Append(MakeTuple(1)));
+  GAMMA_ASSERT_OK(files.file(1, 0).Append(MakeTuple(2)));
+  GAMMA_ASSERT_OK(files.file(2, 1).Append(MakeTuple(3)));
+  GAMMA_ASSERT_OK(files.FlushFilesOwnedBy(0));
   // Node 0's fragments are on disk; node 1's bucket-2 fragment is not
   // yet flushed.
   EXPECT_EQ(files.file(1, 0).page_count(), 1u);
   EXPECT_EQ(files.file(2, 1).page_count(), 0u);
-  files.FlushFilesOwnedBy(1);
+  GAMMA_ASSERT_OK(files.FlushFilesOwnedBy(1));
   EXPECT_EQ(files.file(2, 1).page_count(), 1u);
   EXPECT_EQ(files.BucketTuples(1), 2u);
   EXPECT_EQ(files.BucketTuples(2), 1u);
@@ -60,8 +63,9 @@ TEST_F(BucketFileSetTest, FlushByOwnerAndCounts) {
 
 TEST_F(BucketFileSetTest, FreeBucketReleasesPages) {
   BucketFileSet files(&machine_, {0, 1, 2}, &schema_, 1, "t");
-  for (int i = 0; i < 100; ++i) files.file(1, 0).Append(MakeTuple(i));
-  files.FlushFilesOwnedBy(0);
+  for (int i = 0; i < 100; ++i)
+    GAMMA_ASSERT_OK(files.file(1, 0).Append(MakeTuple(i)));
+  GAMMA_ASSERT_OK(files.FlushFilesOwnedBy(0));
   EXPECT_GT(machine_.node(0).disk().live_pages(), 0u);
   files.FreeBucket(1);
   EXPECT_EQ(machine_.node(0).disk().live_pages(), 0u);

@@ -8,6 +8,7 @@
 
 #include "common/hash.h"
 #include "sim/machine.h"
+#include "testing/status_matchers.h"
 
 namespace gammadb::join {
 namespace {
@@ -19,7 +20,9 @@ class JoinHashTableTest : public ::testing::Test {
         schema_({storage::Field::Int32("k"), storage::Field::Char("p", 28)}) {
     machine_.BeginPhase("test");
   }
-  ~JoinHashTableTest() override { machine_.EndPhase(); }
+  ~JoinHashTableTest() override {
+    machine_.EndPhase().IgnoreError();  // teardown balance only
+  }
 
   storage::Tuple MakeTuple(int32_t k) {
     storage::Tuple t(schema_.tuple_bytes());
@@ -187,7 +190,7 @@ TEST_F(JoinHashTableTest, ProbeBatchMatchesScalarProbeExactly) {
                    scalar_machine.node(0).phase_usage().cpu_seconds);
   EXPECT_EQ(machine_.node(0).counters().ht_probes,
             scalar_machine.node(0).counters().ht_probes);
-  scalar_machine.EndPhase();
+  GAMMA_ASSERT_OK(scalar_machine.EndPhase());
 }
 
 TEST_F(JoinHashTableTest, ForEachResidentHashVisitsAll) {

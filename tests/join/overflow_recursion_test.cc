@@ -37,7 +37,9 @@ TEST(OverflowLevelSeedTest, LevelsYieldDistinctSeeds) {
       EXPECT_NE(seeds[a], seeds[b]) << "levels " << a << " and " << b;
     }
     // And none may degenerate to the additive family the fix removed.
-    if (a > 0) EXPECT_NE(seeds[a], base + a);
+    if (a > 0) {
+      EXPECT_NE(seeds[a], base + a);
+    }
   }
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/machine.h"
+#include "testing/status_matchers.h"
 
 namespace gammadb::sim {
 namespace {
@@ -25,8 +26,8 @@ TEST_F(DiskTest, WriteReadRoundTrip) {
   std::vector<uint8_t> in(page_bytes()), out(page_bytes());
   for (size_t i = 0; i < in.size(); ++i) in[i] = static_cast<uint8_t>(i * 7);
   const PageId id = disk().AllocatePage();
-  disk().WritePage(id, in.data(), AccessPattern::kSequential);
-  disk().ReadPage(id, out.data(), AccessPattern::kSequential);
+  GAMMA_ASSERT_OK(disk().WritePage(id, in.data(), AccessPattern::kSequential));
+  GAMMA_ASSERT_OK(disk().ReadPage(id, out.data(), AccessPattern::kSequential));
   EXPECT_EQ(std::memcmp(in.data(), out.data(), in.size()), 0);
 }
 
@@ -34,14 +35,14 @@ TEST_F(DiskTest, IoChargesDeviceAndCpuTime) {
   std::vector<uint8_t> buf(page_bytes());
   machine_.BeginPhase("io");
   const PageId id = disk().AllocatePage();
-  disk().WritePage(id, buf.data(), AccessPattern::kSequential);
-  disk().ReadPage(id, buf.data(), AccessPattern::kRandom);
+  GAMMA_ASSERT_OK(disk().WritePage(id, buf.data(), AccessPattern::kSequential));
+  GAMMA_ASSERT_OK(disk().ReadPage(id, buf.data(), AccessPattern::kRandom));
   const NodeUsage& usage = node().phase_usage();
   const CostModel& cost = machine_.cost();
   EXPECT_DOUBLE_EQ(usage.disk_seconds,
                    cost.disk_seq_page_seconds + cost.disk_rand_page_seconds);
   EXPECT_DOUBLE_EQ(usage.cpu_seconds, 2 * cost.cpu_page_io_seconds);
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   EXPECT_EQ(node().counters().pages_written, 1);
   EXPECT_EQ(node().counters().pages_read, 1);
 }
@@ -50,8 +51,8 @@ TEST_F(DiskTest, FreedPagesAreReusedZeroed) {
   const PageId a = disk().AllocatePage();
   std::vector<uint8_t> buf(page_bytes(), 0xFF);
   machine_.BeginPhase("p");
-  disk().WritePage(a, buf.data(), AccessPattern::kSequential);
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(disk().WritePage(a, buf.data(), AccessPattern::kSequential));
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   disk().FreePage(a);
   const PageId b = disk().AllocatePage();
   EXPECT_EQ(b, a);  // LIFO reuse
@@ -75,7 +76,7 @@ TEST_F(DiskTest, PeekDoesNotCharge) {
   (void)disk().PeekPage(id);
   EXPECT_EQ(node().phase_usage().cpu_seconds, 0.0);
   EXPECT_EQ(node().phase_usage().disk_seconds, 0.0);
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(machine_.EndPhase());
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include "testing/status_matchers.h"
 
 namespace gammadb::sim {
 namespace {
@@ -18,7 +19,7 @@ TEST(ExchangeTest, DeliversToInboxAndAccountsNetwork) {
   ASSERT_EQ(inbox1.size(), 3u);
   EXPECT_EQ(inbox1[0], "hello");
   EXPECT_TRUE(exchange.AllEmpty());
-  machine.EndPhase();
+  GAMMA_ASSERT_OK(machine.EndPhase());
   const Counters& c = machine.Metrics().counters;
   EXPECT_EQ(c.tuples_sent_remote, 2);
   EXPECT_EQ(c.tuples_sent_local, 1);
@@ -31,7 +32,7 @@ TEST(ExchangeTest, TakeInboxDrains) {
   exchange.Send(0, 0, 42, 4);
   EXPECT_EQ(exchange.TakeInbox(0).size(), 1u);
   EXPECT_EQ(exchange.TakeInbox(0).size(), 0u);
-  machine.EndPhase();
+  GAMMA_ASSERT_OK(machine.EndPhase());
 }
 
 // The determinism contract: an inbox drains its per-source lanes in
@@ -53,7 +54,7 @@ TEST(ExchangeTest, DrainsLanesInAscendingSourceOrder) {
   EXPECT_EQ(inbox[2], "b1");
   EXPECT_EQ(inbox[3], "c1");
   EXPECT_EQ(inbox[4], "c2");
-  machine.EndPhase();
+  GAMMA_ASSERT_OK(machine.EndPhase());
 }
 
 TEST(ExchangeTest, ReserveDoesNotAffectDelivery) {
@@ -69,7 +70,7 @@ TEST(ExchangeTest, ReserveDoesNotAffectDelivery) {
   EXPECT_EQ(inbox[0], 7);
   EXPECT_EQ(inbox[1], 8);
   EXPECT_TRUE(exchange.AllEmpty());
-  machine.EndPhase();
+  GAMMA_ASSERT_OK(machine.EndPhase());
 }
 
 TEST(ExchangeTest, TakeInboxAllLanesEmptyReturnsEmpty) {
@@ -79,7 +80,7 @@ TEST(ExchangeTest, TakeInboxAllLanesEmptyReturnsEmpty) {
   EXPECT_TRUE(exchange.TakeInbox(0).empty());
   EXPECT_TRUE(exchange.TakeInbox(2).empty());
   EXPECT_TRUE(exchange.AllEmpty());
-  machine.EndPhase();
+  GAMMA_ASSERT_OK(machine.EndPhase());
 }
 
 // With exactly one non-empty lane the inbox is the lane's buffer moved
@@ -95,7 +96,7 @@ TEST(ExchangeTest, TakeInboxSingleNonEmptyLaneMovesWholesale) {
   EXPECT_EQ(inbox[0], "x");
   EXPECT_EQ(inbox[1], "y");
   EXPECT_TRUE(exchange.AllEmpty());
-  machine.EndPhase();
+  GAMMA_ASSERT_OK(machine.EndPhase());
 }
 
 // Lanes drained by DrainInboxBlocks keep their buffers: a later round
@@ -111,7 +112,7 @@ TEST(ExchangeTest, DrainedLanesRetainCapacityAcrossRounds) {
   EXPECT_EQ(exchange.LaneCapacity(0, 1), grown);
   for (int i = 0; i < 100; ++i) exchange.Send(0, 1, i, 4);
   EXPECT_EQ(exchange.LaneCapacity(0, 1), grown);
-  machine.EndPhase();
+  GAMMA_ASSERT_OK(machine.EndPhase());
 }
 
 // Concatenating DrainInboxBlocks' lane blocks reproduces TakeInbox's
@@ -144,8 +145,8 @@ TEST(ExchangeTest, DrainInboxBlocksMatchesTakeInboxOrder) {
   EXPECT_EQ(blocks, 3u);  // one per non-empty source lane
   EXPECT_EQ(concatenated, consolidated);
   EXPECT_TRUE(drain.AllEmpty());
-  take_machine.EndPhase();
-  drain_machine.EndPhase();
+  GAMMA_ASSERT_OK(take_machine.EndPhase());
+  GAMMA_ASSERT_OK(drain_machine.EndPhase());
 }
 
 // ReserveRow spreads an expected row total over the lanes with a ceil
@@ -163,7 +164,7 @@ TEST(ExchangeTest, ReserveRowUsesCeilDividePerLane) {
   for (int dst = 0; dst < 4; ++dst) {
     EXPECT_EQ(exchange.LaneCapacity(1, dst), 101u);
   }
-  machine.EndPhase();
+  GAMMA_ASSERT_OK(machine.EndPhase());
 }
 
 // SendBatch must append in fill order after already-sent items, with
@@ -183,7 +184,7 @@ TEST(ExchangeTest, SendBatchAppendsInFillOrderAfterSends) {
   EXPECT_EQ(inbox[0], 1);
   EXPECT_EQ(inbox[1], 2);
   EXPECT_EQ(inbox[2], 3);
-  machine.EndPhase();
+  GAMMA_ASSERT_OK(machine.EndPhase());
   EXPECT_EQ(machine.Metrics().counters.tuples_sent_remote, 3);
 }
 
@@ -201,7 +202,7 @@ TEST(ExchangeTest, ConcurrentSendersAllDeliver) {
     total += exchange.TakeInbox(node).size();
   }
   EXPECT_EQ(total, 8000u);
-  machine.EndPhase();
+  GAMMA_ASSERT_OK(machine.EndPhase());
 }
 
 }  // namespace

@@ -448,7 +448,7 @@ TEST_F(CrashTest, CrashAbortsMatchingPhaseOnce) {
   EXPECT_TRUE(machine_.EndPhase().ok());  // label does not match
 
   machine_.BeginPhase("join bucket 1");
-  machine_.node(0).ChargeCpu(0.25);  // work still runs — and is wasted
+  machine_.node(0).ChargeCpu(0.25, CostCategory::kOther);  // work still runs — and is wasted
   const Status st = machine_.EndPhase();
   EXPECT_EQ(st.code(), StatusCode::kAborted);
   EXPECT_EQ(machine_.Metrics().counters.node_crashes, 1);
@@ -473,7 +473,7 @@ TEST_F(CrashTest, CrashOrdinalCountsMatchingEntries) {
 
 TEST_F(CrashTest, RecordOperatorRestartBooksRecoveryTime) {
   machine_.BeginPhase("wasted attempt");
-  machine_.node(0).ChargeCpu(1.5);
+  machine_.node(0).ChargeCpu(1.5, CostCategory::kOther);
   machine_.EndPhase().IgnoreError();
   const double wasted = machine_.response_seconds();
   ASSERT_GT(wasted, 0.0);

@@ -1,6 +1,7 @@
 #include "sim/machine.h"
 
 #include <gtest/gtest.h>
+#include "testing/status_matchers.h"
 
 namespace gammadb::sim {
 namespace {
@@ -18,30 +19,30 @@ TEST(MachineTest, NodeTopology) {
 TEST(MachineTest, PhaseElapsedIsSlowestNode) {
   Machine machine(MachineConfig{3, 0, CostModel{}, 1});
   machine.BeginPhase("p");
-  machine.node(0).ChargeCpu(1.0);
-  machine.node(1).ChargeCpu(5.0);
-  machine.node(2).ChargeCpu(2.0);
-  machine.EndPhase();
+  machine.node(0).ChargeCpu(1.0, CostCategory::kOther);
+  machine.node(1).ChargeCpu(5.0, CostCategory::kOther);
+  machine.node(2).ChargeCpu(2.0, CostCategory::kOther);
+  GAMMA_ASSERT_OK(machine.EndPhase());
   EXPECT_DOUBLE_EQ(machine.response_seconds(), 5.0);
 }
 
 TEST(MachineTest, CpuAndDiskOverlapWithinANode) {
   Machine machine(MachineConfig{1, 0, CostModel{}, 1});
   machine.BeginPhase("p");
-  machine.node(0).ChargeCpu(3.0);
-  machine.node(0).ChargeDisk(7.0);  // overlapped: max, not sum
-  machine.EndPhase();
+  machine.node(0).ChargeCpu(3.0, CostCategory::kOther);
+  machine.node(0).ChargeDisk(7.0, CostCategory::kDiskSeq);  // overlapped: max, not sum
+  GAMMA_ASSERT_OK(machine.EndPhase());
   EXPECT_DOUBLE_EQ(machine.response_seconds(), 7.0);
 }
 
 TEST(MachineTest, PhasesAreSerial) {
   Machine machine(MachineConfig{2, 0, CostModel{}, 1});
   machine.BeginPhase("a");
-  machine.node(0).ChargeCpu(2.0);
-  machine.EndPhase();
+  machine.node(0).ChargeCpu(2.0, CostCategory::kOther);
+  GAMMA_ASSERT_OK(machine.EndPhase());
   machine.BeginPhase("b");
-  machine.node(1).ChargeCpu(3.0);
-  machine.EndPhase();
+  machine.node(1).ChargeCpu(3.0, CostCategory::kOther);
+  GAMMA_ASSERT_OK(machine.EndPhase());
   EXPECT_DOUBLE_EQ(machine.response_seconds(), 5.0);
   const RunMetrics m = machine.Metrics();
   ASSERT_EQ(m.phases.size(), 2u);
@@ -52,9 +53,9 @@ TEST(MachineTest, PhasesAreSerial) {
 TEST(MachineTest, SchedulerTimeSerializesOnTopOfNodeWork) {
   Machine machine(MachineConfig{1, 0, CostModel{}, 1});
   machine.BeginPhase("p");
-  machine.node(0).ChargeCpu(1.0);
+  machine.node(0).ChargeCpu(1.0, CostCategory::kOther);
   machine.ChargeScheduler(0.5, 4);
-  machine.EndPhase();
+  GAMMA_ASSERT_OK(machine.EndPhase());
   EXPECT_DOUBLE_EQ(machine.response_seconds(), 1.5);
   EXPECT_EQ(machine.Metrics().counters.control_messages, 4);
 }
@@ -62,9 +63,9 @@ TEST(MachineTest, SchedulerTimeSerializesOnTopOfNodeWork) {
 TEST(MachineTest, ResetMetricsClearsEverything) {
   Machine machine(MachineConfig{1, 0, CostModel{}, 1});
   machine.BeginPhase("p");
-  machine.node(0).ChargeCpu(1.0);
+  machine.node(0).ChargeCpu(1.0, CostCategory::kOther);
   ++machine.node(0).counters().ht_inserts;
-  machine.EndPhase();
+  GAMMA_ASSERT_OK(machine.EndPhase());
   machine.ResetMetrics();
   EXPECT_DOUBLE_EQ(machine.response_seconds(), 0.0);
   const RunMetrics m = machine.Metrics();

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/machine.h"
+#include "testing/status_matchers.h"
 
 namespace gammadb::sim {
 namespace {
@@ -17,7 +18,7 @@ TEST_F(NetworkTest, LocalTrafficShortCircuits) {
   machine_.BeginPhase("p");
   // 3 tuples of 208 bytes node 0 -> node 0: one local packet.
   for (int i = 0; i < 3; ++i) machine_.network().AccountTuple(0, 0, 208);
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   const Counters& c = machine_.Metrics().counters;
   EXPECT_EQ(c.tuples_sent_local, 3);
   EXPECT_EQ(c.tuples_sent_remote, 0);
@@ -33,7 +34,7 @@ TEST_F(NetworkTest, RemoteTrafficChargesAsymmetrically) {
   const CostModel& cost = machine_.cost();
   machine_.BeginPhase("p");
   machine_.network().AccountTuple(0, 1, 2048);  // exactly one packet
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   const RunMetrics m = machine_.Metrics();
   EXPECT_EQ(m.counters.packets_remote, 1);
   EXPECT_DOUBLE_EQ(m.phases[0].usage[0].cpu_seconds,
@@ -50,16 +51,16 @@ TEST_F(NetworkTest, PacketizationRoundsUpPerDestination) {
   // 2049 bytes to node 1 -> 2 packets; 1 byte to node 2 -> 1 packet.
   machine_.network().AccountBytes(0, 1, 2049);
   machine_.network().AccountBytes(0, 2, 1);
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   EXPECT_EQ(machine_.Metrics().counters.packets_remote, 3);
 }
 
 TEST_F(NetworkTest, TrafficMatrixClearsBetweenPhases) {
   machine_.BeginPhase("a");
   machine_.network().AccountTuple(0, 1, 100);
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   machine_.BeginPhase("b");
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   const RunMetrics m = machine_.Metrics();
   EXPECT_DOUBLE_EQ(m.phases[1].ring_seconds, 0.0);
   EXPECT_EQ(m.counters.packets_remote, 1);  // not double counted
@@ -69,7 +70,7 @@ TEST_F(NetworkTest, RingTimeAccumulatesAcrossSenders) {
   machine_.BeginPhase("p");
   machine_.network().AccountBytes(0, 1, 10000);
   machine_.network().AccountBytes(1, 2, 10000);
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   EXPECT_DOUBLE_EQ(machine_.Metrics().phases[0].ring_seconds,
                    20000 * machine_.cost().net_wire_seconds_per_byte);
 }

@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "sim/machine.h"
 #include "storage/btree.h"
+#include "testing/status_matchers.h"
 
 namespace gammadb::storage {
 namespace {
@@ -37,7 +38,9 @@ class BPlusTreePropertyTest : public ::testing::TestWithParam<BTreeParam> {
       : machine_(sim::MachineConfig{1, 0, sim::CostModel{}, 1}) {
     machine_.BeginPhase("btree");
   }
-  ~BPlusTreePropertyTest() override { machine_.EndPhase(); }
+  ~BPlusTreePropertyTest() override {
+    machine_.EndPhase().IgnoreError();  // teardown balance only
+  }
 
   sim::Machine machine_;
 };

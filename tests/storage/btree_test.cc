@@ -7,6 +7,7 @@
 
 #include "common/random.h"
 #include "sim/machine.h"
+#include "testing/status_matchers.h"
 
 namespace gammadb::storage {
 namespace {
@@ -16,7 +17,9 @@ class BPlusTreeTest : public ::testing::Test {
   BPlusTreeTest() : machine_(sim::MachineConfig{1, 0, sim::CostModel{}, 1}) {
     machine_.BeginPhase("btree");
   }
-  ~BPlusTreeTest() override { machine_.EndPhase(); }
+  ~BPlusTreeTest() override {
+    machine_.EndPhase().IgnoreError();  // teardown balance only
+  }
 
   sim::Machine machine_;
 };

@@ -4,6 +4,7 @@
 
 #include "common/random.h"
 #include "sim/machine.h"
+#include "testing/status_matchers.h"
 
 namespace gammadb::storage {
 namespace {
@@ -13,7 +14,9 @@ class ByteFileTest : public ::testing::Test {
   ByteFileTest() : machine_(sim::MachineConfig{1, 0, sim::CostModel{}, 1}) {
     machine_.BeginPhase("bytefile");
   }
-  ~ByteFileTest() override { machine_.EndPhase(); }
+  ~ByteFileTest() override {
+    machine_.EndPhase().IgnoreError();  // teardown balance only
+  }
 
   sim::Machine machine_;
 };
@@ -23,8 +26,8 @@ TEST_F(ByteFileTest, AppendReadRoundTrip) {
   std::vector<uint8_t> data(30000);
   Rng rng(1);
   for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
-  file.Append(data.data(), data.size());
-  file.FlushAppends();
+  GAMMA_ASSERT_OK(file.Append(data.data(), data.size()));
+  GAMMA_ASSERT_OK(file.FlushAppends());
   EXPECT_EQ(file.size(), 30000u);
   EXPECT_EQ(file.page_count(), 4u);  // ceil(30000/8192)
 
@@ -37,8 +40,8 @@ TEST_F(ByteFileTest, PositionedReadsAcrossPageBoundaries) {
   ByteFile file(&machine_.node(0));
   std::vector<uint8_t> data(20000);
   for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
-  file.Append(data.data(), data.size());
-  file.FlushAppends();
+  GAMMA_ASSERT_OK(file.Append(data.data(), data.size()));
+  GAMMA_ASSERT_OK(file.FlushAppends());
   std::vector<uint8_t> out(100);
   // Straddles the first page boundary (8192).
   ASSERT_TRUE(file.ReadAt(8150, out.size(), out.data()).ok());
@@ -50,8 +53,8 @@ TEST_F(ByteFileTest, PositionedReadsAcrossPageBoundaries) {
 TEST_F(ByteFileTest, ReadPastEndRejected) {
   ByteFile file(&machine_.node(0));
   uint8_t byte = 7;
-  file.Append(&byte, 1);
-  file.FlushAppends();
+  GAMMA_ASSERT_OK(file.Append(&byte, 1));
+  GAMMA_ASSERT_OK(file.FlushAppends());
   std::vector<uint8_t> out(2);
   EXPECT_EQ(file.ReadAt(0, 2, out.data()).code(), StatusCode::kOutOfRange);
   EXPECT_TRUE(file.ReadAt(0, 1, out.data()).ok());
@@ -61,21 +64,21 @@ TEST_F(ByteFileTest, ReadPastEndRejected) {
 TEST_F(ByteFileTest, UnflushedTailRejectedThenReadable) {
   ByteFile file(&machine_.node(0));
   std::vector<uint8_t> data(100, 0xAA);
-  file.Append(data.data(), data.size());
+  GAMMA_ASSERT_OK(file.Append(data.data(), data.size()));
   std::vector<uint8_t> out(100);
   EXPECT_EQ(file.ReadAt(0, 100, out.data()).code(),
             StatusCode::kFailedPrecondition);
-  file.FlushAppends();
+  GAMMA_ASSERT_OK(file.FlushAppends());
   EXPECT_TRUE(file.ReadAt(0, 100, out.data()).ok());
 }
 
 TEST_F(ByteFileTest, AppendAfterFlushRetractsSnapshot) {
   ByteFile file(&machine_.node(0));
   std::vector<uint8_t> first(100, 0x11), second(100, 0x22);
-  file.Append(first.data(), first.size());
-  file.FlushAppends();
-  file.Append(second.data(), second.size());
-  file.FlushAppends();
+  GAMMA_ASSERT_OK(file.Append(first.data(), first.size()));
+  GAMMA_ASSERT_OK(file.FlushAppends());
+  GAMMA_ASSERT_OK(file.Append(second.data(), second.size()));
+  GAMMA_ASSERT_OK(file.FlushAppends());
   EXPECT_EQ(file.size(), 200u);
   EXPECT_EQ(file.page_count(), 1u);  // everything still fits one page
   std::vector<uint8_t> out(200);
@@ -87,7 +90,7 @@ TEST_F(ByteFileTest, AppendAfterFlushRetractsSnapshot) {
 TEST_F(ByteFileTest, SequentialReadsCheaperThanRandom) {
   ByteFile file(&machine_.node(0));
   std::vector<uint8_t> data(8192 * 4, 1);
-  file.Append(data.data(), data.size());
+  GAMMA_ASSERT_OK(file.Append(data.data(), data.size()));
 
   std::vector<uint8_t> out(8192);
   machine_.node(0).ResetPhaseUsage();
@@ -109,8 +112,8 @@ TEST_F(ByteFileTest, SequentialReadsCheaperThanRandom) {
 TEST_F(ByteFileTest, FreeReleasesPages) {
   ByteFile file(&machine_.node(0));
   std::vector<uint8_t> data(50000, 3);
-  file.Append(data.data(), data.size());
-  file.FlushAppends();
+  GAMMA_ASSERT_OK(file.Append(data.data(), data.size()));
+  GAMMA_ASSERT_OK(file.FlushAppends());
   const size_t live = machine_.node(0).disk().live_pages();
   EXPECT_GT(live, 0u);
   file.Free();

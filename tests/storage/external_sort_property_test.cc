@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "sim/machine.h"
 #include "storage/external_sort.h"
+#include "testing/status_matchers.h"
 
 namespace gammadb::storage {
 namespace {
@@ -82,15 +83,15 @@ TEST_P(ExternalSortPropertyTest, MatchesReferenceSort) {
   for (int32_t v : values) {
     Tuple t(schema_.tuple_bytes());
     t.SetInt32(schema_, 0, v);
-    sort.Add(t);
+    GAMMA_ASSERT_OK(sort.Add(t));
   }
-  sort.FinishInput();
+  GAMMA_ASSERT_OK(sort.FinishInput());
   std::vector<int32_t> output;
   output.reserve(values.size());
   auto stream = sort.OpenStream();
   Tuple t;
   while (stream->Next(&t)) output.push_back(t.GetInt32(schema_, 0));
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(machine_.EndPhase());
 
   std::vector<int32_t> expected = values;
   std::sort(expected.begin(), expected.end());

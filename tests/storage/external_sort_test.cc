@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "sim/machine.h"
 #include "storage/schema.h"
+#include "testing/status_matchers.h"
 
 namespace gammadb::storage {
 namespace {
@@ -28,13 +29,13 @@ class ExternalSortTest : public ::testing::Test {
                                   ExternalSort* sort_out = nullptr) {
     machine_.BeginPhase("sort");
     ExternalSort sort(&machine_.node(0), &schema_, 0, memory_pages);
-    for (int32_t v : values) sort.Add(MakeTuple(v));
-    sort.FinishInput();
+    for (int32_t v : values) GAMMA_EXPECT_OK(sort.Add(MakeTuple(v)));
+    GAMMA_EXPECT_OK(sort.FinishInput());
     std::vector<int32_t> out;
     auto stream = sort.OpenStream();
     Tuple t;
     while (stream->Next(&t)) out.push_back(t.GetInt32(schema_, 0));
-    machine_.EndPhase();
+    GAMMA_EXPECT_OK(machine_.EndPhase());
     if (sort_out != nullptr) {
       // Note: runs are freed by the sort's destructor.
     }
@@ -48,14 +49,14 @@ class ExternalSortTest : public ::testing::Test {
 TEST_F(ExternalSortTest, InMemorySortWhenInputFits) {
   machine_.BeginPhase("p");
   ExternalSort sort(&machine_.node(0), &schema_, 0, 8);
-  for (int32_t v : {5, 1, 4, 2, 3}) sort.Add(MakeTuple(v));
-  sort.FinishInput();
+  for (int32_t v : {5, 1, 4, 2, 3}) GAMMA_ASSERT_OK(sort.Add(MakeTuple(v)));
+  GAMMA_ASSERT_OK(sort.FinishInput());
   EXPECT_EQ(sort.run_count(), 0u);  // no spill
   auto stream = sort.OpenStream();
   Tuple t;
   std::vector<int32_t> out;
   while (stream->Next(&t)) out.push_back(t.GetInt32(schema_, 0));
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   EXPECT_EQ(out, (std::vector<int32_t>{1, 2, 3, 4, 5}));
   // In-memory sort touches no disk.
   EXPECT_EQ(machine_.Metrics().counters.pages_written, 0);
@@ -93,17 +94,17 @@ TEST_F(ExternalSortTest, IntermediatePassesStepWithMemory) {
   // Plenty of memory: single-pass mergeable, zero intermediate passes.
   machine_.BeginPhase("a");
   ExternalSort big(&machine_.node(0), &schema_, 0, 32);
-  for (int32_t v : values) big.Add(MakeTuple(v));
-  big.FinishInput();
-  machine_.EndPhase();
+  for (int32_t v : values) GAMMA_ASSERT_OK(big.Add(MakeTuple(v)));
+  GAMMA_ASSERT_OK(big.FinishInput());
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   EXPECT_EQ(big.intermediate_passes(), 0);
 
   // Tiny memory: must merge intermediately.
   machine_.BeginPhase("b");
   ExternalSort small(&machine_.node(0), &schema_, 0, 3);
-  for (int32_t v : values) small.Add(MakeTuple(v));
-  small.FinishInput();
-  machine_.EndPhase();
+  for (int32_t v : values) GAMMA_ASSERT_OK(small.Add(MakeTuple(v)));
+  GAMMA_ASSERT_OK(small.FinishInput());
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   EXPECT_GT(small.intermediate_passes(), 0);
   EXPECT_GT(small.intermediate_merged_tuples(), 0u);
   // Still 2-way mergeable at the end.
@@ -123,11 +124,11 @@ TEST_F(ExternalSortTest, AlreadySortedAndReverseSortedInputs) {
 TEST_F(ExternalSortTest, EmptyInput) {
   machine_.BeginPhase("p");
   ExternalSort sort(&machine_.node(0), &schema_, 0, 4);
-  sort.FinishInput();
+  GAMMA_ASSERT_OK(sort.FinishInput());
   auto stream = sort.OpenStream();
   Tuple t;
   EXPECT_FALSE(stream->Next(&t));
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(machine_.EndPhase());
 }
 
 TEST_F(ExternalSortTest, NegativeKeysSortCorrectly) {
@@ -142,10 +143,10 @@ TEST_F(ExternalSortTest, RunsFreedOnDestruction) {
     ExternalSort sort(&machine_.node(0), &schema_, 0, 3);
     Rng rng(6);
     for (int i = 0; i < 2000; ++i) {
-      sort.Add(MakeTuple(static_cast<int32_t>(rng.Uniform(1000))));
+      GAMMA_ASSERT_OK(sort.Add(MakeTuple(static_cast<int32_t>(rng.Uniform(1000)))));
     }
-    sort.FinishInput();
-    machine_.EndPhase();
+    GAMMA_ASSERT_OK(sort.FinishInput());
+    GAMMA_ASSERT_OK(machine_.EndPhase());
     EXPECT_GT(machine_.node(0).disk().live_pages(), live_before);
   }
   EXPECT_EQ(machine_.node(0).disk().live_pages(), live_before);

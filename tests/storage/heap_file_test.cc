@@ -4,6 +4,7 @@
 
 #include "sim/machine.h"
 #include "storage/schema.h"
+#include "testing/status_matchers.h"
 
 namespace gammadb::storage {
 namespace {
@@ -28,9 +29,9 @@ class HeapFileTest : public ::testing::Test {
 TEST_F(HeapFileTest, AppendScanRoundTrip) {
   HeapFile file(&machine_.node(0), &schema_, "t");
   machine_.BeginPhase("w");
-  for (int32_t i = 0; i < 1000; ++i) file.Append(MakeTuple(i));
-  file.FlushAppends();
-  machine_.EndPhase();
+  for (int32_t i = 0; i < 1000; ++i) GAMMA_ASSERT_OK(file.Append(MakeTuple(i)));
+  GAMMA_ASSERT_OK(file.FlushAppends());
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   EXPECT_EQ(file.tuple_count(), 1000u);
   EXPECT_EQ(file.page_count(), (1000 + 39) / 40);
 
@@ -42,7 +43,7 @@ TEST_F(HeapFileTest, AppendScanRoundTrip) {
     EXPECT_EQ(t.GetInt32(schema_, 0), expected++);
   }
   EXPECT_EQ(expected, 1000);
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   EXPECT_EQ(machine_.node(0).counters().pages_read,
             static_cast<int64_t>(file.page_count()));
 }
@@ -50,10 +51,10 @@ TEST_F(HeapFileTest, AppendScanRoundTrip) {
 TEST_F(HeapFileTest, FlushIsIdempotentAndPartialPageStored) {
   HeapFile file(&machine_.node(0), &schema_, "t");
   machine_.BeginPhase("w");
-  file.Append(MakeTuple(7));
-  file.FlushAppends();
-  file.FlushAppends();
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(file.Append(MakeTuple(7)));
+  GAMMA_ASSERT_OK(file.FlushAppends());
+  GAMMA_ASSERT_OK(file.FlushAppends());
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   EXPECT_EQ(file.page_count(), 1u);
   EXPECT_EQ(file.PeekAll().size(), 1u);
 }
@@ -61,15 +62,15 @@ TEST_F(HeapFileTest, FlushIsIdempotentAndPartialPageStored) {
 TEST_F(HeapFileTest, EarlyAbandonedScanChargesOnlyPagesReached) {
   HeapFile file(&machine_.node(0), &schema_, "t");
   machine_.BeginPhase("w");
-  for (int32_t i = 0; i < 400; ++i) file.Append(MakeTuple(i));  // 10 pages
-  file.FlushAppends();
-  machine_.EndPhase();
+  for (int32_t i = 0; i < 400; ++i) GAMMA_ASSERT_OK(file.Append(MakeTuple(i)));  // 10 pages
+  GAMMA_ASSERT_OK(file.FlushAppends());
+  GAMMA_ASSERT_OK(machine_.EndPhase());
 
   machine_.BeginPhase("r");
   auto scanner = file.Scan();
   Tuple t;
   for (int i = 0; i < 45; ++i) ASSERT_TRUE(scanner.Next(&t));  // 2 pages
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   EXPECT_EQ(machine_.node(0).counters().pages_read, 2);
   EXPECT_EQ(scanner.pages_read(), 2u);
 }
@@ -77,9 +78,9 @@ TEST_F(HeapFileTest, EarlyAbandonedScanChargesOnlyPagesReached) {
 TEST_F(HeapFileTest, FreeReturnsPagesToDisk) {
   HeapFile file(&machine_.node(0), &schema_, "t");
   machine_.BeginPhase("w");
-  for (int32_t i = 0; i < 100; ++i) file.Append(MakeTuple(i));
-  file.FlushAppends();
-  machine_.EndPhase();
+  for (int32_t i = 0; i < 100; ++i) GAMMA_ASSERT_OK(file.Append(MakeTuple(i)));
+  GAMMA_ASSERT_OK(file.FlushAppends());
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   const size_t live_before = machine_.node(0).disk().live_pages();
   file.Free();
   EXPECT_EQ(machine_.node(0).disk().live_pages(),
@@ -91,34 +92,34 @@ TEST_F(HeapFileTest, FreeReturnsPagesToDisk) {
 TEST_F(HeapFileTest, PeekAllDoesNotCharge) {
   HeapFile file(&machine_.node(0), &schema_, "t");
   machine_.BeginPhase("w");
-  for (int32_t i = 0; i < 50; ++i) file.Append(MakeTuple(i));
-  file.FlushAppends();
-  machine_.EndPhase();
+  for (int32_t i = 0; i < 50; ++i) GAMMA_ASSERT_OK(file.Append(MakeTuple(i)));
+  GAMMA_ASSERT_OK(file.FlushAppends());
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   machine_.ResetMetrics();
   machine_.BeginPhase("peek");
   EXPECT_EQ(file.PeekAll().size(), 50u);
   EXPECT_EQ(machine_.node(0).phase_usage().cpu_seconds, 0.0);
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   EXPECT_EQ(machine_.Metrics().counters.pages_read, 0);
 }
 
 TEST_F(HeapFileTest, DataBytesMatchesCount) {
   HeapFile file(&machine_.node(0), &schema_, "t");
   machine_.BeginPhase("w");
-  for (int32_t i = 0; i < 10; ++i) file.Append(MakeTuple(i));
-  file.FlushAppends();
-  machine_.EndPhase();
+  for (int32_t i = 0; i < 10; ++i) GAMMA_ASSERT_OK(file.Append(MakeTuple(i)));
+  GAMMA_ASSERT_OK(file.FlushAppends());
+  GAMMA_ASSERT_OK(machine_.EndPhase());
   EXPECT_EQ(file.data_bytes(), 10u * schema_.tuple_bytes());
 }
 
 TEST_F(HeapFileTest, EmptyFileScansNothing) {
   HeapFile file(&machine_.node(0), &schema_, "t");
-  file.FlushAppends();
+  GAMMA_ASSERT_OK(file.FlushAppends());
   machine_.BeginPhase("r");
   auto scanner = file.Scan();
   Tuple t;
   EXPECT_FALSE(scanner.Next(&t));
-  machine_.EndPhase();
+  GAMMA_ASSERT_OK(machine_.EndPhase());
 }
 
 

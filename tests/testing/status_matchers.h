@@ -1,0 +1,30 @@
+// GoogleTest helpers for Status / Result<T> assertions.
+//
+// GAMMA_ASSERT_OK / GAMMA_EXPECT_OK report the embedded code and message
+// on failure instead of a bare boolean, and satisfy [[nodiscard]] so test
+// bodies never silently drop a Status (docs/static_analysis.md).
+#ifndef GAMMA_TESTS_TESTING_STATUS_MATCHERS_H_
+#define GAMMA_TESTS_TESTING_STATUS_MATCHERS_H_
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace gammadb::testing {
+
+inline ::testing::AssertionResult IsOk(const Status& status) {
+  if (status.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << status.ToString();
+}
+
+template <typename T>
+::testing::AssertionResult IsOk(const Result<T>& result) {
+  return IsOk(result.status());
+}
+
+}  // namespace gammadb::testing
+
+#define GAMMA_ASSERT_OK(expr) ASSERT_TRUE(::gammadb::testing::IsOk((expr)))
+#define GAMMA_EXPECT_OK(expr) EXPECT_TRUE(::gammadb::testing::IsOk((expr)))
+
+#endif  // GAMMA_TESTS_TESTING_STATUS_MATCHERS_H_

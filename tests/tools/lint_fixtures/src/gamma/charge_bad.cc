@@ -1,0 +1,9 @@
+// Seeded violation: cost/uncategorized-charge. Every Charge* call must
+// name the sim::CostCategory it pays for; a bare seconds argument is
+// rejected even though it compiled before the default was removed.
+#include "sim/node.h"
+
+void Work(gammadb::sim::Node& n) {
+  n.ChargeCpu(1.0);
+  n.ChargeDisk(2.0);
+}

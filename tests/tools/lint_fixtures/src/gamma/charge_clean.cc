@@ -1,0 +1,10 @@
+// Clean counterpart of charge_bad.cc: both charges name a category, and
+// the split form attributes its two parts separately.
+#include "sim/node.h"
+
+void Work(gammadb::sim::Node& n) {
+  n.ChargeCpu(1.0, gammadb::sim::CostCategory::kOther);
+  n.ChargeDisk(2.0, gammadb::sim::CostCategory::kDiskSeq);
+  n.ChargeCpuSplit(1.0, gammadb::sim::CostCategory::kReadTuple, 2.0,
+                   gammadb::sim::CostCategory::kWriteTuple);
+}

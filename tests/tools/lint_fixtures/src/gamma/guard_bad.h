@@ -1,0 +1,9 @@
+// Seeded violation: hygiene/include-guard. The guard name does not
+// match the convention for this pseudo-path (expected
+// GAMMA_GAMMA_GUARD_BAD_H_).
+#ifndef WRONG_GUARD_NAME_H
+#define WRONG_GUARD_NAME_H
+
+int GuardBad();
+
+#endif  // WRONG_GUARD_NAME_H

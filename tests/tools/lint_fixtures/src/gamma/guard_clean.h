@@ -1,0 +1,8 @@
+// Clean counterpart of guard_bad.h: guard follows the project
+// convention (leading src/ stripped, GAMMA_ prefix, _H_ suffix).
+#ifndef GAMMA_GAMMA_GUARD_CLEAN_H_
+#define GAMMA_GAMMA_GUARD_CLEAN_H_
+
+int GuardClean();
+
+#endif  // GAMMA_GAMMA_GUARD_CLEAN_H_

@@ -1,0 +1,12 @@
+// Seeded violation: hygiene/using-namespace-header. A using-directive
+// in a header leaks into every includer.
+#ifndef GAMMA_GAMMA_USING_BAD_H_
+#define GAMMA_GAMMA_USING_BAD_H_
+
+#include <string>
+
+using namespace std;
+
+inline string Greet() { return "hi"; }
+
+#endif  // GAMMA_GAMMA_USING_BAD_H_

@@ -1,0 +1,10 @@
+// Clean counterpart of using_bad.h: qualified names in the header; a
+// using-*declaration* (single name) inside a .cc would also be fine.
+#ifndef GAMMA_GAMMA_USING_CLEAN_H_
+#define GAMMA_GAMMA_USING_CLEAN_H_
+
+#include <string>
+
+inline std::string Greet() { return "hi"; }
+
+#endif  // GAMMA_GAMMA_USING_CLEAN_H_

@@ -1,0 +1,12 @@
+// Seeded violations: error/fatal-in-library. Library code (pseudo-path
+// src/join/) may not abort the process directly: broken invariants go
+// through GAMMA_CHECK*, data-dependent failures return Status.
+#include <cstdlib>
+
+#include "common/logging.h"
+
+void Die(int node_id) {
+  GAMMA_LOG(Fatal) << "node " << node_id << " is not a disk node";
+}
+
+void DieHarder() { abort(); }

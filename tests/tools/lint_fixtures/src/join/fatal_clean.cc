@@ -1,0 +1,13 @@
+// Clean counterpart of fatal_bad.cc: the invariant check goes through
+// GAMMA_CHECK (the registered invariant-check helper), which is allowed
+// to terminate on a broken invariant.
+#include "common/logging.h"
+#include "common/status.h"
+
+void Die(int node_id) {
+  GAMMA_CHECK(false) << "node " << node_id << " is not a disk node";
+}
+
+gammadb::Status DataDependent(int node_id) {
+  return gammadb::Status::InvalidArgument("not a disk node");
+}

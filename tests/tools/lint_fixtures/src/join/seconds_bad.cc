@@ -1,0 +1,8 @@
+// Seeded violation: cost/raw-seconds-mutation. Outside src/sim/ the
+// accounting fields may only be read; writing them bypasses the charge
+// API's attribution and phase bookkeeping.
+#include "sim/metrics.h"
+
+void Tamper(gammadb::sim::NodeUsage& usage) {
+  usage.cpu_seconds += 1.0;
+}

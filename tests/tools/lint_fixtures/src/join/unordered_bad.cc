@@ -1,0 +1,10 @@
+// Seeded violations: determinism/unordered-container. Iteration order
+// of std::unordered_map is implementation-defined, so it is banned in
+// the deterministic directories (pseudo-path src/join/).
+#include <unordered_map>
+
+int CountDistinct(const int* values, int n) {
+  std::unordered_map<int, int> seen;
+  for (int i = 0; i < n; ++i) ++seen[values[i]];
+  return static_cast<int>(seen.size());
+}

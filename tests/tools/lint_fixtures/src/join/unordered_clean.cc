@@ -1,0 +1,9 @@
+// Clean counterpart of unordered_bad.cc: std::map has a deterministic
+// iteration order, so the same code shape passes.
+#include <map>
+
+int CountDistinct(const int* values, int n) {
+  std::map<int, int> seen;
+  for (int i = 0; i < n; ++i) ++seen[values[i]];
+  return static_cast<int>(seen.size());
+}

@@ -1,0 +1,8 @@
+// Clean counterpart of ../join/seconds_bad.cc: the identical mutation
+// is legal here because the pseudo-path is src/sim/, the one directory
+// that owns the accounting fields.
+#include "sim/metrics.h"
+
+void Accumulate(gammadb::sim::NodeUsage& usage) {
+  usage.cpu_seconds += 1.0;
+}

@@ -1,0 +1,12 @@
+// Seeded violations: determinism/wall-clock. Linted under the
+// pseudo-path src/sim/, where host clock and entropy are banned.
+// gamma_lint_test asserts the exact finding lines, so keep line
+// numbers stable when editing.
+#include <chrono>
+
+long Now() {
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+int Entropy() { return rand(); }

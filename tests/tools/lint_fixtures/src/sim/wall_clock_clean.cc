@@ -1,0 +1,15 @@
+// Clean counterpart of wall_clock_bad.cc: the same shape of code with
+// simulated time and seeded randomness only. A comment or string that
+// merely *mentions* std::chrono or rand() must not fire (the tokenizer
+// skips comments and treats literals as opaque).
+#include <cstdint>
+
+// std::chrono::steady_clock::now() would be banned here, but this is a
+// comment, and the next line is a string literal.
+const char* kDoc = "call rand() or std::chrono for host time";
+
+double Now(double simulated_seconds) { return simulated_seconds; }
+
+uint64_t Entropy(uint64_t seeded_state) {
+  return seeded_state * 6364136223846793005ULL + 1442695040888963407ULL;
+}

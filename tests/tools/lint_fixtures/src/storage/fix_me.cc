@@ -1,0 +1,11 @@
+// --fix corpus: ApplyFixes must rewrite the `(void)` discard below into
+// an explicit .IgnoreError() call, and a second ApplyFixes pass must
+// return the text unchanged (idempotence). gamma_lint_test also checks
+// the fixed text lints clean for error/discarded-status.
+#include "common/status.h"
+
+gammadb::Status MightFail(int v);
+
+void Caller() {
+  (void)MightFail(1);
+}

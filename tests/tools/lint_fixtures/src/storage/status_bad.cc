@@ -1,0 +1,14 @@
+// Seeded violations: error/discarded-status. MightFail is declared to
+// return Status, so both discard shapes below are rejected: the
+// `(void)` cast (weak-registry rule — the cast itself signals a
+// Status-returning callee) and the bare expression statement
+// (strict-registry rule — every collected MightFail declaration
+// returns Status).
+#include "common/status.h"
+
+gammadb::Status MightFail(int v);
+
+void Caller() {
+  (void)MightFail(1);
+  MightFail(2);
+}

@@ -1,0 +1,13 @@
+// Clean counterpart of status_bad.cc: every Status is propagated,
+// checked, or explicitly discarded via IgnoreError().
+#include "common/status.h"
+
+gammadb::Status MightFail(int v);
+
+gammadb::Status Propagates() {
+  GAMMA_RETURN_IF_ERROR(MightFail(1));
+  gammadb::Status checked = MightFail(2);
+  if (!checked.ok()) return checked;
+  MightFail(3).IgnoreError();  // deliberate: best-effort cleanup
+  return gammadb::Status::OK();
+}

@@ -1,0 +1,222 @@
+// gamma_lint CLI: walks the tree, runs every rule, prints file:line:col
+// diagnostics, optionally writes a JSON report and applies mechanical
+// fixes. Exit code 0 = clean, 1 = findings, 2 = usage/environment error.
+//
+//   gamma_lint [--root <repo>] [--allowlist <file>] [--json <out.json>]
+//              [--fix] [paths...]
+//
+// Default paths: src tools bench tests (relative to --root). The lint
+// fixture corpus (tests/tools/lint_fixtures) is always skipped: those
+// files carry deliberate violations for gamma_lint's own tests.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "tools/gamma_lint_lib.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using gammadb::lint::AllowEntry;
+using gammadb::lint::Finding;
+
+constexpr const char* kFixtureDir = "tests/tools/lint_fixtures";
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool WriteFile(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return out.good();
+}
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".cc";
+}
+
+std::string RelPath(const fs::path& root, const fs::path& path) {
+  return fs::relative(path, root).generic_string();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: gamma_lint [--root <repo>] [--allowlist <file>] "
+               "[--json <out.json>] [--fix] [paths...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string allowlist_flag;
+  std::string json_path;
+  bool fix = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "gamma_lint: %s requires a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const char* v = value("--root");
+      if (v == nullptr) return Usage();
+      root = v;
+    } else if (arg == "--allowlist") {
+      const char* v = value("--allowlist");
+      if (v == nullptr) return Usage();
+      allowlist_flag = v;
+    } else if (arg == "--json") {
+      const char* v = value("--json");
+      if (v == nullptr) return Usage();
+      json_path = v;
+    } else if (arg == "--fix") {
+      fix = true;
+    } else if (arg == "--help") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "gamma_lint: unknown flag %s\n", arg.c_str());
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tools", "bench", "tests"};
+
+  const fs::path root_path(root);
+  if (!fs::is_directory(root_path)) {
+    std::fprintf(stderr, "gamma_lint: --root %s is not a directory\n",
+                 root.c_str());
+    return 2;
+  }
+
+  // Collect files in deterministic (sorted) order.
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    const fs::path base = root_path / p;
+    if (fs::is_regular_file(base)) {
+      if (IsSourceFile(base)) files.push_back(base);
+      continue;
+    }
+    if (!fs::is_directory(base)) {
+      std::fprintf(stderr, "gamma_lint: no such path: %s\n",
+                   base.string().c_str());
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file() || !IsSourceFile(entry.path())) continue;
+      const std::string rel = RelPath(root_path, entry.path());
+      if (rel.rfind(kFixtureDir, 0) == 0) continue;
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  // Pass 1: build the Status-function registry from every scanned file.
+  gammadb::lint::RegistryBuilder builder;
+  std::vector<std::pair<std::string, std::string>> sources;  // relpath, text
+  sources.reserve(files.size());
+  for (const fs::path& f : files) {
+    std::string text;
+    if (!ReadFile(f, &text)) {
+      std::fprintf(stderr, "gamma_lint: cannot read %s\n",
+                   f.string().c_str());
+      return 2;
+    }
+    builder.Scan(text);
+    sources.emplace_back(RelPath(root_path, f), std::move(text));
+  }
+  const gammadb::lint::StatusRegistry registry = builder.Build();
+
+  // Optional pass: apply mechanical fixes in place, then lint the result.
+  if (fix) {
+    for (size_t i = 0; i < sources.size(); ++i) {
+      std::string fixed =
+          gammadb::lint::ApplyFixes(sources[i].first, sources[i].second,
+                                    registry);
+      if (fixed != sources[i].second) {
+        if (!WriteFile(files[i], fixed)) {
+          std::fprintf(stderr, "gamma_lint: cannot write %s\n",
+                       files[i].string().c_str());
+          return 2;
+        }
+        std::fprintf(stderr, "gamma_lint: fixed %s\n",
+                     sources[i].first.c_str());
+        sources[i].second = std::move(fixed);
+      }
+    }
+  }
+
+  // Pass 2: lint.
+  std::vector<Finding> findings;
+  for (const auto& [rel, text] : sources) {
+    std::vector<Finding> file_findings =
+        gammadb::lint::LintFile(rel, text, registry);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+
+  // Allowlist.
+  std::string allowlist_path =
+      allowlist_flag.empty() ? (root_path / ".gamma_lint.allow").string()
+                             : allowlist_flag;
+  std::vector<AllowEntry> allowlist;
+  {
+    std::string text;
+    if (ReadFile(allowlist_path, &text)) {
+      auto parsed = gammadb::lint::ParseAllowlist(text);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "gamma_lint: %s: %s\n", allowlist_path.c_str(),
+                     parsed.status().message().c_str());
+        return 2;
+      }
+      allowlist = std::move(parsed).value();
+    } else if (!allowlist_flag.empty()) {
+      std::fprintf(stderr, "gamma_lint: cannot read allowlist %s\n",
+                   allowlist_path.c_str());
+      return 2;
+    }
+  }
+  findings = gammadb::lint::FilterAllowed(
+      findings, allowlist,
+      fs::path(allowlist_path).filename().string());
+
+  for (const Finding& f : findings) {
+    std::fprintf(stderr, "%s:%d:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.col, f.rule.c_str(), f.message.c_str());
+  }
+  if (!json_path.empty()) {
+    const gammadb::JsonValue report =
+        gammadb::lint::ReportJson(findings, sources.size());
+    const gammadb::Status st = gammadb::WriteJsonFile(json_path, report);
+    if (!st.ok()) {
+      std::fprintf(stderr, "gamma_lint: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
+  std::fprintf(stderr, "gamma_lint: %zu files, %zu finding(s)\n",
+               sources.size(), findings.size());
+  return findings.empty() ? 0 : 1;
+}
